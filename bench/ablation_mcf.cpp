@@ -1,0 +1,94 @@
+// Ablation: exact simplex LP vs. Frank–Wolfe approximation for the MCF
+// programs NMAP's split phase relies on (DESIGN.md substitution #1).
+//
+// Reports, per application, the min-max split bandwidth from both engines
+// and their gap — the evidence that running the approximation inside the
+// swap loop (and polishing with the exact LP) preserves the paper's
+// results.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "apps/registry.hpp"
+#include "bench_common.hpp"
+#include "lp/mcf.hpp"
+#include "nmap/single_path.hpp"
+#include "noc/commodity.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace nocmap;
+
+void print_reproduction() {
+    util::Table table("Ablation — MCF engine: exact simplex vs Frank-Wolfe approximation");
+    table.set_header({"app", "exact BW", "approx BW", "gap %", "exact flow", "approx flow"});
+    std::vector<std::vector<std::string>> csv;
+    for (const auto& info : apps::video_applications()) {
+        const auto g = info.factory();
+        const auto topo = bench::ample_mesh_for(g);
+        const auto mapping = nmap::map_with_single_path(g, topo).mapping;
+        const auto d = noc::build_commodities(g, mapping);
+
+        lp::McfOptions exact;
+        exact.objective = lp::McfObjective::MinMaxLoad;
+        const double exact_bw = lp::solve_mcf(topo, d, exact).objective;
+        lp::McfOptions approx = exact;
+        approx.use_exact_lp = false;
+        approx.approx_iterations = 96;
+        const double approx_bw = lp::solve_mcf(topo, d, approx).objective;
+
+        lp::McfOptions exact_flow;
+        exact_flow.objective = lp::McfObjective::MinFlow;
+        const double ef = lp::solve_mcf(topo, d, exact_flow).objective;
+        lp::McfOptions approx_flow = exact_flow;
+        approx_flow.use_exact_lp = false;
+        const double af = lp::solve_mcf(topo, d, approx_flow).objective;
+
+        const double gap = (approx_bw / exact_bw - 1.0) * 100.0;
+        table.add_row({info.name, util::Table::num(exact_bw, 1),
+                       util::Table::num(approx_bw, 1), util::Table::num(gap, 1),
+                       util::Table::num(ef, 0), util::Table::num(af, 0)});
+        csv.push_back({info.name, util::Table::num(exact_bw, 2),
+                       util::Table::num(approx_bw, 2), util::Table::num(gap, 2)});
+    }
+    table.print(std::cout);
+    bench::try_write_csv("ablation_mcf.csv", {"app", "exact_bw", "approx_bw", "gap_pct"},
+                         csv);
+}
+
+void BM_ExactMcf(benchmark::State& state, const char* app) {
+    const auto g = apps::make_application(app);
+    const auto topo = bench::ample_mesh_for(g);
+    const auto mapping = nmap::map_with_single_path(g, topo).mapping;
+    const auto d = noc::build_commodities(g, mapping);
+    lp::McfOptions opt;
+    opt.objective = lp::McfObjective::MinMaxLoad;
+    for (auto _ : state) benchmark::DoNotOptimize(lp::solve_mcf(topo, d, opt).objective);
+}
+
+void BM_ApproxMcf(benchmark::State& state, const char* app) {
+    const auto g = apps::make_application(app);
+    const auto topo = bench::ample_mesh_for(g);
+    const auto mapping = nmap::map_with_single_path(g, topo).mapping;
+    const auto d = noc::build_commodities(g, mapping);
+    lp::McfOptions opt;
+    opt.objective = lp::McfObjective::MinMaxLoad;
+    opt.use_exact_lp = false;
+    for (auto _ : state) benchmark::DoNotOptimize(lp::solve_mcf(topo, d, opt).objective);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_reproduction();
+    benchmark::RegisterBenchmark("ablation/mcf/exact/vopd", BM_ExactMcf, "vopd")
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("ablation/mcf/approx/vopd", BM_ApproxMcf, "vopd")
+        ->Unit(benchmark::kMillisecond);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

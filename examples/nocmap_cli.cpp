@@ -1,0 +1,225 @@
+// nocmap_cli — file-driven command-line front end to the library.
+//
+// Usage:
+//   nocmap_cli map    <app|graph-file> [--mesh WxH] [--bw MBps]
+//                     [--algo nmap|nmap-split|nmap-tm|pmap|gmap|pbb|sa]
+//   nocmap_cli bw     <app|graph-file> [--mesh WxH]
+//   nocmap_cli netlist <app|graph-file> [--mesh WxH] [--bw MBps]
+//   nocmap_cli dot    <app|graph-file>
+//   nocmap_cli apps
+//
+// <app> is a built-in application name (see `nocmap_cli apps`) or a path to
+// a core-graph text file (graph/node/edge records; see graph/graph_io.hpp).
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "baselines/annealing.hpp"
+#include "baselines/gmap.hpp"
+#include "baselines/pbb.hpp"
+#include "baselines/pmap.hpp"
+#include "graph/graph_io.hpp"
+#include "lp/mcf.hpp"
+#include "nmap/shortest_path_router.hpp"
+#include "nmap/single_path.hpp"
+#include "nmap/split.hpp"
+#include "noc/commodity.hpp"
+#include "noc/energy.hpp"
+#include "sim/netlist.hpp"
+#include "sim/simulator.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace nocmap;
+
+graph::CoreGraph load_graph(const std::string& spec) {
+    std::ifstream file(spec);
+    if (file) return graph::read_core_graph(file);
+    return apps::make_application(spec);
+}
+
+struct CliOptions {
+    std::string command;
+    std::string target;
+    std::string algo = "nmap";
+    std::string fabric = "mesh"; // mesh | torus | ring | hypercube
+    std::int32_t width = 0;
+    std::int32_t height = 0;
+    double bandwidth = 0.0; // 0 = ample
+};
+
+bool parse_mesh(const std::string& text, std::int32_t& w, std::int32_t& h) {
+    const auto parts = util::split(text, 'x');
+    std::size_t pw = 0, ph = 0;
+    if (parts.size() != 2 || !util::parse_size(parts[0], pw) || !util::parse_size(parts[1], ph))
+        return false;
+    w = static_cast<std::int32_t>(pw);
+    h = static_cast<std::int32_t>(ph);
+    return w > 0 && h > 0;
+}
+
+int usage() {
+    std::cerr << "usage: nocmap_cli map|bw|netlist|dot <app|graph-file> "
+                 "[--mesh WxH] [--fabric mesh|torus|ring|hypercube] [--bw MBps] "
+                 "[--algo nmap|nmap-split|nmap-tm|pmap|gmap|pbb|sa]\n"
+                 "       nocmap_cli apps\n";
+    return 2;
+}
+
+noc::Topology make_topology(const CliOptions& opt, const graph::CoreGraph& g) {
+    const double capacity = opt.bandwidth > 0 ? opt.bandwidth : 1e9;
+    if (opt.fabric == "ring")
+        return noc::Topology::ring(std::max<std::size_t>(3, g.node_count()), capacity);
+    if (opt.fabric == "hypercube") {
+        std::size_t dim = 1;
+        while ((std::size_t{1} << dim) < g.node_count()) ++dim;
+        return noc::Topology::hypercube(dim, capacity);
+    }
+    if (opt.fabric == "torus") {
+        const auto mesh = opt.width > 0
+                              ? noc::Topology::mesh(opt.width, opt.height, capacity)
+                              : noc::Topology::smallest_mesh_for(g.node_count(), capacity);
+        return noc::Topology::torus(std::max(3, mesh.width()),
+                                    std::max(3, mesh.height()), capacity);
+    }
+    if (opt.fabric != "mesh") throw std::invalid_argument("unknown fabric '" + opt.fabric + "'");
+    if (opt.width > 0) return noc::Topology::mesh(opt.width, opt.height, capacity);
+    return noc::Topology::smallest_mesh_for(g.node_count(), capacity);
+}
+
+nmap::MappingResult run_algorithm(const CliOptions& opt, const graph::CoreGraph& g,
+                                  const noc::Topology& topo) {
+    if (opt.algo == "nmap") return nmap::map_with_single_path(g, topo);
+    if (opt.algo == "nmap-split") {
+        nmap::SplitOptions split;
+        split.mode = nmap::SplitMode::AllPaths;
+        return nmap::map_with_splitting(g, topo, split);
+    }
+    if (opt.algo == "nmap-tm") {
+        nmap::SplitOptions split;
+        split.mode = nmap::SplitMode::MinPaths;
+        return nmap::map_with_splitting(g, topo, split);
+    }
+    if (opt.algo == "pmap") return baselines::pmap_map(g, topo);
+    if (opt.algo == "gmap") return baselines::gmap_map(g, topo);
+    if (opt.algo == "pbb") return baselines::pbb_map(g, topo);
+    if (opt.algo == "sa") return baselines::annealing_map(g, topo);
+    throw std::invalid_argument("unknown algorithm '" + opt.algo + "'");
+}
+
+int cmd_apps() {
+    util::Table table("Built-in applications");
+    table.set_header({"name", "cores", "edges", "total BW (MB/s)", "description"});
+    for (const auto& info : apps::all_applications()) {
+        const auto g = info.factory();
+        table.add_row({info.name, util::Table::num(static_cast<long long>(info.cores)),
+                       util::Table::num(static_cast<long long>(g.edge_count())),
+                       util::Table::num(g.total_bandwidth(), 0), info.description});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int cmd_map(const CliOptions& opt, const graph::CoreGraph& g) {
+    const auto topo = make_topology(opt, g);
+    const auto result = run_algorithm(opt, g, topo);
+    std::cout << "algorithm: " << opt.algo << "\nfabric: " << opt.fabric << " ("
+              << topo.tile_count() << " tiles, " << topo.link_count() << " links) @ "
+              << (opt.bandwidth > 0 ? std::to_string(opt.bandwidth) + " MB/s"
+                                    : std::string("ample"))
+              << " links\n"
+              << describe(result, g, topo);
+    if (result.feasible) {
+        const auto d = noc::build_commodities(g, result.mapping);
+        std::cout << "energy: " << noc::mapping_energy_mw(topo, d) << " mW\n";
+    }
+    return result.feasible ? 0 : 1;
+}
+
+int cmd_bw(const CliOptions& opt, const graph::CoreGraph& g) {
+    const auto topo = make_topology(opt, g);
+    const auto nm = nmap::map_with_single_path(g, topo);
+    const auto d = noc::build_commodities(g, nm.mapping);
+    lp::McfOptions tm;
+    tm.objective = lp::McfObjective::MinMaxLoad;
+    tm.quadrant_restricted = true;
+    lp::McfOptions ta = tm;
+    ta.quadrant_restricted = false;
+    util::Table table("Minimum uniform link bandwidth (NMAP mapping)");
+    table.set_header({"routing", "MB/s"});
+    if (topo.kind() != noc::TopologyKind::Custom) // XY needs a grid
+        table.add_row({"dimension-ordered (XY)",
+                       util::Table::num(noc::max_load(noc::xy_loads(topo, d)), 1)});
+    table.add_row({"single min-path", util::Table::num(noc::max_load(nm.loads), 1)});
+    table.add_row({"split, min paths (TM)",
+                   util::Table::num(lp::solve_mcf(topo, d, tm).objective, 1)});
+    table.add_row({"split, all paths (TA)",
+                   util::Table::num(lp::solve_mcf(topo, d, ta).objective, 1)});
+    table.print(std::cout);
+    return 0;
+}
+
+int cmd_netlist(const CliOptions& opt, const graph::CoreGraph& g) {
+    const auto topo = make_topology(opt, g);
+    const auto result = nmap::map_with_single_path(g, topo);
+    if (!result.feasible) {
+        std::cerr << "no feasible single-path mapping under these constraints\n";
+        return 1;
+    }
+    const auto d = noc::build_commodities(g, result.mapping);
+    const auto routed = nmap::route_single_min_paths(topo, d);
+    const auto flows = sim::make_single_path_flows(topo, d, routed.routes);
+    sim::NetlistConfig cfg;
+    cfg.design_name = g.name().empty() ? "design" : g.name();
+    sim::write_netlist(std::cout, g, topo, result.mapping, flows, cfg);
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) return usage();
+
+    CliOptions opt;
+    opt.command = args[0];
+    if (opt.command == "apps") return cmd_apps();
+
+    std::vector<std::string> positional;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--mesh" && i + 1 < args.size()) {
+            if (!parse_mesh(args[++i], opt.width, opt.height)) return usage();
+        } else if (args[i] == "--bw" && i + 1 < args.size()) {
+            if (!util::parse_double(args[++i], opt.bandwidth) || opt.bandwidth <= 0)
+                return usage();
+        } else if (args[i] == "--algo" && i + 1 < args.size()) {
+            opt.algo = util::to_lower(args[++i]);
+        } else if (args[i] == "--fabric" && i + 1 < args.size()) {
+            opt.fabric = util::to_lower(args[++i]);
+        } else {
+            positional.push_back(args[i]);
+        }
+    }
+    if (positional.size() != 1) return usage();
+    opt.target = positional[0];
+
+    try {
+        const auto g = load_graph(opt.target);
+        if (opt.command == "map") return cmd_map(opt, g);
+        if (opt.command == "bw") return cmd_bw(opt, g);
+        if (opt.command == "netlist") return cmd_netlist(opt, g);
+        if (opt.command == "dot") {
+            std::cout << graph::core_graph_to_dot(g);
+            return 0;
+        }
+        return usage();
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    }
+}

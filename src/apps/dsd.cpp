@@ -1,0 +1,51 @@
+#include "apps/dsd.hpp"
+
+namespace nocmap::apps {
+
+graph::CoreGraph make_dsd() {
+    graph::CoreGraph g("dsd");
+    // Screen 1 pipeline.
+    g.add_node("tuner1");
+    g.add_node("dec1");
+    g.add_node("scal1");
+    g.add_node("mem1");
+    g.add_node("enh1"); // picture enhancement
+    g.add_node("mix1");
+    g.add_node("out1");
+    // Screen 2 pipeline.
+    g.add_node("tuner2");
+    g.add_node("dec2");
+    g.add_node("scal2");
+    g.add_node("mem2");
+    g.add_node("enh2");
+    g.add_node("mix2");
+    g.add_node("out2");
+    // Shared cores.
+    g.add_node("osd"); // on-screen display generator
+    g.add_node("ctl"); // control processor
+
+    g.add_edge("tuner1", "dec1", 128);
+    g.add_edge("dec1", "scal1", 128);
+    g.add_edge("scal1", "mem1", 96);
+    g.add_edge("mem1", "enh1", 96);
+    g.add_edge("enh1", "mix1", 96);
+    g.add_edge("mix1", "out1", 160);
+
+    g.add_edge("tuner2", "dec2", 128);
+    g.add_edge("dec2", "scal2", 128);
+    g.add_edge("scal2", "mem2", 96);
+    g.add_edge("mem2", "enh2", 96);
+    g.add_edge("enh2", "mix2", 96);
+    g.add_edge("mix2", "out2", 160);
+
+    g.add_edge("osd", "mix1", 32);
+    g.add_edge("osd", "mix2", 32);
+    g.add_edge("ctl", "osd", 16);
+    g.add_edge("ctl", "dec1", 16);
+    g.add_edge("ctl", "dec2", 16);
+
+    g.validate();
+    return g;
+}
+
+} // namespace nocmap::apps

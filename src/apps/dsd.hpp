@@ -1,0 +1,14 @@
+#pragma once
+// Dual Screen Display (DSD) core graph — 16 cores.
+
+#include "graph/core_graph.hpp"
+
+namespace nocmap::apps {
+
+/// Builds the 16-core DSD graph — two full, independent decode/enhance
+/// pipelines sharing the on-screen-display generator and control.
+/// Reconstruction of the high-end video application from [15] (see
+/// DESIGN.md §4.5). Bandwidths in MB/s.
+graph::CoreGraph make_dsd();
+
+} // namespace nocmap::apps

@@ -1,0 +1,27 @@
+#include "apps/dsp_filter.hpp"
+
+namespace nocmap::apps {
+
+graph::CoreGraph make_dsp_filter() {
+    graph::CoreGraph g("dsp");
+    g.add_node("arm");
+    g.add_node("memory");
+    g.add_node("fft");
+    g.add_node("filter");
+    g.add_node("ifft");
+    g.add_node("display");
+
+    g.add_edge("arm", "memory", 200);
+    g.add_edge("memory", "arm", 200);
+    g.add_edge("memory", "fft", 600);
+    g.add_edge("fft", "filter", 200);
+    g.add_edge("filter", "ifft", 200);
+    g.add_edge("ifft", "memory", 600);
+    g.add_edge("memory", "display", 200);
+    g.add_edge("arm", "display", 200);
+
+    g.validate();
+    return g;
+}
+
+} // namespace nocmap::apps

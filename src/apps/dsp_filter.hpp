@@ -1,0 +1,14 @@
+#pragma once
+// DSP filter design — 6 cores (Figure 5(a) of the paper).
+
+#include "graph/core_graph.hpp"
+
+namespace nocmap::apps {
+
+/// Builds the 6-core DSP filter graph: ARM, Memory, FFT, Filter, IFFT and
+/// Display, with six 200 MB/s and two 600 MB/s flows as in Figure 5(a).
+/// The frequency-domain filter reads blocks from memory through the FFT,
+/// filters, and writes back through the IFFT.
+graph::CoreGraph make_dsp_filter();
+
+} // namespace nocmap::apps

@@ -1,0 +1,45 @@
+#include "apps/mpeg4.hpp"
+
+namespace nocmap::apps {
+
+graph::CoreGraph make_mpeg4() {
+    graph::CoreGraph g("mpeg4");
+    g.add_node("sdram");     // shared frame memory — the traffic hub
+    g.add_node("sram1");     // local scratchpads
+    g.add_node("sram2");
+    g.add_node("risc");      // control processor
+    g.add_node("vld");       // video bitstream decoder
+    g.add_node("idct");      // inverse DCT
+    g.add_node("mc");        // motion compensation
+    g.add_node("upsamp");    // chroma up-sampling
+    g.add_node("rast");      // rasterizer / display feed
+    g.add_node("vu");        // video unit
+    g.add_node("au");        // audio unit
+    g.add_node("audio_dec"); // audio bitstream decoder
+    g.add_node("dsp");       // audio DSP
+    g.add_node("bab");       // binary-alpha-block decoder (shape coding)
+
+    g.add_edge("vu", "sdram", 190);
+    g.add_edge("au", "sdram", 60);
+    g.add_edge("sdram", "rast", 640);
+    g.add_edge("sdram", "idct", 250);
+    g.add_edge("idct", "upsamp", 350);
+    g.add_edge("upsamp", "rast", 500);
+    g.add_edge("risc", "sdram", 100);
+    g.add_edge("sdram", "vld", 230);
+    g.add_edge("vld", "idct", 150);
+    g.add_edge("mc", "sdram", 400);
+    g.add_edge("sdram", "mc", 400);
+    g.add_edge("bab", "sdram", 170);
+    g.add_edge("dsp", "sdram", 120);
+    g.add_edge("sram1", "risc", 60);
+    g.add_edge("risc", "sram2", 40);
+    g.add_edge("audio_dec", "au", 30);
+    g.add_edge("sdram", "audio_dec", 60);
+    g.add_edge("dsp", "au", 20);
+
+    g.validate();
+    return g;
+}
+
+} // namespace nocmap::apps

@@ -1,0 +1,14 @@
+#pragma once
+// MPEG4 decoder core graph — 14 cores.
+
+#include "graph/core_graph.hpp"
+
+namespace nocmap::apps {
+
+/// Builds the 14-core MPEG4 decoder graph. The paper takes this design from
+/// proprietary documentation; this is a documented reconstruction following
+/// the SDRAM-centric MPEG4 core graph used throughout the NoC-mapping
+/// literature (see DESIGN.md §4.5). Bandwidths in MB/s.
+graph::CoreGraph make_mpeg4();
+
+} // namespace nocmap::apps

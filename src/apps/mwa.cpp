@@ -1,0 +1,41 @@
+#include "apps/mwa.hpp"
+
+namespace nocmap::apps {
+
+graph::CoreGraph make_mwa() {
+    graph::CoreGraph g("mwa");
+    g.add_node("src1"); // three live video sources
+    g.add_node("src2");
+    g.add_node("src3");
+    g.add_node("scal1"); // per-window scalers
+    g.add_node("scal2");
+    g.add_node("scal3");
+    g.add_node("wmem1"); // per-window buffers
+    g.add_node("wmem2");
+    g.add_node("wmem3");
+    g.add_node("bgnd");    // background generator
+    g.add_node("compose"); // window compositor
+    g.add_node("fmem");    // frame memory
+    g.add_node("dctrl");   // display controller
+    g.add_node("disp");
+
+    g.add_edge("src1", "scal1", 96);
+    g.add_edge("src2", "scal2", 96);
+    g.add_edge("src3", "scal3", 96);
+    g.add_edge("scal1", "wmem1", 64);
+    g.add_edge("scal2", "wmem2", 64);
+    g.add_edge("scal3", "wmem3", 64);
+    g.add_edge("wmem1", "compose", 64);
+    g.add_edge("wmem2", "compose", 64);
+    g.add_edge("wmem3", "compose", 64);
+    g.add_edge("bgnd", "compose", 32);
+    g.add_edge("compose", "fmem", 128);
+    g.add_edge("fmem", "compose", 32); // partial-update read-back
+    g.add_edge("fmem", "dctrl", 128);
+    g.add_edge("dctrl", "disp", 160);
+
+    g.validate();
+    return g;
+}
+
+} // namespace nocmap::apps

@@ -1,0 +1,13 @@
+#pragma once
+// Multi-Window Application (MWA) core graph — 14 cores.
+
+#include "graph/core_graph.hpp"
+
+namespace nocmap::apps {
+
+/// Builds the 14-core MWA graph — three concurrently scaled video windows
+/// composited over a generated background. Reconstruction of the high-end
+/// video application from [15] (see DESIGN.md §4.5). Bandwidths in MB/s.
+graph::CoreGraph make_mwa();
+
+} // namespace nocmap::apps

@@ -1,0 +1,47 @@
+#include "apps/mwag.hpp"
+
+namespace nocmap::apps {
+
+graph::CoreGraph make_mwag() {
+    graph::CoreGraph g("mwag");
+    g.add_node("src1");
+    g.add_node("src2");
+    g.add_node("src3");
+    g.add_node("scal1");
+    g.add_node("scal2");
+    g.add_node("scal3");
+    g.add_node("wmem1");
+    g.add_node("wmem2");
+    g.add_node("wmem3");
+    g.add_node("bgnd");
+    g.add_node("gfx");  // graphics engine
+    g.add_node("gmem"); // graphics memory
+    g.add_node("compose");
+    g.add_node("fmem");
+    g.add_node("dctrl");
+    g.add_node("disp");
+
+    g.add_edge("src1", "scal1", 96);
+    g.add_edge("src2", "scal2", 96);
+    g.add_edge("src3", "scal3", 96);
+    g.add_edge("scal1", "wmem1", 64);
+    g.add_edge("scal2", "wmem2", 64);
+    g.add_edge("scal3", "wmem3", 64);
+    g.add_edge("wmem1", "compose", 64);
+    g.add_edge("wmem2", "compose", 64);
+    g.add_edge("wmem3", "compose", 64);
+    g.add_edge("bgnd", "compose", 32);
+    // Graphics plane: rendered into gmem, blended by the compositor.
+    g.add_edge("gfx", "gmem", 192);
+    g.add_edge("gmem", "gfx", 64);
+    g.add_edge("gmem", "compose", 96);
+    g.add_edge("compose", "fmem", 160);
+    g.add_edge("fmem", "compose", 32);
+    g.add_edge("fmem", "dctrl", 160);
+    g.add_edge("dctrl", "disp", 192);
+
+    g.validate();
+    return g;
+}
+
+} // namespace nocmap::apps

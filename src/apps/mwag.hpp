@@ -1,0 +1,14 @@
+#pragma once
+// Multi-Window Application with Graphics (MWAG) core graph — 16 cores.
+
+#include "graph/core_graph.hpp"
+
+namespace nocmap::apps {
+
+/// Builds the 16-core MWAG graph — MWA extended with a graphics engine and
+/// its memory (on-screen menus / teletext rendered over the video windows).
+/// Reconstruction of the high-end video application from [15] (see
+/// DESIGN.md §4.5). Bandwidths in MB/s.
+graph::CoreGraph make_mwag();
+
+} // namespace nocmap::apps

@@ -1,0 +1,29 @@
+#include "apps/pip.hpp"
+
+namespace nocmap::apps {
+
+graph::CoreGraph make_pip() {
+    graph::CoreGraph g("pip");
+    g.add_node("main_in"); // main video input memory
+    g.add_node("pip_in");  // secondary (inset) video input
+    g.add_node("hscale");  // horizontal scaler
+    g.add_node("vscale");  // vertical scaler
+    g.add_node("pip_mem"); // scaled-inset store
+    g.add_node("mixer");   // blender
+    g.add_node("out_mem"); // output frame memory
+    g.add_node("display");
+
+    g.add_edge("main_in", "mixer", 128);
+    g.add_edge("pip_in", "hscale", 64);
+    g.add_edge("hscale", "vscale", 64);
+    g.add_edge("vscale", "pip_mem", 32);
+    g.add_edge("pip_mem", "mixer", 32);
+    g.add_edge("mixer", "out_mem", 96);
+    g.add_edge("out_mem", "display", 96);
+    g.add_edge("out_mem", "mixer", 32); // read-back for alpha blending
+
+    g.validate();
+    return g;
+}
+
+} // namespace nocmap::apps

@@ -1,0 +1,14 @@
+#pragma once
+// Picture-in-Picture (PIP) application core graph — 8 cores.
+
+#include "graph/core_graph.hpp"
+
+namespace nocmap::apps {
+
+/// Builds the 8-core PIP graph — the smallest of the four high-end video
+/// applications from the Philips chip-set paper [15]. Reconstruction (see
+/// DESIGN.md §4.5): the secondary video is scaled down and blended into the
+/// main picture. Bandwidths in MB/s (SD video rates).
+graph::CoreGraph make_pip();
+
+} // namespace nocmap::apps

@@ -1,0 +1,57 @@
+#include "apps/registry.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "apps/dsd.hpp"
+#include "apps/dsp_filter.hpp"
+#include "apps/mpeg4.hpp"
+#include "apps/mwa.hpp"
+#include "apps/mwag.hpp"
+#include "apps/pip.hpp"
+#include "apps/vopd.hpp"
+#include "util/string_util.hpp"
+
+namespace nocmap::apps {
+
+namespace {
+
+const std::array<AppInfo, 7> kApps{{
+    {"mpeg4", "MPEG4 decoder", 14, &make_mpeg4},
+    {"vopd", "Video Object Plane Decoder", 16, &make_vopd},
+    {"pip", "Picture-In-Picture", 8, &make_pip},
+    {"mwa", "Multi-Window Application", 14, &make_mwa},
+    {"mwag", "Multi-Window Application with Graphics", 16, &make_mwag},
+    {"dsd", "Dual Screen Display", 16, &make_dsd},
+    {"dsp", "DSP filter design (Figure 5)", 6, &make_dsp_filter},
+}};
+
+} // namespace
+
+std::span<const AppInfo> video_applications() {
+    return std::span<const AppInfo>(kApps.data(), 6);
+}
+
+std::span<const AppInfo> all_applications() { return kApps; }
+
+graph::CoreGraph make_application(std::string_view name) {
+    const std::string lowered = util::to_lower(name);
+    for (const AppInfo& app : kApps)
+        if (app.name == lowered) return app.factory();
+    std::string known;
+    for (const AppInfo& app : kApps) {
+        if (!known.empty()) known += ", ";
+        known += app.name;
+    }
+    throw std::invalid_argument("unknown application '" + std::string(name) +
+                                "' (known: " + known + ")");
+}
+
+std::vector<std::string> application_names() {
+    std::vector<std::string> names;
+    names.reserve(kApps.size());
+    for (const AppInfo& app : kApps) names.push_back(app.name);
+    return names;
+}
+
+} // namespace nocmap::apps

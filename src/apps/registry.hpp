@@ -1,0 +1,33 @@
+#pragma once
+// Registry of the benchmark applications the paper evaluates.
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/core_graph.hpp"
+
+namespace nocmap::apps {
+
+struct AppInfo {
+    std::string name;
+    std::string description;
+    std::size_t cores = 0;
+    graph::CoreGraph (*factory)() = nullptr;
+};
+
+/// The six video applications of Figures 3/4 and Table 1, in the paper's
+/// order: mpeg4, vopd, pip, mwa, mwag, dsd.
+std::span<const AppInfo> video_applications();
+
+/// All registered applications (the six above plus the DSP filter).
+std::span<const AppInfo> all_applications();
+
+/// Builds an application by (case-insensitive) name; throws
+/// std::invalid_argument listing the known names when unknown.
+graph::CoreGraph make_application(std::string_view name);
+
+std::vector<std::string> application_names();
+
+} // namespace nocmap::apps

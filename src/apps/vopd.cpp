@@ -1,0 +1,54 @@
+#include "apps/vopd.hpp"
+
+namespace nocmap::apps {
+
+graph::CoreGraph make_vopd() {
+    graph::CoreGraph g("vopd");
+    // Decode pipeline cores (Figure 1).
+    g.add_node("mem");        // input memory
+    g.add_node("demux");      // stream demultiplexer
+    g.add_node("arith_dec");  // arithmetic decoder
+    g.add_node("vld");        // variable-length decoder
+    g.add_node("run_le_dec"); // run-length decoder
+    g.add_node("inv_scan");   // inverse scan
+    g.add_node("acdc_pred");  // AC/DC prediction
+    g.add_node("stripe_mem"); // stripe memory
+    g.add_node("iquant");     // inverse quantization
+    g.add_node("idct");       // inverse DCT
+    g.add_node("downsamp");   // down sampling & context calculation
+    g.add_node("upsamp");     // up sampling
+    g.add_node("ref_mem");    // reference memory
+    g.add_node("vop_rec");    // VOP reconstruction
+    g.add_node("pad");        // padding
+    g.add_node("vop_mem");    // VOP memory
+
+    // Main decode chain (bandwidths in MB/s, Figure 1).
+    g.add_edge("mem", "demux", 16);
+    g.add_edge("demux", "vld", 16);
+    g.add_edge("vld", "run_le_dec", 70);
+    g.add_edge("run_le_dec", "inv_scan", 362);
+    g.add_edge("inv_scan", "acdc_pred", 362);
+    g.add_edge("acdc_pred", "stripe_mem", 49);
+    g.add_edge("stripe_mem", "acdc_pred", 27);
+    g.add_edge("acdc_pred", "iquant", 357);
+    g.add_edge("iquant", "idct", 353);
+    g.add_edge("idct", "upsamp", 300);
+    g.add_edge("upsamp", "vop_rec", 313);
+    g.add_edge("vop_rec", "pad", 313);
+    g.add_edge("pad", "vop_mem", 313);
+    g.add_edge("vop_mem", "pad", 500);
+    // Context-calculation loop feeding the arithmetic decoder.
+    g.add_edge("idct", "downsamp", 362);
+    g.add_edge("downsamp", "arith_dec", 157);
+    g.add_edge("arith_dec", "vld", 16);
+    g.add_edge("demux", "downsamp", 16);
+    // Reference-memory path for up-sampling.
+    g.add_edge("vop_rec", "ref_mem", 94);
+    g.add_edge("ref_mem", "upsamp", 313);
+    g.add_edge("vop_rec", "mem", 16);
+
+    g.validate();
+    return g;
+}
+
+} // namespace nocmap::apps

@@ -1,0 +1,14 @@
+#pragma once
+// Video Object Plane Decoder (VOPD) core graph — 16 cores, the paper's
+// running example (Figure 1 / Figure 2(a)).
+
+#include "graph/core_graph.hpp"
+
+namespace nocmap::apps {
+
+/// Builds the 16-core VOPD graph. Edge bandwidths (MB/s) follow Figure 1 of
+/// the paper; the exact wiring of the handful of 16 MB/s control edges is a
+/// documented reconstruction (see DESIGN.md §4.5).
+graph::CoreGraph make_vopd();
+
+} // namespace nocmap::apps

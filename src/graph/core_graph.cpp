@@ -1,0 +1,143 @@
+#include "graph/core_graph.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace nocmap::graph {
+
+NodeId CoreGraph::add_node(std::string label) {
+    if (label.empty())
+        throw std::invalid_argument("CoreGraph::add_node: empty label");
+    if (find_node(label))
+        throw std::invalid_argument("CoreGraph::add_node: duplicate label '" + label + "'");
+    labels_.push_back(std::move(label));
+    out_.emplace_back();
+    in_.emplace_back();
+    return static_cast<NodeId>(labels_.size() - 1);
+}
+
+void CoreGraph::add_edge(NodeId src, NodeId dst, double bandwidth) {
+    check(src);
+    check(dst);
+    if (src == dst)
+        throw std::invalid_argument("CoreGraph::add_edge: self-loop on '" + labels_[src] + "'");
+    if (!(bandwidth > 0.0))
+        throw std::invalid_argument("CoreGraph::add_edge: bandwidth must be > 0");
+    if (comm(src, dst) > 0.0)
+        throw std::invalid_argument("CoreGraph::add_edge: duplicate edge " + labels_[src] +
+                                    " -> " + labels_[dst]);
+    const auto index = static_cast<std::int32_t>(edges_.size());
+    edges_.push_back(CoreEdge{src, dst, bandwidth});
+    out_[static_cast<std::size_t>(src)].push_back(index);
+    in_[static_cast<std::size_t>(dst)].push_back(index);
+}
+
+void CoreGraph::add_edge(std::string_view src_label, std::string_view dst_label,
+                         double bandwidth) {
+    const auto src = find_node(src_label);
+    const auto dst = find_node(dst_label);
+    if (!src)
+        throw std::invalid_argument("CoreGraph::add_edge: unknown label '" +
+                                    std::string(src_label) + "'");
+    if (!dst)
+        throw std::invalid_argument("CoreGraph::add_edge: unknown label '" +
+                                    std::string(dst_label) + "'");
+    add_edge(*src, *dst, bandwidth);
+}
+
+std::optional<NodeId> CoreGraph::find_node(std::string_view label) const noexcept {
+    for (std::size_t i = 0; i < labels_.size(); ++i)
+        if (labels_[i] == label) return static_cast<NodeId>(i);
+    return std::nullopt;
+}
+
+double CoreGraph::comm(NodeId u, NodeId v) const {
+    check(u);
+    check(v);
+    for (const std::int32_t e : out_[static_cast<std::size_t>(u)])
+        if (edges_[static_cast<std::size_t>(e)].dst == v)
+            return edges_[static_cast<std::size_t>(e)].bandwidth;
+    return 0.0;
+}
+
+double CoreGraph::total_bandwidth() const noexcept {
+    double sum = 0.0;
+    for (const CoreEdge& e : edges_) sum += e.bandwidth;
+    return sum;
+}
+
+double CoreGraph::node_traffic(NodeId v) const {
+    check(v);
+    double sum = 0.0;
+    for (const std::int32_t e : out_[static_cast<std::size_t>(v)])
+        sum += edges_[static_cast<std::size_t>(e)].bandwidth;
+    for (const std::int32_t e : in_[static_cast<std::size_t>(v)])
+        sum += edges_[static_cast<std::size_t>(e)].bandwidth;
+    return sum;
+}
+
+std::size_t CoreGraph::undirected_degree(NodeId v) const {
+    check(v);
+    std::unordered_set<NodeId> partners;
+    for (const std::int32_t e : out_[static_cast<std::size_t>(v)])
+        partners.insert(edges_[static_cast<std::size_t>(e)].dst);
+    for (const std::int32_t e : in_[static_cast<std::size_t>(v)])
+        partners.insert(edges_[static_cast<std::size_t>(e)].src);
+    return partners.size();
+}
+
+bool CoreGraph::is_connected() const {
+    if (labels_.size() <= 1) return true;
+    std::vector<char> seen(labels_.size(), 0);
+    std::vector<NodeId> stack{0};
+    seen[0] = 1;
+    std::size_t visited = 1;
+    while (!stack.empty()) {
+        const NodeId v = stack.back();
+        stack.pop_back();
+        auto visit = [&](NodeId w) {
+            if (!seen[static_cast<std::size_t>(w)]) {
+                seen[static_cast<std::size_t>(w)] = 1;
+                ++visited;
+                stack.push_back(w);
+            }
+        };
+        for (const std::int32_t e : out_[static_cast<std::size_t>(v)])
+            visit(edges_[static_cast<std::size_t>(e)].dst);
+        for (const std::int32_t e : in_[static_cast<std::size_t>(v)])
+            visit(edges_[static_cast<std::size_t>(e)].src);
+    }
+    return visited == labels_.size();
+}
+
+void CoreGraph::validate() const {
+    std::unordered_set<std::string> labels;
+    for (const auto& label : labels_) {
+        if (label.empty()) throw std::logic_error("CoreGraph: empty node label");
+        if (!labels.insert(label).second)
+            throw std::logic_error("CoreGraph: duplicate label '" + label + "'");
+    }
+    std::unordered_set<std::int64_t> pairs;
+    for (const CoreEdge& e : edges_) {
+        if (e.src < 0 || static_cast<std::size_t>(e.src) >= labels_.size() ||
+            e.dst < 0 || static_cast<std::size_t>(e.dst) >= labels_.size())
+            throw std::logic_error("CoreGraph: edge endpoint out of range");
+        if (e.src == e.dst) throw std::logic_error("CoreGraph: self-loop");
+        if (!(e.bandwidth > 0.0)) throw std::logic_error("CoreGraph: non-positive bandwidth");
+        const std::int64_t key =
+            static_cast<std::int64_t>(e.src) * static_cast<std::int64_t>(labels_.size()) + e.dst;
+        if (!pairs.insert(key).second)
+            throw std::logic_error("CoreGraph: duplicate directed edge");
+    }
+    // Adjacency must mirror the edge list exactly.
+    std::size_t adjacency_entries = 0;
+    for (const auto& list : out_) adjacency_entries += list.size();
+    if (adjacency_entries != edges_.size())
+        throw std::logic_error("CoreGraph: out-adjacency out of sync");
+    adjacency_entries = 0;
+    for (const auto& list : in_) adjacency_entries += list.size();
+    if (adjacency_entries != edges_.size())
+        throw std::logic_error("CoreGraph: in-adjacency out of sync");
+}
+
+} // namespace nocmap::graph

@@ -1,0 +1,103 @@
+#pragma once
+// Core graph (Definition 1 of the paper).
+//
+// A directed graph G(V,E): vertices are IP cores, each directed edge
+// (vi, vj) carries comm_{i,j}, the bandwidth of the communication from
+// vi to vj in MB/s.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nocmap::graph {
+
+using NodeId = std::int32_t;
+constexpr NodeId kInvalidNode = -1;
+
+/// One directed communication edge of a core graph.
+struct CoreEdge {
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    double bandwidth = 0.0; ///< comm_{i,j}, MB/s
+
+    friend bool operator==(const CoreEdge&, const CoreEdge&) = default;
+};
+
+/// Directed, weighted core graph with named vertices.
+///
+/// Invariants: node ids are dense [0, node_count()); at most one directed
+/// edge per ordered pair; every edge bandwidth is > 0.
+class CoreGraph {
+public:
+    CoreGraph() = default;
+    explicit CoreGraph(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const noexcept { return name_; }
+    void set_name(std::string name) { name_ = std::move(name); }
+
+    /// Adds a core; the label must be unique and non-empty.
+    NodeId add_node(std::string label);
+
+    /// Adds a directed edge with bandwidth in MB/s.
+    /// Throws std::invalid_argument on bad ids, self-loops, non-positive
+    /// bandwidth, or duplicate ordered pairs.
+    void add_edge(NodeId src, NodeId dst, double bandwidth);
+    /// Convenience overload resolving labels; throws if a label is unknown.
+    void add_edge(std::string_view src_label, std::string_view dst_label, double bandwidth);
+
+    std::size_t node_count() const noexcept { return labels_.size(); }
+    std::size_t edge_count() const noexcept { return edges_.size(); }
+
+    const std::string& label(NodeId v) const { return labels_.at(check(v)); }
+    std::optional<NodeId> find_node(std::string_view label) const noexcept;
+
+    std::span<const CoreEdge> edges() const noexcept { return edges_; }
+    /// Indices into edges() of edges leaving / entering v.
+    std::span<const std::int32_t> out_edges(NodeId v) const { return out_.at(check(v)); }
+    std::span<const std::int32_t> in_edges(NodeId v) const { return in_.at(check(v)); }
+
+    /// Directed bandwidth from u to v (0 when no edge).
+    double comm(NodeId u, NodeId v) const;
+    /// Symmetric communication: comm(u,v) + comm(v,u). This is the weight of
+    /// the undirected view S(A,B) = makeundirected(G) used by the mapping
+    /// heuristics.
+    double undirected_comm(NodeId u, NodeId v) const { return comm(u, v) + comm(v, u); }
+
+    /// Sum of all edge bandwidths.
+    double total_bandwidth() const noexcept;
+    /// Total traffic touching v (in + out) — the "communication demand" used
+    /// to pick the seed core in initialize().
+    double node_traffic(NodeId v) const;
+    /// Number of distinct communication partners of v (undirected degree).
+    std::size_t undirected_degree(NodeId v) const;
+
+    /// True if the undirected view is connected (empty/1-node graphs count
+    /// as connected).
+    bool is_connected() const;
+
+    /// Throws std::logic_error describing the first violated invariant, if
+    /// any. Cheap; used by tests and loaders.
+    void validate() const;
+
+    friend bool operator==(const CoreGraph&, const CoreGraph&) = default;
+
+private:
+    NodeId check(NodeId v) const {
+        if (v < 0 || static_cast<std::size_t>(v) >= labels_.size())
+            throw std::out_of_range("CoreGraph: node id " + std::to_string(v) +
+                                    " out of range");
+        return v;
+    }
+
+    std::string name_;
+    std::vector<std::string> labels_;
+    std::vector<CoreEdge> edges_;
+    std::vector<std::vector<std::int32_t>> out_; ///< per-node edge indices
+    std::vector<std::vector<std::int32_t>> in_;  ///< per-node edge indices
+};
+
+} // namespace nocmap::graph

@@ -1,0 +1,141 @@
+#include "graph/graph_algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace nocmap::graph {
+
+ShortestPathTree dijkstra(const WeightedAdjacency& adj, std::int32_t source) {
+    const auto n = adj.size();
+    if (source < 0 || static_cast<std::size_t>(source) >= n)
+        throw std::out_of_range("dijkstra: source out of range");
+
+    ShortestPathTree tree;
+    tree.distance.assign(n, kInfiniteDistance);
+    tree.parent.assign(n, -1);
+    tree.distance[static_cast<std::size_t>(source)] = 0.0;
+
+    using Entry = std::pair<double, std::int32_t>; // (distance, node)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    heap.emplace(0.0, source);
+
+    while (!heap.empty()) {
+        const auto [dist, u] = heap.top();
+        heap.pop();
+        if (dist > tree.distance[static_cast<std::size_t>(u)]) continue; // stale entry
+        for (const auto& [v, w] : adj[static_cast<std::size_t>(u)]) {
+            if (w < 0.0) throw std::invalid_argument("dijkstra: negative edge weight");
+            const double candidate = dist + w;
+            if (candidate < tree.distance[static_cast<std::size_t>(v)]) {
+                tree.distance[static_cast<std::size_t>(v)] = candidate;
+                tree.parent[static_cast<std::size_t>(v)] = u;
+                heap.emplace(candidate, v);
+            }
+        }
+    }
+    return tree;
+}
+
+std::vector<std::int32_t> extract_path(const ShortestPathTree& tree, std::int32_t source,
+                                       std::int32_t target) {
+    if (target < 0 || static_cast<std::size_t>(target) >= tree.distance.size())
+        throw std::out_of_range("extract_path: target out of range");
+    if (tree.distance[static_cast<std::size_t>(target)] == kInfiniteDistance) return {};
+    std::vector<std::int32_t> path;
+    for (std::int32_t v = target; v != -1; v = tree.parent[static_cast<std::size_t>(v)]) {
+        path.push_back(v);
+        if (v == source) break;
+    }
+    if (path.back() != source) return {}; // target not in source's tree
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+std::vector<std::int32_t> bfs_hops(const WeightedAdjacency& adj, std::int32_t source) {
+    const auto n = adj.size();
+    if (source < 0 || static_cast<std::size_t>(source) >= n)
+        throw std::out_of_range("bfs_hops: source out of range");
+    std::vector<std::int32_t> hops(n, -1);
+    std::queue<std::int32_t> frontier;
+    hops[static_cast<std::size_t>(source)] = 0;
+    frontier.push(source);
+    while (!frontier.empty()) {
+        const std::int32_t u = frontier.front();
+        frontier.pop();
+        for (const auto& [v, w] : adj[static_cast<std::size_t>(u)]) {
+            (void)w;
+            if (hops[static_cast<std::size_t>(v)] == -1) {
+                hops[static_cast<std::size_t>(v)] = hops[static_cast<std::size_t>(u)] + 1;
+                frontier.push(v);
+            }
+        }
+    }
+    return hops;
+}
+
+std::vector<std::vector<double>> floyd_warshall(const WeightedAdjacency& adj) {
+    const auto n = adj.size();
+    std::vector<std::vector<double>> dist(n, std::vector<double>(n, kInfiniteDistance));
+    for (std::size_t u = 0; u < n; ++u) {
+        dist[u][u] = 0.0;
+        for (const auto& [v, w] : adj[u])
+            dist[u][static_cast<std::size_t>(v)] =
+                std::min(dist[u][static_cast<std::size_t>(v)], w);
+    }
+    for (std::size_t k = 0; k < n; ++k)
+        for (std::size_t i = 0; i < n; ++i) {
+            if (dist[i][k] == kInfiniteDistance) continue;
+            for (std::size_t j = 0; j < n; ++j) {
+                const double via = dist[i][k] + dist[k][j];
+                if (via < dist[i][j]) dist[i][j] = via;
+            }
+        }
+    return dist;
+}
+
+bool is_connected_undirected(const WeightedAdjacency& adj) {
+    const auto n = adj.size();
+    if (n <= 1) return true;
+    // Build symmetric closure once; input may be directed.
+    std::vector<std::vector<std::int32_t>> sym(n);
+    for (std::size_t u = 0; u < n; ++u)
+        for (const auto& [v, w] : adj[u]) {
+            (void)w;
+            sym[u].push_back(v);
+            sym[static_cast<std::size_t>(v)].push_back(static_cast<std::int32_t>(u));
+        }
+    std::vector<char> seen(n, 0);
+    std::vector<std::int32_t> stack{0};
+    seen[0] = 1;
+    std::size_t visited = 1;
+    while (!stack.empty()) {
+        const std::int32_t u = stack.back();
+        stack.pop_back();
+        for (const std::int32_t v : sym[static_cast<std::size_t>(u)])
+            if (!seen[static_cast<std::size_t>(v)]) {
+                seen[static_cast<std::size_t>(v)] = 1;
+                ++visited;
+                stack.push_back(v);
+            }
+    }
+    return visited == n;
+}
+
+std::int64_t count_monotone_paths(std::int32_t dx, std::int32_t dy) {
+    if (dx < 0 || dy < 0) throw std::invalid_argument("count_monotone_paths: negative span");
+    // binomial(dx+dy, dx) with overflow saturation.
+    constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+    std::int64_t result = 1;
+    const std::int32_t k = std::min(dx, dy);
+    const std::int32_t total = dx + dy;
+    for (std::int32_t i = 1; i <= k; ++i) {
+        // result *= (total - k + i) / i, keeping exactness by multiplying first.
+        const std::int64_t numerator = total - k + i;
+        if (result > kMax / numerator) return kMax;
+        result = result * numerator / i;
+    }
+    return result;
+}
+
+} // namespace nocmap::graph

@@ -1,0 +1,47 @@
+#pragma once
+// Generic graph algorithms on adjacency lists.
+//
+// These operate on a plain weighted adjacency structure so they serve both
+// the core graph (mapping heuristics) and the NoC topology graph (routing).
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace nocmap::graph {
+
+/// adj[u] = list of (neighbor, weight) pairs.
+using WeightedAdjacency = std::vector<std::vector<std::pair<std::int32_t, double>>>;
+
+constexpr double kInfiniteDistance = std::numeric_limits<double>::infinity();
+
+struct ShortestPathTree {
+    std::vector<double> distance;       ///< kInfiniteDistance if unreachable
+    std::vector<std::int32_t> parent;   ///< -1 for source/unreachable
+};
+
+/// Dijkstra from `source`. Negative weights are a precondition violation
+/// (checked, throws std::invalid_argument).
+ShortestPathTree dijkstra(const WeightedAdjacency& adj, std::int32_t source);
+
+/// Reconstructs source->target node sequence from a tree; empty when
+/// unreachable, {source} when target==source.
+std::vector<std::int32_t> extract_path(const ShortestPathTree& tree, std::int32_t source,
+                                       std::int32_t target);
+
+/// Unweighted hop distances from `source` (BFS); -1 if unreachable.
+std::vector<std::int32_t> bfs_hops(const WeightedAdjacency& adj, std::int32_t source);
+
+/// All-pairs shortest path by Floyd–Warshall. O(n^3); used as a test oracle
+/// and for small-graph analyses.
+std::vector<std::vector<double>> floyd_warshall(const WeightedAdjacency& adj);
+
+/// Connectivity of the *undirected* view of `adj`.
+bool is_connected_undirected(const WeightedAdjacency& adj);
+
+/// Counts simple minimal (monotone) paths in a W×H rectangle between two
+/// corners — the number of distinct minimum paths inside a mesh quadrant,
+/// binomial(dx+dy, dx). Saturates at int64 max.
+std::int64_t count_monotone_paths(std::int32_t dx, std::int32_t dy);
+
+} // namespace nocmap::graph

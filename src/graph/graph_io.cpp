@@ -1,0 +1,93 @@
+#include "graph/graph_io.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace nocmap::graph {
+
+void write_core_graph(std::ostream& os, const CoreGraph& graph) {
+    // Full round-trip precision for bandwidths.
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    os << "graph " << (graph.name().empty() ? "unnamed" : graph.name()) << '\n';
+    for (std::size_t v = 0; v < graph.node_count(); ++v)
+        os << "node " << graph.label(static_cast<NodeId>(v)) << '\n';
+    for (const CoreEdge& e : graph.edges())
+        os << "edge " << graph.label(e.src) << ' ' << graph.label(e.dst) << ' '
+           << e.bandwidth << '\n';
+}
+
+std::string core_graph_to_string(const CoreGraph& graph) {
+    std::ostringstream os;
+    write_core_graph(os, graph);
+    return os.str();
+}
+
+CoreGraph read_core_graph(std::istream& is) {
+    CoreGraph graph;
+    std::string line;
+    std::size_t line_number = 0;
+    auto fail = [&](const std::string& what) {
+        throw std::runtime_error("core graph parse error at line " +
+                                 std::to_string(line_number) + ": " + what);
+    };
+    while (std::getline(is, line)) {
+        ++line_number;
+        const auto trimmed = util::trim(line);
+        if (trimmed.empty() || trimmed.front() == '#') continue;
+        std::istringstream tokens{std::string(trimmed)};
+        std::string keyword;
+        tokens >> keyword;
+        if (keyword == "graph") {
+            std::string name;
+            tokens >> name;
+            if (name.empty()) fail("graph record needs a name");
+            graph.set_name(name);
+        } else if (keyword == "node") {
+            std::string label;
+            tokens >> label;
+            if (label.empty()) fail("node record needs a label");
+            graph.add_node(label);
+        } else if (keyword == "edge") {
+            std::string src, dst, bw_text;
+            tokens >> src >> dst >> bw_text;
+            double bw = 0.0;
+            if (src.empty() || dst.empty() || !util::parse_double(bw_text, bw))
+                fail("edge record needs <src> <dst> <bandwidth>");
+            try {
+                graph.add_edge(src, dst, bw);
+            } catch (const std::invalid_argument& err) {
+                fail(err.what());
+            }
+        } else {
+            fail("unknown record '" + keyword + "'");
+        }
+    }
+    graph.validate();
+    return graph;
+}
+
+CoreGraph core_graph_from_string(const std::string& text) {
+    std::istringstream is(text);
+    return read_core_graph(is);
+}
+
+std::string core_graph_to_dot(const CoreGraph& graph) {
+    std::ostringstream os;
+    os << "digraph \"" << (graph.name().empty() ? "core_graph" : graph.name()) << "\" {\n";
+    os << "  rankdir=LR;\n  node [shape=box];\n";
+    for (std::size_t v = 0; v < graph.node_count(); ++v)
+        os << "  \"" << graph.label(static_cast<NodeId>(v)) << "\";\n";
+    for (const CoreEdge& e : graph.edges())
+        os << "  \"" << graph.label(e.src) << "\" -> \"" << graph.label(e.dst)
+           << "\" [label=\"" << e.bandwidth << "\"];\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace nocmap::graph

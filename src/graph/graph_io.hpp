@@ -1,0 +1,31 @@
+#pragma once
+// Plain-text serialization of core graphs.
+//
+// Format (one record per line, '#' comments):
+//   graph <name>
+//   node <label>
+//   edge <src-label> <dst-label> <bandwidth-MB/s>
+//
+// This is the interchange format examples use to load custom applications.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/core_graph.hpp"
+
+namespace nocmap::graph {
+
+/// Serializes `graph` to the text format above.
+void write_core_graph(std::ostream& os, const CoreGraph& graph);
+std::string core_graph_to_string(const CoreGraph& graph);
+
+/// Parses the text format; throws std::runtime_error with a line number on
+/// malformed input.
+CoreGraph read_core_graph(std::istream& is);
+CoreGraph core_graph_from_string(const std::string& text);
+
+/// Renders the graph in Graphviz dot syntax (edges labelled with MB/s) for
+/// documentation figures.
+std::string core_graph_to_dot(const CoreGraph& graph);
+
+} // namespace nocmap::graph

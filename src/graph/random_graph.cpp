@@ -1,0 +1,67 @@
+#include "graph/random_graph.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nocmap::graph {
+
+namespace {
+
+double draw_bandwidth(util::Rng& rng, const RandomGraphConfig& config) {
+    if (config.log_uniform_bandwidth) {
+        const double lo = std::log(config.min_bandwidth);
+        const double hi = std::log(config.max_bandwidth);
+        return std::exp(rng.next_double_in(lo, hi));
+    }
+    return rng.next_double_in(config.min_bandwidth, config.max_bandwidth);
+}
+
+} // namespace
+
+CoreGraph generate_random_core_graph(const RandomGraphConfig& config) {
+    if (config.core_count == 0)
+        throw std::invalid_argument("random graph: core_count must be > 0");
+    if (!(config.min_bandwidth > 0.0) || config.min_bandwidth > config.max_bandwidth)
+        throw std::invalid_argument("random graph: bad bandwidth range");
+    const auto n = config.core_count;
+    const double max_edges = static_cast<double>(n) * static_cast<double>(n - 1);
+    const auto target_edges =
+        static_cast<std::size_t>(config.average_out_degree * static_cast<double>(n));
+    if (static_cast<double>(target_edges) > max_edges)
+        throw std::invalid_argument("random graph: average_out_degree too large");
+
+    util::Rng rng(config.seed);
+    CoreGraph graph("random_" + std::to_string(n) + "_seed" + std::to_string(config.seed));
+    for (std::size_t i = 0; i < n; ++i) graph.add_node("core" + std::to_string(i));
+
+    // Connectivity: random permutation; attach each node to a random earlier
+    // node (random direction), yielding a uniform-ish random tree skeleton.
+    std::vector<NodeId> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<NodeId>(i);
+    rng.shuffle(order);
+    for (std::size_t i = 1; i < n; ++i) {
+        const NodeId fresh = order[i];
+        const NodeId anchor = order[rng.next_below(i)];
+        const double bw = draw_bandwidth(rng, config);
+        if (rng.next_bool())
+            graph.add_edge(anchor, fresh, bw);
+        else
+            graph.add_edge(fresh, anchor, bw);
+    }
+
+    // Extra edges up to the target count; rejection-sample ordered pairs.
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = 64 * n * n + 1024;
+    while (graph.edge_count() < target_edges && attempts < max_attempts) {
+        ++attempts;
+        const auto u = static_cast<NodeId>(rng.next_below(n));
+        const auto v = static_cast<NodeId>(rng.next_below(n));
+        if (u == v || graph.comm(u, v) > 0.0) continue;
+        graph.add_edge(u, v, draw_bandwidth(rng, config));
+    }
+
+    graph.validate();
+    return graph;
+}
+
+} // namespace nocmap::graph

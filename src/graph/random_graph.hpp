@@ -1,0 +1,35 @@
+#pragma once
+// Random core-graph generation — substitute for the LEDA graph package the
+// paper uses for Table 2 ("Random graphs with large number of cores ...
+// generated using the graph package LEDA").
+//
+// The generator produces connected directed graphs with a configurable core
+// count, average out-degree and bandwidth distribution, seeded and fully
+// deterministic.
+
+#include "graph/core_graph.hpp"
+#include "util/rng.hpp"
+
+namespace nocmap::graph {
+
+struct RandomGraphConfig {
+    std::size_t core_count = 25;
+    /// Average number of outgoing communication edges per core. The
+    /// generator first builds a random spanning arborescence (connectivity)
+    /// and then adds extra random edges up to the target count.
+    double average_out_degree = 2.0;
+    double min_bandwidth = 16.0;  ///< MB/s
+    double max_bandwidth = 512.0; ///< MB/s
+    /// When true, bandwidths are drawn log-uniformly (video-style traffic has
+    /// a heavy spread: a few hot flows, many control flows). When false,
+    /// uniform in [min,max].
+    bool log_uniform_bandwidth = true;
+    std::uint64_t seed = 1;
+};
+
+/// Generates a connected random core graph per `config`.
+/// Throws std::invalid_argument for impossible configurations (zero cores,
+/// min > max bandwidth, degree too large for a simple graph).
+CoreGraph generate_random_core_graph(const RandomGraphConfig& config);
+
+} // namespace nocmap::graph

@@ -1,0 +1,64 @@
+#include "lp/lp_problem.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace nocmap::lp {
+
+std::int32_t LpProblem::add_variable(double objective_coefficient, std::string name) {
+    if (!std::isfinite(objective_coefficient))
+        throw std::invalid_argument("LpProblem: non-finite objective coefficient");
+    objective_.push_back(objective_coefficient);
+    if (name.empty()) name = "x" + std::to_string(objective_.size() - 1);
+    names_.push_back(std::move(name));
+    return static_cast<std::int32_t>(objective_.size() - 1);
+}
+
+void LpProblem::add_constraint(Constraint constraint) {
+    // Merge duplicate variable ids so the simplex sees a clean row.
+    std::map<std::int32_t, double> merged;
+    for (const auto& [var, coeff] : constraint.terms) {
+        if (var < 0 || static_cast<std::size_t>(var) >= objective_.size())
+            throw std::out_of_range("LpProblem: constraint references unknown variable");
+        if (!std::isfinite(coeff))
+            throw std::invalid_argument("LpProblem: non-finite constraint coefficient");
+        merged[var] += coeff;
+    }
+    if (!std::isfinite(constraint.rhs))
+        throw std::invalid_argument("LpProblem: non-finite rhs");
+    constraint.terms.assign(merged.begin(), merged.end());
+    constraints_.push_back(std::move(constraint));
+}
+
+void LpProblem::add_constraint(std::vector<std::pair<std::int32_t, double>> terms,
+                               Relation relation, double rhs) {
+    Constraint c;
+    c.terms = std::move(terms);
+    c.relation = relation;
+    c.rhs = rhs;
+    add_constraint(std::move(c));
+}
+
+void LpProblem::validate() const {
+    for (const Constraint& c : constraints_) {
+        for (const auto& [var, coeff] : c.terms) {
+            if (var < 0 || static_cast<std::size_t>(var) >= objective_.size())
+                throw std::logic_error("LpProblem: dangling variable id");
+            if (!std::isfinite(coeff)) throw std::logic_error("LpProblem: non-finite coefficient");
+        }
+        if (!std::isfinite(c.rhs)) throw std::logic_error("LpProblem: non-finite rhs");
+    }
+}
+
+std::string to_string(LpStatus status) {
+    switch (status) {
+    case LpStatus::Optimal: return "optimal";
+    case LpStatus::Infeasible: return "infeasible";
+    case LpStatus::Unbounded: return "unbounded";
+    case LpStatus::IterationLimit: return "iteration-limit";
+    }
+    return "?";
+}
+
+} // namespace nocmap::lp

@@ -1,0 +1,263 @@
+#include "lp/mcf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "lp/mcf_approx.hpp"
+
+namespace nocmap::lp {
+
+namespace {
+
+/// Tiny per-unit-flow cost added to slack/min-max objectives so the LP does
+/// not return flow cycles or needlessly long paths among cost-equal optima.
+constexpr double kFlowRegularizer = 1e-6;
+
+struct VariableLayout {
+    // var_of[k][link] = LP variable id or -1 when the link is not allowed
+    // for commodity k.
+    std::vector<std::vector<std::int32_t>> var_of;
+};
+
+McfResult solve_exact(const noc::Topology& topo,
+                      const std::vector<noc::Commodity>& commodities,
+                      const McfOptions& options) {
+    const std::size_t link_count = topo.link_count();
+    LpProblem problem;
+    VariableLayout layout;
+    layout.var_of.assign(commodities.size(),
+                         std::vector<std::int32_t>(link_count, -1));
+
+    const double flow_cost =
+        options.objective == McfObjective::MinFlow ? 1.0 : kFlowRegularizer;
+
+    // Flow variables.
+    for (std::size_t k = 0; k < commodities.size(); ++k) {
+        for (const noc::LinkId l : allowed_links(topo, commodities[k],
+                                                 options.quadrant_restricted)) {
+            layout.var_of[k][static_cast<std::size_t>(l)] =
+                problem.add_variable(flow_cost);
+        }
+    }
+
+    // Slack / min-max auxiliaries.
+    std::vector<std::int32_t> slack_var; // MinSlack: one per link
+    std::int32_t z_var = -1;             // MinMaxLoad
+    if (options.objective == McfObjective::MinSlack) {
+        slack_var.assign(link_count, -1);
+        for (std::size_t l = 0; l < link_count; ++l)
+            slack_var[l] = problem.add_variable(1.0, "s" + std::to_string(l));
+    } else if (options.objective == McfObjective::MinMaxLoad) {
+        z_var = problem.add_variable(1.0, "z");
+    }
+
+    // Flow conservation (Eq. 5/6) per commodity and node; the destination
+    // row is the negated sum of the others and is dropped to reduce
+    // degeneracy.
+    for (std::size_t k = 0; k < commodities.size(); ++k) {
+        const noc::Commodity& c = commodities[k];
+        for (std::size_t node = 0; node < topo.tile_count(); ++node) {
+            const auto u = static_cast<noc::TileId>(node);
+            if (u == c.dst_tile) continue;
+            std::vector<std::pair<std::int32_t, double>> terms;
+            for (const noc::LinkId l : topo.out_links(u)) {
+                const std::int32_t v = layout.var_of[k][static_cast<std::size_t>(l)];
+                if (v >= 0) terms.emplace_back(v, 1.0);
+            }
+            for (const noc::LinkId l : topo.in_links(u)) {
+                const std::int32_t v = layout.var_of[k][static_cast<std::size_t>(l)];
+                if (v >= 0) terms.emplace_back(v, -1.0);
+            }
+            const double rhs = (u == c.src_tile) ? c.value : 0.0;
+            if (terms.empty()) {
+                if (rhs != 0.0)
+                    throw std::logic_error("MCF: source has no allowed outgoing links");
+                continue;
+            }
+            problem.add_constraint(std::move(terms), Relation::Equal, rhs);
+        }
+    }
+
+    // Capacity rows (Inequality 3, with the objective-specific auxiliary).
+    for (std::size_t l = 0; l < link_count; ++l) {
+        std::vector<std::pair<std::int32_t, double>> terms;
+        for (std::size_t k = 0; k < commodities.size(); ++k) {
+            const std::int32_t v = layout.var_of[k][l];
+            if (v >= 0) terms.emplace_back(v, 1.0);
+        }
+        if (terms.empty()) continue;
+        switch (options.objective) {
+        case McfObjective::MinSlack:
+            terms.emplace_back(slack_var[l], -1.0);
+            problem.add_constraint(std::move(terms), Relation::LessEqual,
+                                   topo.link(static_cast<noc::LinkId>(l)).capacity);
+            break;
+        case McfObjective::MinFlow:
+            problem.add_constraint(std::move(terms), Relation::LessEqual,
+                                   topo.link(static_cast<noc::LinkId>(l)).capacity);
+            break;
+        case McfObjective::MinMaxLoad:
+            terms.emplace_back(z_var, -1.0);
+            problem.add_constraint(std::move(terms), Relation::LessEqual, 0.0);
+            break;
+        }
+    }
+
+    const LpSolution lp = solve_lp(problem, options.simplex);
+
+    McfResult result;
+    result.status = lp.status;
+    result.solved = lp.status == LpStatus::Optimal;
+    result.loads.assign(link_count, 0.0);
+    result.flows.assign(commodities.size(), std::vector<double>(link_count, 0.0));
+    if (!result.solved) {
+        // MinFlow with tight capacities can be genuinely infeasible; that is
+        // a meaningful answer, not an error.
+        result.feasible = false;
+        return result;
+    }
+
+    for (std::size_t k = 0; k < commodities.size(); ++k)
+        for (std::size_t l = 0; l < link_count; ++l) {
+            const std::int32_t v = layout.var_of[k][l];
+            if (v < 0) continue;
+            const double flow = lp.x[static_cast<std::size_t>(v)];
+            result.flows[k][l] = flow;
+            result.loads[l] += flow;
+        }
+
+    switch (options.objective) {
+    case McfObjective::MinSlack: {
+        double slack_total = 0.0;
+        for (std::size_t l = 0; l < link_count; ++l)
+            slack_total += lp.x[static_cast<std::size_t>(slack_var[l])];
+        result.objective = slack_total;
+        result.feasible = slack_total <= 1e-6 * std::max(1.0, noc::total_value(commodities));
+        break;
+    }
+    case McfObjective::MinFlow:
+        result.objective = noc::total_flow(result.loads);
+        result.feasible = true;
+        break;
+    case McfObjective::MinMaxLoad:
+        result.objective = lp.x[static_cast<std::size_t>(z_var)];
+        result.feasible = true;
+        break;
+    }
+    return result;
+}
+
+} // namespace
+
+std::vector<noc::LinkId> allowed_links(const noc::Topology& topo, const noc::Commodity& c,
+                                       bool quadrant_restricted) {
+    std::vector<noc::LinkId> links;
+    if (!quadrant_restricted) {
+        links.resize(topo.link_count());
+        for (std::size_t l = 0; l < topo.link_count(); ++l)
+            links[l] = static_cast<noc::LinkId>(l);
+        return links;
+    }
+    for (std::size_t l = 0; l < topo.link_count(); ++l) {
+        const noc::Link& link = topo.link(static_cast<noc::LinkId>(l));
+        if (topo.in_quadrant(link.src, c.src_tile, c.dst_tile) &&
+            topo.in_quadrant(link.dst, c.src_tile, c.dst_tile))
+            links.push_back(static_cast<noc::LinkId>(l));
+    }
+    return links;
+}
+
+double max_conservation_violation(const noc::Topology& topo,
+                                  const std::vector<noc::Commodity>& commodities,
+                                  const std::vector<std::vector<double>>& flows) {
+    if (flows.size() != commodities.size())
+        throw std::invalid_argument("max_conservation_violation: size mismatch");
+    double worst = 0.0;
+    for (std::size_t k = 0; k < commodities.size(); ++k) {
+        const noc::Commodity& c = commodities[k];
+        for (std::size_t node = 0; node < topo.tile_count(); ++node) {
+            const auto u = static_cast<noc::TileId>(node);
+            double net = 0.0;
+            for (const noc::LinkId l : topo.out_links(u))
+                net += flows[k][static_cast<std::size_t>(l)];
+            for (const noc::LinkId l : topo.in_links(u))
+                net -= flows[k][static_cast<std::size_t>(l)];
+            double expected = 0.0;
+            if (u == c.src_tile) expected = c.value;
+            else if (u == c.dst_tile) expected = -c.value;
+            worst = std::max(worst, std::abs(net - expected));
+        }
+    }
+    return worst;
+}
+
+std::vector<std::pair<noc::Route, double>> decompose_into_paths(
+    const noc::Topology& topo, const noc::Commodity& commodity,
+    const std::vector<double>& flow, double eps) {
+    if (flow.size() != topo.link_count())
+        throw std::invalid_argument("decompose_into_paths: flow vector size mismatch");
+    std::vector<double> residual = flow;
+    const double threshold = std::max(eps, eps * commodity.value);
+
+    std::vector<std::pair<noc::Route, double>> paths;
+    double extracted = 0.0;
+    // Greedy path stripping: follow the largest-residual outgoing link from
+    // src to dst; the min along the path is one path weight. Cycles in the
+    // residual (possible only up to the LP regularizer) make a step revisit
+    // a node; a visited-guard aborts that extraction.
+    for (int guard = 0; guard < 256 && extracted < commodity.value * (1.0 - 1e-4); ++guard) {
+        std::vector<char> visited(topo.tile_count(), 0);
+        noc::Route route;
+        noc::TileId at = commodity.src_tile;
+        visited[static_cast<std::size_t>(at)] = 1;
+        bool reached = at == commodity.dst_tile;
+        while (!reached) {
+            noc::LinkId best = noc::kInvalidLink;
+            double best_flow = threshold;
+            for (const noc::LinkId l : topo.out_links(at)) {
+                if (residual[static_cast<std::size_t>(l)] > best_flow &&
+                    !visited[static_cast<std::size_t>(topo.link(l).dst)]) {
+                    best_flow = residual[static_cast<std::size_t>(l)];
+                    best = l;
+                }
+            }
+            if (best == noc::kInvalidLink) break;
+            route.push_back(best);
+            at = topo.link(best).dst;
+            visited[static_cast<std::size_t>(at)] = 1;
+            reached = at == commodity.dst_tile;
+        }
+        if (!reached) break;
+        double weight = commodity.value;
+        for (const noc::LinkId l : route)
+            weight = std::min(weight, residual[static_cast<std::size_t>(l)]);
+        if (weight <= threshold) break;
+        for (const noc::LinkId l : route) residual[static_cast<std::size_t>(l)] -= weight;
+        paths.emplace_back(std::move(route), weight);
+        extracted += weight;
+    }
+
+    if (paths.empty())
+        throw std::logic_error("decompose_into_paths: no path carries flow for commodity");
+    // Normalize to fractions of the commodity value.
+    double total = 0.0;
+    for (const auto& [route, weight] : paths) total += weight;
+    for (auto& [route, weight] : paths) weight /= total;
+    return paths;
+}
+
+McfResult solve_mcf(const noc::Topology& topo, const std::vector<noc::Commodity>& commodities,
+                    const McfOptions& options) {
+    if (commodities.empty()) {
+        McfResult empty;
+        empty.solved = true;
+        empty.feasible = true;
+        empty.status = LpStatus::Optimal;
+        empty.loads.assign(topo.link_count(), 0.0);
+        return empty;
+    }
+    if (options.use_exact_lp) return solve_exact(topo, commodities, options);
+    return solve_mcf_approx(topo, commodities, options);
+}
+
+} // namespace nocmap::lp

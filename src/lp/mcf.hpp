@@ -1,0 +1,78 @@
+#pragma once
+// Multi-commodity-flow formulations of the paper (Section 6).
+//
+//  * MinSlack  — MCF1 (Eq. 8): minimize total capacity violation.
+//  * MinFlow   — MCF2 (Eq. 9): minimize total routed flow subject to link
+//                capacities (equals bandwidth-weighted hop count).
+//  * MinMaxLoad — auxiliary program: minimize the uniform link bandwidth
+//                needed to carry all traffic (the Figure 4 metric for the
+//                split-routing series NMAPTM / NMAPTA).
+//
+// Each can be restricted to the source–destination quadrant of every
+// commodity (Eq. 10) — split across *minimum* paths only (the "TM" mode,
+// equal hop delay, low jitter) — or allowed to use all paths ("TA").
+//
+// Two engines: the exact simplex LP (lp/simplex) and a fast Frank–Wolfe
+// approximation (lp/mcf_approx) used inside NMAP's pairwise-swap loop.
+
+#include <vector>
+
+#include "lp/simplex.hpp"
+#include "noc/commodity.hpp"
+#include "noc/evaluation.hpp"
+#include "noc/topology.hpp"
+
+namespace nocmap::lp {
+
+enum class McfObjective {
+    MinSlack,   ///< MCF1
+    MinFlow,    ///< MCF2
+    MinMaxLoad, ///< min uniform capacity
+};
+
+struct McfOptions {
+    McfObjective objective = McfObjective::MinFlow;
+    /// Eq. 10: flow variables restricted to each commodity's quadrant.
+    bool quadrant_restricted = false;
+    /// Exact simplex (true) or Frank–Wolfe approximation (false).
+    bool use_exact_lp = true;
+    /// Iterations for the approximate engine.
+    std::size_t approx_iterations = 48;
+    SimplexOptions simplex{};
+};
+
+struct McfResult {
+    bool solved = false;   ///< engine completed (LP optimal / FW converged)
+    bool feasible = false; ///< bandwidth constraints satisfiable
+    /// MinSlack: Σ slack; MinFlow: Σ flow; MinMaxLoad: max load.
+    double objective = 0.0;
+    noc::LinkLoads loads;                   ///< aggregate per-link traffic
+    std::vector<std::vector<double>> flows; ///< [commodity][link] traffic
+    LpStatus status = LpStatus::IterationLimit;
+};
+
+/// Solves the selected MCF program for a fixed mapping (commodities already
+/// carry tile endpoints).
+McfResult solve_mcf(const noc::Topology& topo, const std::vector<noc::Commodity>& commodities,
+                    const McfOptions& options = {});
+
+/// Links commodity k may use: all links, or (quadrant mode) links whose
+/// both endpoints lie in the quadrant of (src_tile, dst_tile).
+std::vector<noc::LinkId> allowed_links(const noc::Topology& topo, const noc::Commodity& c,
+                                       bool quadrant_restricted);
+
+/// Verifies Eq. 5/6 flow conservation of a per-commodity flow matrix;
+/// returns the largest violation found (0 for a perfect solution).
+double max_conservation_violation(const noc::Topology& topo,
+                                  const std::vector<noc::Commodity>& commodities,
+                                  const std::vector<std::vector<double>>& flows);
+
+/// Decomposes one commodity's fractional link flow into weighted paths
+/// (weights sum to ~1 after normalization) — this is how the split-traffic
+/// solution becomes the NoC's multipath routing tables. Tiny residuals and
+/// flow cycles below `eps` (relative to the commodity value) are discarded.
+std::vector<std::pair<noc::Route, double>> decompose_into_paths(
+    const noc::Topology& topo, const noc::Commodity& commodity,
+    const std::vector<double>& flow, double eps = 1e-6);
+
+} // namespace nocmap::lp

@@ -1,0 +1,164 @@
+#include "lp/mcf_approx.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace nocmap::lp {
+
+namespace {
+
+/// Per-commodity routing graph: for each tile, outgoing (link, next tile)
+/// pairs restricted to the commodity's allowed link set.
+struct RoutingGraph {
+    std::vector<std::vector<std::pair<noc::LinkId, noc::TileId>>> out;
+};
+
+RoutingGraph build_routing_graph(const noc::Topology& topo,
+                                 const std::vector<noc::LinkId>& links) {
+    RoutingGraph g;
+    g.out.resize(topo.tile_count());
+    for (const noc::LinkId l : links) {
+        const noc::Link& link = topo.link(l);
+        g.out[static_cast<std::size_t>(link.src)].emplace_back(l, link.dst);
+    }
+    return g;
+}
+
+/// Dijkstra over a routing graph with per-link costs; returns the link
+/// sequence of a cheapest src->dst path (empty if unreachable).
+std::vector<noc::LinkId> cheapest_path(const RoutingGraph& g,
+                                       const std::vector<double>& link_cost,
+                                       noc::TileId src, noc::TileId dst) {
+    const std::size_t n = g.out.size();
+    std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+    std::vector<noc::LinkId> via(n, noc::kInvalidLink);
+    std::vector<noc::TileId> prev(n, noc::kInvalidTile);
+    using Entry = std::pair<double, noc::TileId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[static_cast<std::size_t>(src)] = 0.0;
+    heap.emplace(0.0, src);
+    while (!heap.empty()) {
+        const auto [d, u] = heap.top();
+        heap.pop();
+        if (d > dist[static_cast<std::size_t>(u)]) continue;
+        if (u == dst) break;
+        for (const auto& [l, v] : g.out[static_cast<std::size_t>(u)]) {
+            const double nd = d + link_cost[static_cast<std::size_t>(l)];
+            if (nd < dist[static_cast<std::size_t>(v)]) {
+                dist[static_cast<std::size_t>(v)] = nd;
+                via[static_cast<std::size_t>(v)] = l;
+                prev[static_cast<std::size_t>(v)] = u;
+                heap.emplace(nd, v);
+            }
+        }
+    }
+    if (dist[static_cast<std::size_t>(dst)] == std::numeric_limits<double>::infinity())
+        return {};
+    std::vector<noc::LinkId> path;
+    for (noc::TileId v = dst; v != src; v = prev[static_cast<std::size_t>(v)])
+        path.push_back(via[static_cast<std::size_t>(v)]);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+} // namespace
+
+McfResult solve_mcf_approx(const noc::Topology& topo,
+                           const std::vector<noc::Commodity>& commodities,
+                           const McfOptions& options) {
+    const std::size_t link_count = topo.link_count();
+    const std::size_t K = commodities.size();
+
+    std::vector<RoutingGraph> graphs;
+    graphs.reserve(K);
+    for (const noc::Commodity& c : commodities)
+        graphs.push_back(build_routing_graph(
+            topo, allowed_links(topo, c, options.quadrant_restricted)));
+
+    McfResult result;
+    result.flows.assign(K, std::vector<double>(link_count, 0.0));
+    result.loads.assign(link_count, 0.0);
+
+    // Initial all-or-nothing assignment on hop-count shortest paths.
+    std::vector<double> unit_cost(link_count, 1.0);
+    for (std::size_t k = 0; k < K; ++k) {
+        const auto path = cheapest_path(graphs[k], unit_cost, commodities[k].src_tile,
+                                        commodities[k].dst_tile);
+        if (path.empty())
+            throw std::logic_error("mcf_approx: commodity has no admissible path");
+        for (const noc::LinkId l : path) {
+            result.flows[k][static_cast<std::size_t>(l)] += commodities[k].value;
+            result.loads[static_cast<std::size_t>(l)] += commodities[k].value;
+        }
+    }
+
+    const double demand = std::max(1.0, noc::total_value(commodities));
+    std::vector<double> link_cost(link_count, 0.0);
+    std::vector<double> candidate(link_count, 0.0);
+
+    const std::size_t iterations = std::max<std::size_t>(options.approx_iterations, 2);
+    for (std::size_t t = 0; t < iterations; ++t) {
+        // Derivative of the objective's potential at the current loads.
+        const double peak = std::max(1e-12, noc::max_load(result.loads));
+        for (std::size_t l = 0; l < link_count; ++l) {
+            const double load = result.loads[l];
+            const double cap = topo.link(static_cast<noc::LinkId>(l)).capacity;
+            double cost = 0.0;
+            switch (options.objective) {
+            case McfObjective::MinSlack:
+                cost = std::max(0.0, load - cap) / demand + 1e-4;
+                break;
+            case McfObjective::MinFlow:
+                cost = 1.0 + 16.0 * std::max(0.0, load - cap) / cap;
+                break;
+            case McfObjective::MinMaxLoad: {
+                const double ratio = load / peak;
+                // d/dload of (load/peak)^8, scaled; +epsilon prefers short paths.
+                cost = ratio * ratio * ratio * ratio * ratio * ratio * ratio + 1e-4;
+                break;
+            }
+            }
+            link_cost[l] = cost;
+        }
+
+        const double step = 2.0 / static_cast<double>(t + 3);
+        std::fill(candidate.begin(), candidate.end(), 0.0);
+        for (std::size_t k = 0; k < K; ++k) {
+            const auto path = cheapest_path(graphs[k], link_cost, commodities[k].src_tile,
+                                            commodities[k].dst_tile);
+            // Blend this commodity's flow toward the all-or-nothing path.
+            for (double& f : result.flows[k]) f *= (1.0 - step);
+            for (const noc::LinkId l : path)
+                result.flows[k][static_cast<std::size_t>(l)] +=
+                    step * commodities[k].value;
+        }
+        // Recompute aggregate loads from scratch (cheap, avoids drift).
+        std::fill(result.loads.begin(), result.loads.end(), 0.0);
+        for (std::size_t k = 0; k < K; ++k)
+            for (std::size_t l = 0; l < link_count; ++l)
+                result.loads[l] += result.flows[k][l];
+    }
+
+    result.solved = true;
+    result.status = LpStatus::Optimal;
+    switch (options.objective) {
+    case McfObjective::MinSlack:
+        result.objective = noc::total_violation(topo, result.loads);
+        result.feasible = result.objective <= 1e-6 * demand;
+        break;
+    case McfObjective::MinFlow:
+        result.objective = noc::total_flow(result.loads);
+        result.feasible = noc::satisfies_bandwidth(topo, result.loads,
+                                                   1e-6 * demand);
+        break;
+    case McfObjective::MinMaxLoad:
+        result.objective = noc::max_load(result.loads);
+        result.feasible = true;
+        break;
+    }
+    return result;
+}
+
+} // namespace nocmap::lp

@@ -1,0 +1,28 @@
+#pragma once
+// Frank–Wolfe approximation of the MCF programs.
+//
+// Exact simplex on every pairwise swap would dominate NMAP's runtime (the
+// paper itself notes the ILP variant of path search takes minutes while the
+// heuristic takes seconds and lands within 10% — we follow the same
+// philosophy for the split-traffic inner loop). The approximation routes
+// each commodity all-or-nothing on a derivative-priced shortest path and
+// averages iterates with the classic 2/(t+2) step, which converges to the
+// optimum of the smoothed convex surrogate of each objective:
+//
+//   MinSlack   — potential Σ_l max(0, load_l - cap_l)^2
+//   MinFlow    — potential Σ_l load_l + μ Σ_l max(0, load_l - cap_l)^2/cap_l
+//   MinMaxLoad — potential Σ_l (load_l / scale)^p, p = 8 (soft max)
+//
+// Flow conservation holds *exactly* at every iterate (each all-or-nothing
+// assignment is a valid path flow, and convex combinations preserve Eq. 5).
+
+#include "lp/mcf.hpp"
+
+namespace nocmap::lp {
+
+/// Approximate engine behind solve_mcf(use_exact_lp = false).
+McfResult solve_mcf_approx(const noc::Topology& topo,
+                           const std::vector<noc::Commodity>& commodities,
+                           const McfOptions& options);
+
+} // namespace nocmap::lp

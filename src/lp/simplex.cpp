@@ -1,0 +1,290 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace nocmap::lp {
+
+namespace {
+
+// Dense tableau:
+//   rows 0..m-1   constraint rows (equality form, rhs >= 0)
+//   columns 0..n-1 structural+slack+artificial variables, column n = rhs
+// `basis[i]` is the variable basic in row i. The objective is kept as a
+// separate reduced-cost row `cost` with scalar `cost_rhs` (negated value).
+class Tableau {
+public:
+    Tableau(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), cells_(rows * (cols + 1), 0.0), basis_(rows, -1),
+          cost_(cols, 0.0) {}
+
+    double& at(std::size_t r, std::size_t c) { return cells_[r * (cols_ + 1) + c]; }
+    double at(std::size_t r, std::size_t c) const { return cells_[r * (cols_ + 1) + c]; }
+    double& rhs(std::size_t r) { return at(r, cols_); }
+    double rhs(std::size_t r) const { return at(r, cols_); }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::vector<std::int32_t>& basis() { return basis_; }
+    const std::vector<std::int32_t>& basis() const { return basis_; }
+    std::vector<double>& cost() { return cost_; }
+    double& cost_rhs() { return cost_rhs_; }
+
+    /// Gauss pivot on (row, col); updates all rows and the cost row.
+    void pivot(std::size_t row, std::size_t col) {
+        double* pivot_row = &cells_[row * (cols_ + 1)];
+        const double inv = 1.0 / pivot_row[col];
+        for (std::size_t c = 0; c <= cols_; ++c) pivot_row[c] *= inv;
+        pivot_row[col] = 1.0; // kill round-off on the pivot cell
+
+        for (std::size_t r = 0; r < rows_; ++r) {
+            if (r == row) continue;
+            double* other = &cells_[r * (cols_ + 1)];
+            const double factor = other[col];
+            if (factor == 0.0) continue;
+            for (std::size_t c = 0; c <= cols_; ++c) other[c] -= factor * pivot_row[c];
+            other[col] = 0.0;
+        }
+        const double cost_factor = cost_[col];
+        if (cost_factor != 0.0) {
+            for (std::size_t c = 0; c < cols_; ++c) cost_[c] -= cost_factor * pivot_row[c];
+            cost_rhs_ -= cost_factor * pivot_row[cols_];
+            cost_[col] = 0.0;
+        }
+        basis_[row] = static_cast<std::int32_t>(col);
+    }
+
+    /// Deletes a (redundant) constraint row.
+    void remove_row(std::size_t row) {
+        cells_.erase(cells_.begin() + static_cast<std::ptrdiff_t>(row * (cols_ + 1)),
+                     cells_.begin() + static_cast<std::ptrdiff_t>((row + 1) * (cols_ + 1)));
+        basis_.erase(basis_.begin() + static_cast<std::ptrdiff_t>(row));
+        --rows_;
+    }
+
+private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<double> cells_;
+    std::vector<std::int32_t> basis_;
+    std::vector<double> cost_;
+    double cost_rhs_ = 0.0;
+};
+
+enum class PivotOutcome { Optimal, Unbounded, IterationLimit };
+
+/// Runs the pivot loop to optimality of the current cost row.
+/// `allowed[c]` masks which columns may enter the basis.
+PivotOutcome optimize(Tableau& tab, const std::vector<char>& allowed,
+                      const SimplexOptions& options, std::size_t max_iterations,
+                      std::size_t& iterations_used) {
+    const double eps = options.eps;
+    for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+        const bool bland = iter >= options.bland_threshold;
+
+        // Entering column: most negative reduced cost (Dantzig) or first
+        // negative (Bland).
+        std::int64_t entering = -1;
+        double best = -eps;
+        for (std::size_t c = 0; c < tab.cols(); ++c) {
+            if (!allowed[c]) continue;
+            const double reduced = tab.cost()[c];
+            if (reduced < best) {
+                entering = static_cast<std::int64_t>(c);
+                if (bland) break;
+                best = reduced;
+            }
+        }
+        if (entering < 0) {
+            iterations_used += iter;
+            return PivotOutcome::Optimal;
+        }
+
+        // Ratio test; Bland tie-break on the smallest basis variable.
+        std::int64_t leaving = -1;
+        double best_ratio = std::numeric_limits<double>::infinity();
+        for (std::size_t r = 0; r < tab.rows(); ++r) {
+            const double a = tab.at(r, static_cast<std::size_t>(entering));
+            if (a <= eps) continue;
+            const double ratio = tab.rhs(r) / a;
+            if (ratio < best_ratio - eps ||
+                (ratio < best_ratio + eps && leaving >= 0 &&
+                 tab.basis()[r] < tab.basis()[static_cast<std::size_t>(leaving)])) {
+                best_ratio = ratio;
+                leaving = static_cast<std::int64_t>(r);
+            }
+        }
+        if (leaving < 0) {
+            iterations_used += iter;
+            return PivotOutcome::Unbounded;
+        }
+        tab.pivot(static_cast<std::size_t>(leaving), static_cast<std::size_t>(entering));
+    }
+    iterations_used += max_iterations;
+    return PivotOutcome::IterationLimit;
+}
+
+} // namespace
+
+LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
+    problem.validate();
+    const std::size_t n_struct = problem.variable_count();
+    const std::size_t m = problem.constraint_count();
+
+    // Column layout: [structural | slack/surplus | artificial].
+    std::size_t n_slack = 0;
+    std::size_t n_artificial = 0;
+    for (const Constraint& c : problem.constraints()) {
+        // Rows are normalized to rhs >= 0 below, which can flip the relation.
+        Relation rel = c.relation;
+        if (c.rhs < 0.0) {
+            if (rel == Relation::LessEqual) rel = Relation::GreaterEqual;
+            else if (rel == Relation::GreaterEqual) rel = Relation::LessEqual;
+        }
+        switch (rel) {
+        case Relation::LessEqual: ++n_slack; break;
+        case Relation::GreaterEqual: ++n_slack; ++n_artificial; break;
+        case Relation::Equal: ++n_artificial; break;
+        }
+    }
+    const std::size_t n_total = n_struct + n_slack + n_artificial;
+
+    Tableau tab(m, n_total);
+    std::vector<char> is_artificial(n_total, 0);
+
+    std::size_t next_slack = n_struct;
+    std::size_t next_artificial = n_struct + n_slack;
+    for (std::size_t r = 0; r < m; ++r) {
+        const Constraint& c = problem.constraints()[r];
+        const double sign = c.rhs < 0.0 ? -1.0 : 1.0;
+        Relation rel = c.relation;
+        if (sign < 0.0) {
+            if (rel == Relation::LessEqual) rel = Relation::GreaterEqual;
+            else if (rel == Relation::GreaterEqual) rel = Relation::LessEqual;
+        }
+        for (const auto& [var, coeff] : c.terms)
+            tab.at(r, static_cast<std::size_t>(var)) += sign * coeff;
+        tab.rhs(r) = sign * c.rhs;
+
+        switch (rel) {
+        case Relation::LessEqual:
+            tab.at(r, next_slack) = 1.0;
+            tab.basis()[r] = static_cast<std::int32_t>(next_slack);
+            ++next_slack;
+            break;
+        case Relation::GreaterEqual:
+            tab.at(r, next_slack) = -1.0;
+            ++next_slack;
+            tab.at(r, next_artificial) = 1.0;
+            is_artificial[next_artificial] = 1;
+            tab.basis()[r] = static_cast<std::int32_t>(next_artificial);
+            ++next_artificial;
+            break;
+        case Relation::Equal:
+            tab.at(r, next_artificial) = 1.0;
+            is_artificial[next_artificial] = 1;
+            tab.basis()[r] = static_cast<std::int32_t>(next_artificial);
+            ++next_artificial;
+            break;
+        }
+    }
+
+    const std::size_t iteration_cap = options.max_iterations
+                                          ? options.max_iterations
+                                          : 64 * (m + n_total) + 4096;
+    std::size_t iterations_used = 0;
+    std::vector<char> allowed(n_total, 1);
+
+    LpSolution solution;
+
+    // ---- Phase 1: minimize the sum of artificial variables. ----
+    if (n_artificial > 0) {
+        std::fill(tab.cost().begin(), tab.cost().end(), 0.0);
+        tab.cost_rhs() = 0.0;
+        for (std::size_t c = n_struct + n_slack; c < n_total; ++c) tab.cost()[c] = 1.0;
+        // Price out the artificial basis (they start basic with cost 1).
+        for (std::size_t r = 0; r < tab.rows(); ++r) {
+            const auto b = static_cast<std::size_t>(tab.basis()[r]);
+            if (!is_artificial[b]) continue;
+            for (std::size_t c = 0; c < n_total; ++c) tab.cost()[c] -= tab.at(r, c);
+            tab.cost_rhs() -= tab.rhs(r);
+        }
+
+        const PivotOutcome outcome =
+            optimize(tab, allowed, options, iteration_cap, iterations_used);
+        if (outcome == PivotOutcome::IterationLimit) {
+            solution.status = LpStatus::IterationLimit;
+            return solution;
+        }
+        const double phase1_value = -tab.cost_rhs();
+        if (phase1_value > std::max(options.eps, 1e-6)) {
+            solution.status = LpStatus::Infeasible;
+            solution.objective = phase1_value;
+            return solution;
+        }
+
+        // Drive remaining artificials out of the basis (they sit at zero).
+        for (std::size_t r = 0; r < tab.rows();) {
+            const auto b = static_cast<std::size_t>(tab.basis()[r]);
+            if (!is_artificial[b]) {
+                ++r;
+                continue;
+            }
+            std::int64_t col = -1;
+            for (std::size_t c = 0; c < n_struct + n_slack; ++c) {
+                if (std::abs(tab.at(r, c)) > options.eps) {
+                    col = static_cast<std::int64_t>(c);
+                    break;
+                }
+            }
+            if (col >= 0) {
+                tab.pivot(r, static_cast<std::size_t>(col));
+                ++r;
+            } else {
+                tab.remove_row(r); // redundant constraint
+            }
+        }
+        // Artificial columns may never re-enter.
+        for (std::size_t c = n_struct + n_slack; c < n_total; ++c) allowed[c] = 0;
+    }
+
+    // ---- Phase 2: minimize the real objective. ----
+    std::fill(tab.cost().begin(), tab.cost().end(), 0.0);
+    tab.cost_rhs() = 0.0;
+    for (std::size_t c = 0; c < n_struct; ++c) tab.cost()[c] = problem.objective()[c];
+    for (std::size_t r = 0; r < tab.rows(); ++r) {
+        const auto b = static_cast<std::size_t>(tab.basis()[r]);
+        const double cost_b = tab.cost()[b];
+        if (cost_b == 0.0) continue;
+        for (std::size_t c = 0; c < n_total; ++c) tab.cost()[c] -= cost_b * tab.at(r, c);
+        tab.cost_rhs() -= cost_b * tab.rhs(r);
+        tab.cost()[b] = 0.0;
+    }
+
+    const PivotOutcome outcome =
+        optimize(tab, allowed, options, iteration_cap, iterations_used);
+    if (outcome == PivotOutcome::IterationLimit) {
+        solution.status = LpStatus::IterationLimit;
+        return solution;
+    }
+    if (outcome == PivotOutcome::Unbounded) {
+        solution.status = LpStatus::Unbounded;
+        return solution;
+    }
+
+    solution.status = LpStatus::Optimal;
+    solution.x.assign(n_struct, 0.0);
+    for (std::size_t r = 0; r < tab.rows(); ++r) {
+        const auto b = static_cast<std::size_t>(tab.basis()[r]);
+        if (b < n_struct) solution.x[b] = tab.rhs(r);
+    }
+    // Clamp tiny negative round-off.
+    for (double& v : solution.x)
+        if (v < 0.0 && v > -1e-7) v = 0.0;
+    solution.objective = -tab.cost_rhs();
+    return solution;
+}
+
+} // namespace nocmap::lp

@@ -1,0 +1,26 @@
+#pragma once
+// Dense two-phase primal simplex solver.
+//
+// Handles the MCF programs of the paper exactly (their dimensions on a
+// 16-tile mesh stay small). Dantzig pricing with a Bland-rule fallback for
+// anti-cycling; artificial variables for >= and = rows.
+
+#include "lp/lp_problem.hpp"
+
+namespace nocmap::lp {
+
+struct SimplexOptions {
+    /// Hard cap on pivots across both phases; 0 means choose automatically
+    /// (64 * (rows + columns) + 4096).
+    std::size_t max_iterations = 0;
+    /// Numerical tolerance for pricing/ratio tests/feasibility.
+    double eps = 1e-8;
+    /// After this many pivots per phase, switch from Dantzig to Bland
+    /// pricing (guarantees termination on degenerate problems).
+    std::size_t bland_threshold = 2000;
+};
+
+/// Solves min c·x, s.t. constraints, x >= 0.
+LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options = {});
+
+} // namespace nocmap::lp

@@ -1,0 +1,103 @@
+#include "nmap/initialize.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace nocmap::nmap {
+
+noc::Mapping initial_mapping(const graph::CoreGraph& graph, const noc::Topology& topo) {
+    const std::size_t cores = graph.node_count();
+    if (cores == 0) throw std::invalid_argument("initialize: empty core graph");
+    if (cores > topo.tile_count())
+        throw std::invalid_argument("initialize: more cores than tiles (|V| > |U|)");
+
+    noc::Mapping mapping(cores, topo.tile_count());
+
+    // Seed core: maximum total communication demand.
+    graph::NodeId seed_core = 0;
+    double best_traffic = -1.0;
+    for (std::size_t v = 0; v < cores; ++v) {
+        const double traffic = graph.node_traffic(static_cast<graph::NodeId>(v));
+        if (traffic > best_traffic) {
+            best_traffic = traffic;
+            seed_core = static_cast<graph::NodeId>(v);
+        }
+    }
+    // Seed tile: maximum number of neighbours (mesh centre), smallest id on ties.
+    noc::TileId seed_tile = 0;
+    std::size_t best_degree = 0;
+    for (std::size_t t = 0; t < topo.tile_count(); ++t) {
+        const std::size_t degree = topo.degree(static_cast<noc::TileId>(t));
+        if (degree > best_degree) {
+            best_degree = degree;
+            seed_tile = static_cast<noc::TileId>(t);
+        }
+    }
+    mapping.place(seed_core, seed_tile);
+
+    // comm_to_mapped[v] = Σ undirected comm between v and the mapped set W.
+    std::vector<double> comm_to_mapped(cores, 0.0);
+    auto account = [&](graph::NodeId placed) {
+        for (std::size_t v = 0; v < cores; ++v) {
+            const auto node = static_cast<graph::NodeId>(v);
+            if (mapping.is_placed(node)) continue;
+            comm_to_mapped[v] += graph.undirected_comm(node, placed);
+        }
+    };
+    account(seed_core);
+
+    while (!mapping.is_complete()) {
+        // Next core: maximum communication with W; when every remaining core
+        // is disconnected from W, fall back to maximum total demand.
+        graph::NodeId next_core = graph::kInvalidNode;
+        double best_comm = -1.0;
+        for (std::size_t v = 0; v < cores; ++v) {
+            const auto node = static_cast<graph::NodeId>(v);
+            if (mapping.is_placed(node)) continue;
+            if (comm_to_mapped[v] > best_comm) {
+                best_comm = comm_to_mapped[v];
+                next_core = node;
+            }
+        }
+        if (best_comm <= 0.0) {
+            double fallback_traffic = -1.0;
+            for (std::size_t v = 0; v < cores; ++v) {
+                const auto node = static_cast<graph::NodeId>(v);
+                if (mapping.is_placed(node)) continue;
+                const double traffic = graph.node_traffic(node);
+                if (traffic > fallback_traffic) {
+                    fallback_traffic = traffic;
+                    next_core = node;
+                }
+            }
+        }
+
+        // Best tile: minimize Σ comm(next, w) * manhattan(tile, tile_of(w))
+        // over every free tile.
+        noc::TileId best_tile = noc::kInvalidTile;
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (std::size_t t = 0; t < topo.tile_count(); ++t) {
+            const auto tile = static_cast<noc::TileId>(t);
+            if (mapping.is_occupied(tile)) continue;
+            double cost = 0.0;
+            for (std::size_t w = 0; w < cores; ++w) {
+                const auto placed = static_cast<graph::NodeId>(w);
+                if (!mapping.is_placed(placed)) continue;
+                const double comm = graph.undirected_comm(next_core, placed);
+                if (comm <= 0.0) continue;
+                cost += comm * static_cast<double>(topo.distance(tile, mapping.tile_of(placed)));
+            }
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_tile = tile;
+            }
+        }
+        mapping.place(next_core, best_tile);
+        account(next_core);
+    }
+    mapping.validate();
+    return mapping;
+}
+
+} // namespace nocmap::nmap

@@ -1,0 +1,25 @@
+#pragma once
+// The paper's initialize() routine (Section 5):
+//
+//   * seed: the core with maximum communication demand goes onto a mesh
+//     node with the maximum number of neighbours;
+//   * repeat: the unmapped core communicating most with the already-mapped
+//     set W is placed onto the free node minimizing
+//     Σ_{wi ∈ W} comm(next, wi) · (xdist + ydist), examining every free
+//     node in the mesh.
+//
+// All communication is measured on the undirected view S(A,B) =
+// makeundirected(G), as in the pseudocode. Ties are broken toward the
+// smallest id so the algorithm is deterministic.
+
+#include "graph/core_graph.hpp"
+#include "noc/mapping.hpp"
+#include "noc/topology.hpp"
+
+namespace nocmap::nmap {
+
+/// Produces the initial placement. Throws std::invalid_argument when the
+/// core graph does not fit the topology (|V| > |U|) or is empty.
+noc::Mapping initial_mapping(const graph::CoreGraph& graph, const noc::Topology& topo);
+
+} // namespace nocmap::nmap

@@ -1,0 +1,21 @@
+#include "nmap/result.hpp"
+
+#include <sstream>
+
+namespace nocmap::nmap {
+
+std::string describe(const MappingResult& result, const graph::CoreGraph& graph,
+                     const noc::Topology& topo) {
+    std::ostringstream os;
+    os << "feasible: " << (result.feasible ? "yes" : "no") << '\n';
+    if (result.comm_cost == kMaxValue)
+        os << "comm cost: maxvalue (bandwidth constraints violated)\n";
+    else
+        os << "comm cost: " << result.comm_cost << " hops*MB/s\n";
+    os << "peak link load: " << noc::max_load(result.loads) << " MB/s\n";
+    os << "evaluations: " << result.evaluations << '\n';
+    os << result.mapping.to_string(graph, topo);
+    return os.str();
+}
+
+} // namespace nocmap::nmap

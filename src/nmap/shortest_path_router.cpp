@@ -1,0 +1,87 @@
+#include "nmap/shortest_path_router.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "nmap/result.hpp"
+
+namespace nocmap::nmap {
+
+namespace {
+
+/// Dijkstra restricted to the quadrant of (src, dst), edge weight = current
+/// load. Returns the tile sequence of the least-congested minimal path.
+std::vector<noc::TileId> quadrant_min_path(const noc::Topology& topo,
+                                           const noc::LinkLoads& loads, noc::TileId src,
+                                           noc::TileId dst) {
+    const std::size_t n = topo.tile_count();
+    std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+    std::vector<noc::TileId> prev(n, noc::kInvalidTile);
+    using Entry = std::pair<double, noc::TileId>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[static_cast<std::size_t>(src)] = 0.0;
+    heap.emplace(0.0, src);
+    while (!heap.empty()) {
+        const auto [d, u] = heap.top();
+        heap.pop();
+        if (d > dist[static_cast<std::size_t>(u)]) continue;
+        if (u == dst) break;
+        for (const noc::LinkId l : topo.out_links(u)) {
+            const noc::Link& link = topo.link(l);
+            // Stay inside the quadrant: both endpoints on a minimal path.
+            if (!topo.in_quadrant(link.dst, src, dst)) continue;
+            // Only move *toward* the destination (monotone progress keeps
+            // the path minimal even inside the quadrant).
+            if (topo.distance(link.dst, dst) >= topo.distance(u, dst)) continue;
+            const double nd = d + loads[static_cast<std::size_t>(l)];
+            if (nd < dist[static_cast<std::size_t>(link.dst)]) {
+                dist[static_cast<std::size_t>(link.dst)] = nd;
+                prev[static_cast<std::size_t>(link.dst)] = u;
+                heap.emplace(nd, link.dst);
+            }
+        }
+    }
+    std::vector<noc::TileId> path;
+    for (noc::TileId v = dst; v != noc::kInvalidTile; v = prev[static_cast<std::size_t>(v)]) {
+        path.push_back(v);
+        if (v == src) break;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+} // namespace
+
+SinglePathRouting route_single_min_paths(const noc::Topology& topo,
+                                         const std::vector<noc::Commodity>& commodities) {
+    SinglePathRouting result;
+    result.routes.assign(commodities.size(), {});
+    result.loads.assign(topo.link_count(), 0.0);
+
+    // Route in decreasing-value order (paper: "sort commodities in D with
+    // decreasing comm costs"); remember original slots.
+    std::vector<std::size_t> order(commodities.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (commodities[a].value != commodities[b].value)
+            return commodities[a].value > commodities[b].value;
+        return commodities[a].id < commodities[b].id;
+    });
+
+    for (const std::size_t slot : order) {
+        const noc::Commodity& c = commodities[slot];
+        const auto tiles = quadrant_min_path(topo, result.loads, c.src_tile, c.dst_tile);
+        noc::Route route = noc::route_along(topo, tiles);
+        for (const noc::LinkId l : route)
+            result.loads[static_cast<std::size_t>(l)] += c.value;
+        result.routes[slot] = std::move(route);
+    }
+
+    result.max_load = noc::max_load(result.loads);
+    result.feasible = noc::satisfies_bandwidth(topo, result.loads);
+    result.cost = result.feasible ? noc::communication_cost(topo, commodities) : kMaxValue;
+    return result;
+}
+
+} // namespace nocmap::nmap

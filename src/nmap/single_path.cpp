@@ -1,0 +1,71 @@
+#include "nmap/single_path.hpp"
+
+#include "nmap/initialize.hpp"
+#include "nmap/shortest_path_router.hpp"
+#include "noc/commodity.hpp"
+#include "util/log.hpp"
+
+namespace nocmap::nmap {
+
+namespace {
+
+/// shortestpath() evaluation of one candidate mapping. Infeasible mappings
+/// score kMaxValue but we also record max load so callers can reason about
+/// near-feasible candidates.
+SinglePathRouting evaluate(const graph::CoreGraph& graph, const noc::Topology& topo,
+                           const noc::Mapping& mapping) {
+    const auto commodities = noc::build_commodities(graph, mapping);
+    return route_single_min_paths(topo, commodities);
+}
+
+} // namespace
+
+MappingResult map_with_single_path(const graph::CoreGraph& graph, const noc::Topology& topo,
+                                   const SinglePathOptions& options) {
+    MappingResult result;
+    result.mapping = initial_mapping(graph, topo);
+
+    SinglePathRouting best = evaluate(graph, topo, result.mapping);
+    ++result.evaluations;
+    noc::Mapping best_mapping = result.mapping;
+
+    const auto tiles = static_cast<std::int32_t>(topo.tile_count());
+    const std::size_t sweeps = std::max<std::size_t>(1, options.max_sweeps);
+    for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+        bool improved = false;
+        noc::Mapping placed = best_mapping;
+        for (std::int32_t i = 0; i < tiles; ++i) {
+            for (std::int32_t j = i + 1; j < tiles; ++j) {
+                // Swapping two empty tiles is a no-op; skip the evaluation.
+                if (!placed.is_occupied(i) && !placed.is_occupied(j)) continue;
+                noc::Mapping candidate = placed;
+                candidate.swap_tiles(i, j);
+                const SinglePathRouting routed = evaluate(graph, topo, candidate);
+                ++result.evaluations;
+                const bool better =
+                    routed.cost < best.cost ||
+                    // Among infeasible mappings prefer the least violating
+                    // one so the search can escape an infeasible start.
+                    (routed.cost == kMaxValue && best.cost == kMaxValue &&
+                     routed.max_load < best.max_load);
+                if (better) {
+                    best = routed;
+                    best_mapping = std::move(candidate);
+                    improved = true;
+                }
+            }
+            // Paper: "assign Bestmapping to Placed" after each outer index.
+            placed = best_mapping;
+        }
+        if (!improved) break;
+        util::log_debug("nmap") << "sweep " << sweep << " best cost " << best.cost;
+    }
+
+    result.mapping = best_mapping;
+    result.comm_cost = best.cost;
+    result.feasible = best.feasible;
+    result.loads = best.loads;
+    return result;
+}
+
+} // namespace nocmap::nmap

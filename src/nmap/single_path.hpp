@@ -1,0 +1,25 @@
+#pragma once
+// mappingwithsinglepath() (Section 5): NMAP with single minimum-path
+// routing. Three phases: initialize(), shortestpath() evaluation, and
+// iterative improvement by pairwise swapping of mesh positions.
+
+#include "graph/core_graph.hpp"
+#include "nmap/result.hpp"
+#include "noc/topology.hpp"
+
+namespace nocmap::nmap {
+
+struct SinglePathOptions {
+    /// Number of full O(|U|^2) pairwise-swap sweeps. The paper's pseudocode
+    /// performs one; additional sweeps keep improving until a fixpoint (we
+    /// stop early when a sweep finds nothing).
+    std::size_t max_sweeps = 1;
+};
+
+/// Runs NMAP with single minimum-path routing. The returned mapping is the
+/// best one encountered; `feasible`/`comm_cost` reflect its shortestpath()
+/// evaluation under the topology's link capacities.
+MappingResult map_with_single_path(const graph::CoreGraph& graph, const noc::Topology& topo,
+                                   const SinglePathOptions& options = {});
+
+} // namespace nocmap::nmap

@@ -1,0 +1,184 @@
+#include "nmap/split.hpp"
+
+#include "nmap/initialize.hpp"
+#include "noc/commodity.hpp"
+#include "util/log.hpp"
+
+namespace nocmap::nmap {
+
+namespace {
+
+lp::McfOptions make_mcf_options(const SplitOptions& options, lp::McfObjective objective,
+                                bool exact) {
+    lp::McfOptions mcf;
+    mcf.objective = objective;
+    mcf.quadrant_restricted = options.mode == SplitMode::MinPaths;
+    mcf.use_exact_lp = exact;
+    mcf.approx_iterations = options.approx_iterations;
+    return mcf;
+}
+
+lp::McfResult run_mcf(const graph::CoreGraph& graph, const noc::Topology& topo,
+                      const noc::Mapping& mapping, const lp::McfOptions& mcf) {
+    const auto commodities = noc::build_commodities(graph, mapping);
+    return lp::solve_mcf(topo, commodities, mcf);
+}
+
+} // namespace
+
+namespace {
+
+/// Figure-4 variant of the swap search: minimize the min-max link load
+/// (the uniform bandwidth the design would need) under the split mode.
+MappingResult map_minimizing_bandwidth(const graph::CoreGraph& graph,
+                                       const noc::Topology& topo,
+                                       const SplitOptions& options) {
+    MappingResult result;
+    const lp::McfOptions inner =
+        make_mcf_options(options, lp::McfObjective::MinMaxLoad, options.exact_inner_lp);
+
+    noc::Mapping placed = initial_mapping(graph, topo);
+    noc::Mapping best_mapping = placed;
+    double best_bw = run_mcf(graph, topo, placed, inner).objective;
+    ++result.evaluations;
+
+    const auto tiles = static_cast<std::int32_t>(topo.tile_count());
+    const std::size_t sweeps = std::max<std::size_t>(1, options.max_sweeps);
+    for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+        bool improved = false;
+        for (std::int32_t i = 0; i < tiles; ++i) {
+            for (std::int32_t j = i + 1; j < tiles; ++j) {
+                if (!placed.is_occupied(i) && !placed.is_occupied(j)) continue;
+                noc::Mapping candidate = placed;
+                candidate.swap_tiles(i, j);
+                const double bw = run_mcf(graph, topo, candidate, inner).objective;
+                ++result.evaluations;
+                if (bw < best_bw) {
+                    best_bw = bw;
+                    best_mapping = std::move(candidate);
+                    improved = true;
+                }
+            }
+            placed = best_mapping;
+        }
+        if (!improved) break;
+    }
+
+    result.mapping = best_mapping;
+    const bool exact = options.exact_final_polish || options.exact_inner_lp;
+    const lp::McfResult final_bw = run_mcf(
+        graph, topo, best_mapping,
+        make_mcf_options(options, lp::McfObjective::MinMaxLoad, exact));
+    ++result.evaluations;
+    result.feasible = final_bw.solved;
+    result.loads = final_bw.loads;
+    result.flows = final_bw.flows;
+    const lp::McfResult final_cost = run_mcf(
+        graph, topo, best_mapping,
+        make_mcf_options(options, lp::McfObjective::MinFlow, exact));
+    ++result.evaluations;
+    result.comm_cost = final_cost.feasible ? final_cost.objective : kMaxValue;
+    return result;
+}
+
+} // namespace
+
+MappingResult map_with_splitting(const graph::CoreGraph& graph, const noc::Topology& topo,
+                                 const SplitOptions& options) {
+    if (options.optimize_bandwidth) return map_minimizing_bandwidth(graph, topo, options);
+
+    MappingResult result;
+
+    const lp::McfOptions mcf1 =
+        make_mcf_options(options, lp::McfObjective::MinSlack, options.exact_inner_lp);
+    const lp::McfOptions mcf2 =
+        make_mcf_options(options, lp::McfObjective::MinFlow, options.exact_inner_lp);
+
+    noc::Mapping placed = initial_mapping(graph, topo);
+    noc::Mapping best_mapping = placed;
+
+    lp::McfResult seed = run_mcf(graph, topo, placed, mcf1);
+    ++result.evaluations;
+    double best_slack = seed.objective;
+    double best_cost = kMaxValue;
+    bool bw_satisfied = seed.feasible;
+    if (bw_satisfied) {
+        const lp::McfResult cost = run_mcf(graph, topo, placed, mcf2);
+        ++result.evaluations;
+        if (cost.feasible) best_cost = cost.objective;
+    }
+
+    const auto tiles = static_cast<std::int32_t>(topo.tile_count());
+    const std::size_t sweeps = std::max<std::size_t>(1, options.max_sweeps);
+    for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+        bool improved = false;
+        for (std::int32_t i = 0; i < tiles; ++i) {
+            for (std::int32_t j = i + 1; j < tiles; ++j) {
+                if (!placed.is_occupied(i) && !placed.is_occupied(j)) continue;
+                noc::Mapping candidate = placed;
+                candidate.swap_tiles(i, j);
+
+                if (!bw_satisfied) {
+                    const lp::McfResult slack = run_mcf(graph, topo, candidate, mcf1);
+                    ++result.evaluations;
+                    if (slack.feasible) {
+                        // First feasible mapping: switch to the cost phase.
+                        bw_satisfied = true;
+                        best_mapping = candidate;
+                        best_slack = 0.0;
+                        const lp::McfResult cost = run_mcf(graph, topo, candidate, mcf2);
+                        ++result.evaluations;
+                        if (cost.feasible) best_cost = cost.objective;
+                        improved = true;
+                    } else if (slack.objective < best_slack) {
+                        best_slack = slack.objective;
+                        best_mapping = std::move(candidate);
+                        improved = true;
+                    }
+                } else {
+                    const lp::McfResult cost = run_mcf(graph, topo, candidate, mcf2);
+                    ++result.evaluations;
+                    if (cost.feasible && cost.objective < best_cost) {
+                        best_cost = cost.objective;
+                        best_mapping = std::move(candidate);
+                        improved = true;
+                    }
+                }
+            }
+            placed = best_mapping;
+        }
+        if (!improved) break;
+        util::log_debug("nmap.split")
+            << "sweep " << sweep << (bw_satisfied ? " cost " : " slack ")
+            << (bw_satisfied ? best_cost : best_slack);
+    }
+
+    result.mapping = best_mapping;
+
+    // Final (exact) scoring of the chosen mapping.
+    const bool exact = options.exact_final_polish || options.exact_inner_lp;
+    const lp::McfResult final_slack =
+        run_mcf(graph, topo, best_mapping, make_mcf_options(options, lp::McfObjective::MinSlack, exact));
+    ++result.evaluations;
+    result.feasible = final_slack.feasible;
+    if (result.feasible) {
+        const lp::McfResult final_cost = run_mcf(
+            graph, topo, best_mapping, make_mcf_options(options, lp::McfObjective::MinFlow, exact));
+        ++result.evaluations;
+        if (final_cost.feasible) {
+            result.comm_cost = final_cost.objective;
+            result.loads = final_cost.loads;
+            result.flows = final_cost.flows;
+            return result;
+        }
+        // Exact scoring disagreed with the inner engine; report the slack
+        // solution's loads and keep cost at maxvalue.
+        result.feasible = false;
+    }
+    result.comm_cost = kMaxValue;
+    result.loads = final_slack.loads;
+    result.flows = final_slack.flows;
+    return result;
+}
+
+} // namespace nocmap::nmap

@@ -1,0 +1,53 @@
+#pragma once
+// mappingwithsplitting() (Section 6): NMAP with traffic splitting.
+//
+// Phase 1 searches pairwise swaps with MCF1 (slack minimization) until a
+// mapping satisfying the bandwidth constraints is found; phase 2 continues
+// the swap search with MCF2 (total-flow minimization) to improve the cost.
+//
+// SplitMode::MinPaths restricts every commodity's flow to its quadrant
+// (Eq. 10) — traffic split across minimum paths only, equal hop delay, low
+// jitter (the paper's NMAPTM series). SplitMode::AllPaths is NMAPTA.
+
+#include "graph/core_graph.hpp"
+#include "lp/mcf.hpp"
+#include "nmap/result.hpp"
+#include "noc/topology.hpp"
+
+namespace nocmap::nmap {
+
+enum class SplitMode {
+    AllPaths, ///< NMAPTA
+    MinPaths, ///< NMAPTM (quadrant-restricted, Eq. 10)
+};
+
+struct SplitOptions {
+    SplitMode mode = SplitMode::AllPaths;
+    /// Engine for the per-swap MCF evaluations. The exact simplex on every
+    /// swap reproduces the paper literally but costs minutes; the default
+    /// follows the paper's own speed/quality trade-off (cf. its ILP remark)
+    /// and uses the Frank–Wolfe approximation inside the loop.
+    bool exact_inner_lp = false;
+    /// Iterations for the approximate inner engine.
+    std::size_t approx_iterations = 32;
+    /// Re-score the final mapping with the exact simplex LP (recommended;
+    /// this is what the reported cost/flows come from).
+    bool exact_final_polish = true;
+    /// Number of pairwise-swap sweeps (1 = the paper's pseudocode).
+    std::size_t max_sweeps = 1;
+    /// Figure-4 variant: instead of MCF1/MCF2 under fixed capacities, the
+    /// swap search minimizes the *min-max link load* — i.e. it looks for the
+    /// mapping that needs the least uniform link bandwidth under the chosen
+    /// split mode. The result's loads/flows come from the exact MinMaxLoad
+    /// program, so MappingResult::min_bandwidth() is the Figure-4 number;
+    /// comm_cost still reports the MCF2 flow of the final mapping.
+    bool optimize_bandwidth = false;
+};
+
+/// Runs NMAP with split-traffic routing. `comm_cost` is the MCF2 objective
+/// (total flow = bandwidth-weighted hops); `flows` carries the per-commodity
+/// split so routing tables can be generated.
+MappingResult map_with_splitting(const graph::CoreGraph& graph, const noc::Topology& topo,
+                                 const SplitOptions& options = {});
+
+} // namespace nocmap::nmap

@@ -1,0 +1,39 @@
+#include "noc/commodity.hpp"
+
+#include <algorithm>
+
+namespace nocmap::noc {
+
+std::vector<Commodity> build_commodities(const graph::CoreGraph& graph,
+                                         const Mapping& mapping) {
+    std::vector<Commodity> commodities;
+    commodities.reserve(graph.edge_count());
+    std::int32_t id = 0;
+    for (const graph::CoreEdge& e : graph.edges()) {
+        Commodity c;
+        c.id = id++;
+        c.src_core = e.src;
+        c.dst_core = e.dst;
+        c.src_tile = mapping.tile_of(e.src); // throws when unplaced
+        c.dst_tile = mapping.tile_of(e.dst);
+        c.value = e.bandwidth;
+        commodities.push_back(c);
+    }
+    return commodities;
+}
+
+void sort_by_decreasing_value(std::vector<Commodity>& commodities) {
+    std::stable_sort(commodities.begin(), commodities.end(),
+                     [](const Commodity& a, const Commodity& b) {
+                         if (a.value != b.value) return a.value > b.value;
+                         return a.id < b.id;
+                     });
+}
+
+double total_value(const std::vector<Commodity>& commodities) {
+    double sum = 0.0;
+    for (const Commodity& c : commodities) sum += c.value;
+    return sum;
+}
+
+} // namespace nocmap::noc

@@ -1,0 +1,34 @@
+#pragma once
+// Commodities (Equation 2): each core-graph edge e_{i,j} becomes one flow
+// d_k with value vl(d_k) = comm_{i,j}, source map(v_i) and dest map(v_j).
+
+#include <vector>
+
+#include "graph/core_graph.hpp"
+#include "noc/mapping.hpp"
+#include "noc/topology.hpp"
+
+namespace nocmap::noc {
+
+struct Commodity {
+    std::int32_t id = -1;               ///< k, index into the core graph edge list
+    graph::NodeId src_core = graph::kInvalidNode;
+    graph::NodeId dst_core = graph::kInvalidNode;
+    TileId src_tile = kInvalidTile;     ///< source(d_k)
+    TileId dst_tile = kInvalidTile;     ///< dest(d_k)
+    double value = 0.0;                 ///< vl(d_k), MB/s
+};
+
+/// Builds the commodity set D for a complete mapping, in edge order.
+/// Throws std::logic_error if any endpoint core is unplaced.
+std::vector<Commodity> build_commodities(const graph::CoreGraph& graph,
+                                         const Mapping& mapping);
+
+/// Sorts by decreasing value (the order shortestpath() routes in); ties are
+/// broken by id so results are deterministic.
+void sort_by_decreasing_value(std::vector<Commodity>& commodities);
+
+/// Total demand Σ vl(d_k).
+double total_value(const std::vector<Commodity>& commodities);
+
+} // namespace nocmap::noc

@@ -1,0 +1,89 @@
+#include "noc/mapping.hpp"
+
+#include <sstream>
+
+namespace nocmap::noc {
+
+Mapping::Mapping(std::size_t core_count, std::size_t tile_count) {
+    if (core_count > tile_count)
+        throw std::invalid_argument("Mapping: need core_count <= tile_count (|V| <= |U|)");
+    core_to_tile_.assign(core_count, kInvalidTile);
+    tile_to_core_.assign(tile_count, graph::kInvalidNode);
+}
+
+void Mapping::place(graph::NodeId core, TileId tile) {
+    if (tile_of_raw(core) != kInvalidTile)
+        throw std::logic_error("Mapping::place: core already placed");
+    if (core_at_raw(tile) != graph::kInvalidNode)
+        throw std::logic_error("Mapping::place: tile already occupied");
+    core_to_tile_[static_cast<std::size_t>(core)] = tile;
+    tile_to_core_[static_cast<std::size_t>(tile)] = core;
+    ++placed_;
+}
+
+void Mapping::unplace(graph::NodeId core) {
+    const TileId tile = tile_of_raw(core);
+    if (tile == kInvalidTile) throw std::logic_error("Mapping::unplace: core not placed");
+    core_to_tile_[static_cast<std::size_t>(core)] = kInvalidTile;
+    tile_to_core_[static_cast<std::size_t>(tile)] = graph::kInvalidNode;
+    --placed_;
+}
+
+TileId Mapping::tile_of(graph::NodeId core) const {
+    const TileId tile = tile_of_raw(core);
+    if (tile == kInvalidTile) throw std::logic_error("Mapping::tile_of: core not placed");
+    return tile;
+}
+
+graph::NodeId Mapping::core_at(TileId tile) const { return core_at_raw(tile); }
+
+void Mapping::swap_tiles(TileId a, TileId b) {
+    const graph::NodeId core_a = core_at_raw(a);
+    const graph::NodeId core_b = core_at_raw(b);
+    if (a == b) return;
+    tile_to_core_[static_cast<std::size_t>(a)] = core_b;
+    tile_to_core_[static_cast<std::size_t>(b)] = core_a;
+    if (core_a != graph::kInvalidNode) core_to_tile_[static_cast<std::size_t>(core_a)] = b;
+    if (core_b != graph::kInvalidNode) core_to_tile_[static_cast<std::size_t>(core_b)] = a;
+}
+
+void Mapping::validate() const {
+    std::size_t placed = 0;
+    for (std::size_t core = 0; core < core_to_tile_.size(); ++core) {
+        const TileId tile = core_to_tile_[core];
+        if (tile == kInvalidTile) continue;
+        ++placed;
+        if (tile < 0 || static_cast<std::size_t>(tile) >= tile_to_core_.size())
+            throw std::logic_error("Mapping: tile index out of range");
+        if (tile_to_core_[static_cast<std::size_t>(tile)] != static_cast<graph::NodeId>(core))
+            throw std::logic_error("Mapping: core->tile->core mismatch");
+    }
+    std::size_t occupied = 0;
+    for (std::size_t tile = 0; tile < tile_to_core_.size(); ++tile) {
+        const graph::NodeId core = tile_to_core_[tile];
+        if (core == graph::kInvalidNode) continue;
+        ++occupied;
+        if (core < 0 || static_cast<std::size_t>(core) >= core_to_tile_.size())
+            throw std::logic_error("Mapping: core index out of range");
+        if (core_to_tile_[static_cast<std::size_t>(core)] != static_cast<TileId>(tile))
+            throw std::logic_error("Mapping: tile->core->tile mismatch");
+    }
+    if (placed != occupied || placed != placed_)
+        throw std::logic_error("Mapping: placed counter out of sync");
+}
+
+std::string Mapping::to_string(const graph::CoreGraph& graph, const Topology& topo) const {
+    std::ostringstream os;
+    for (std::size_t core = 0; core < core_to_tile_.size(); ++core) {
+        const TileId tile = core_to_tile_[core];
+        os << graph.label(static_cast<graph::NodeId>(core)) << " @ ";
+        if (tile == kInvalidTile)
+            os << "<unplaced>";
+        else
+            os << topo.tile_name(tile);
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace nocmap::noc

@@ -1,0 +1,74 @@
+#pragma once
+// The one-to-one mapping function map : V -> U (Equation 1).
+//
+// A Mapping owns both directions (core -> tile and tile -> core) and keeps
+// them consistent. Tiles may be empty when |V| < |U|; the swap-based search
+// of the paper swaps *tiles* (so a core can move to an empty tile).
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/core_graph.hpp"
+#include "noc/topology.hpp"
+
+namespace nocmap::noc {
+
+class Mapping {
+public:
+    Mapping() = default;
+    /// Creates an empty mapping between `core_count` cores and `tile_count`
+    /// tiles. Requires core_count <= tile_count (the paper's |V| <= |U|).
+    Mapping(std::size_t core_count, std::size_t tile_count);
+
+    std::size_t core_count() const noexcept { return core_to_tile_.size(); }
+    std::size_t tile_count() const noexcept { return tile_to_core_.size(); }
+
+    bool is_placed(graph::NodeId core) const { return tile_of_raw(core) != kInvalidTile; }
+    bool is_occupied(TileId tile) const { return core_at_raw(tile) != graph::kInvalidNode; }
+    /// True when every core is placed.
+    bool is_complete() const noexcept { return placed_ == core_to_tile_.size(); }
+    std::size_t placed_count() const noexcept { return placed_; }
+
+    /// Places `core` on `tile`; throws if either is already used.
+    void place(graph::NodeId core, TileId tile);
+    /// Removes `core` from the fabric; throws if not placed.
+    void unplace(graph::NodeId core);
+
+    /// Tile of a placed core; throws std::logic_error when unplaced.
+    TileId tile_of(graph::NodeId core) const;
+    /// Core on a tile, or graph::kInvalidNode when empty.
+    graph::NodeId core_at(TileId tile) const;
+
+    /// Swaps the contents of two tiles (either may be empty). This is the
+    /// pairwise-swap move of mappingwithsinglepath()/mappingwithsplitting().
+    void swap_tiles(TileId a, TileId b);
+
+    /// Checks the bidirectional indices agree; throws std::logic_error on
+    /// corruption. O(cores + tiles).
+    void validate() const;
+
+    /// Renders "core_label @ (x,y)" lines for reports.
+    std::string to_string(const graph::CoreGraph& graph, const Topology& topo) const;
+
+    friend bool operator==(const Mapping&, const Mapping&) = default;
+
+private:
+    TileId tile_of_raw(graph::NodeId core) const {
+        if (core < 0 || static_cast<std::size_t>(core) >= core_to_tile_.size())
+            throw std::out_of_range("Mapping: core id out of range");
+        return core_to_tile_[static_cast<std::size_t>(core)];
+    }
+    graph::NodeId core_at_raw(TileId tile) const {
+        if (tile < 0 || static_cast<std::size_t>(tile) >= tile_to_core_.size())
+            throw std::out_of_range("Mapping: tile id out of range");
+        return tile_to_core_[static_cast<std::size_t>(tile)];
+    }
+
+    std::vector<TileId> core_to_tile_;
+    std::vector<graph::NodeId> tile_to_core_;
+    std::size_t placed_ = 0;
+};
+
+} // namespace nocmap::noc

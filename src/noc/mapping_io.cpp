@@ -1,0 +1,113 @@
+#include "noc/mapping_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace nocmap::noc {
+
+namespace {
+const char* kind_name(TopologyKind kind) {
+    switch (kind) {
+    case TopologyKind::Mesh: return "mesh";
+    case TopologyKind::Torus: return "torus";
+    case TopologyKind::Custom: return "custom";
+    }
+    return "?";
+}
+} // namespace
+
+void write_mapping(std::ostream& os, const graph::CoreGraph& graph, const Topology& topo,
+                   const Mapping& mapping) {
+    os << "mapping " << (graph.name().empty() ? "unnamed" : graph.name()) << ' '
+       << kind_name(topo.kind()) << ' ' << topo.width() << 'x' << topo.height() << '\n';
+    for (std::size_t core = 0; core < mapping.core_count(); ++core) {
+        const auto node = static_cast<graph::NodeId>(core);
+        if (!mapping.is_placed(node)) continue;
+        const TileId tile = mapping.tile_of(node);
+        if (topo.kind() == TopologyKind::Custom) {
+            // Custom fabrics have no grid: store the raw tile id.
+            os << "place " << graph.label(node) << ' ' << tile << " 0\n";
+        } else {
+            const auto c = topo.coord(tile);
+            os << "place " << graph.label(node) << ' ' << c.x << ' ' << c.y << '\n';
+        }
+    }
+}
+
+std::string mapping_to_string(const graph::CoreGraph& graph, const Topology& topo,
+                              const Mapping& mapping) {
+    std::ostringstream os;
+    write_mapping(os, graph, topo, mapping);
+    return os.str();
+}
+
+Mapping read_mapping(std::istream& is, const graph::CoreGraph& graph, const Topology& topo) {
+    Mapping mapping(graph.node_count(), topo.tile_count());
+    std::string line;
+    std::size_t line_number = 0;
+    bool saw_header = false;
+    auto fail = [&](const std::string& what) {
+        throw std::runtime_error("mapping parse error at line " +
+                                 std::to_string(line_number) + ": " + what);
+    };
+    while (std::getline(is, line)) {
+        ++line_number;
+        const auto trimmed = util::trim(line);
+        if (trimmed.empty() || trimmed.front() == '#') continue;
+        std::istringstream tokens{std::string(trimmed)};
+        std::string keyword;
+        tokens >> keyword;
+        if (keyword == "mapping") {
+            std::string name, kind, dims;
+            tokens >> name >> kind >> dims;
+            const std::string expected_kind = kind_name(topo.kind());
+            if (kind != expected_kind) fail("fabric kind mismatch (expected " + expected_kind + ")");
+            const std::string expected_dims =
+                std::to_string(topo.width()) + "x" + std::to_string(topo.height());
+            if (dims != expected_dims)
+                fail("fabric dimensions mismatch (expected " + expected_dims + ")");
+            saw_header = true;
+        } else if (keyword == "place") {
+            std::string label;
+            std::int64_t x = -1, y = -1;
+            tokens >> label >> x >> y;
+            const auto core = graph.find_node(label);
+            if (!core) fail("unknown core '" + label + "'");
+            TileId tile = kInvalidTile;
+            if (topo.kind() == TopologyKind::Custom) {
+                if (x < 0 || static_cast<std::size_t>(x) >= topo.tile_count() || y != 0)
+                    fail("tile id out of range for core '" + label + "'");
+                tile = static_cast<TileId>(x);
+            } else {
+                if (x < 0 || x >= topo.width() || y < 0 || y >= topo.height())
+                    fail("coordinate out of range for core '" + label + "'");
+                tile = topo.tile_at(static_cast<std::int32_t>(x),
+                                    static_cast<std::int32_t>(y));
+            }
+            try {
+                mapping.place(*core, tile);
+            } catch (const std::logic_error& err) {
+                fail(err.what());
+            }
+        } else {
+            fail("unknown record '" + keyword + "'");
+        }
+    }
+    if (!saw_header) {
+        line_number = 0;
+        fail("missing 'mapping' header");
+    }
+    mapping.validate();
+    return mapping;
+}
+
+Mapping mapping_from_string(const std::string& text, const graph::CoreGraph& graph,
+                            const Topology& topo) {
+    std::istringstream is(text);
+    return read_mapping(is, graph, topo);
+}
+
+} // namespace nocmap::noc

@@ -1,0 +1,30 @@
+#pragma once
+// Plain-text serialization of mappings, so placements can be saved from one
+// tool run and re-evaluated/simulated in another.
+//
+// Format (one record per line, '#' comments):
+//   mapping <graph-name> mesh|torus <width>x<height>
+//   place <core-label> <x> <y>
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/core_graph.hpp"
+#include "noc/mapping.hpp"
+#include "noc/topology.hpp"
+
+namespace nocmap::noc {
+
+void write_mapping(std::ostream& os, const graph::CoreGraph& graph, const Topology& topo,
+                   const Mapping& mapping);
+std::string mapping_to_string(const graph::CoreGraph& graph, const Topology& topo,
+                              const Mapping& mapping);
+
+/// Parses a mapping against the given graph/topology; throws
+/// std::runtime_error (with line number) on malformed input, unknown cores,
+/// mismatched fabric, duplicate placements or out-of-range coordinates.
+Mapping read_mapping(std::istream& is, const graph::CoreGraph& graph, const Topology& topo);
+Mapping mapping_from_string(const std::string& text, const graph::CoreGraph& graph,
+                            const Topology& topo);
+
+} // namespace nocmap::noc

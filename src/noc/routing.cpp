@@ -1,0 +1,77 @@
+#include "noc/routing.hpp"
+
+#include <stdexcept>
+
+namespace nocmap::noc {
+
+namespace {
+
+/// Step of +-1 along one axis, choosing the shorter wrap on tori.
+std::int32_t axis_step(std::int32_t from, std::int32_t to, std::int32_t size, bool torus) {
+    if (from == to) return 0;
+    if (!torus) return to > from ? 1 : -1;
+    const std::int32_t forward = (to - from + size) % size;  // steps going +1
+    const std::int32_t backward = (from - to + size) % size; // steps going -1
+    return forward <= backward ? 1 : -1;
+}
+
+} // namespace
+
+Route xy_route(const Topology& topo, TileId src, TileId dst) {
+    if (topo.kind() == TopologyKind::Custom)
+        throw std::invalid_argument(
+            "xy_route: dimension-ordered routing needs a grid fabric");
+    const bool torus = topo.kind() == TopologyKind::Torus;
+    Route route;
+    TileCoord at = topo.coord(src);
+    const TileCoord goal = topo.coord(dst);
+
+    auto advance = [&](std::int32_t& axis_value, std::int32_t target, std::int32_t size,
+                       bool is_x) {
+        while (axis_value != target) {
+            const std::int32_t step = axis_step(axis_value, target, size, torus);
+            const std::int32_t next = (axis_value + step + size) % size;
+            const TileId from = topo.tile_at(at.x, at.y);
+            const TileId to = is_x ? topo.tile_at(next, at.y) : topo.tile_at(at.x, next);
+            const auto link = topo.link_between(from, to);
+            if (!link) throw std::logic_error("xy_route: missing link on fabric");
+            route.push_back(*link);
+            axis_value = next;
+        }
+    };
+
+    advance(at.x, goal.x, topo.width(), /*is_x=*/true);
+    advance(at.y, goal.y, topo.height(), /*is_x=*/false);
+    return route;
+}
+
+Route route_along(const Topology& topo, const std::vector<TileId>& tiles) {
+    Route route;
+    for (std::size_t i = 1; i < tiles.size(); ++i) {
+        const auto link = topo.link_between(tiles[i - 1], tiles[i]);
+        if (!link)
+            throw std::invalid_argument("route_along: tiles " + topo.tile_name(tiles[i - 1]) +
+                                        " and " + topo.tile_name(tiles[i]) +
+                                        " are not adjacent");
+        route.push_back(*link);
+    }
+    return route;
+}
+
+bool is_valid_route(const Topology& topo, const Route& route, TileId src, TileId dst) {
+    TileId at = src;
+    for (const LinkId l : route) {
+        if (l < 0 || static_cast<std::size_t>(l) >= topo.link_count()) return false;
+        const Link& link = topo.link(l);
+        if (link.src != at) return false;
+        at = link.dst;
+    }
+    return at == dst;
+}
+
+bool is_minimal_route(const Topology& topo, const Route& route, TileId src, TileId dst) {
+    return is_valid_route(topo, route, src, dst) &&
+           static_cast<std::int32_t>(route.size()) == topo.distance(src, dst);
+}
+
+} // namespace nocmap::noc

@@ -1,0 +1,41 @@
+#pragma once
+// Deterministic routing primitives.
+//
+// A Route is the ordered list of links a commodity traverses. Two
+// deterministic single-path routers live here:
+//   * XY dimension-ordered routing (the "D" prefix in Figure 4's DPMAP /
+//     DGMAP series), and
+//   * route_along() to turn a node sequence (e.g. from quadrant Dijkstra)
+//     into a Route.
+// The congestion-aware quadrant router used by NMAP's shortestpath() is in
+// nmap/shortest_path_router (it is stateful).
+
+#include <vector>
+
+#include "noc/commodity.hpp"
+#include "noc/topology.hpp"
+
+namespace nocmap::noc {
+
+/// Ordered list of directed link ids from source tile to destination tile.
+using Route = std::vector<LinkId>;
+
+/// XY dimension-ordered route: travel the X dimension first, then Y.
+/// On tori each dimension travels the shorter wrap direction (ties go the
+/// increasing-coordinate way). Always a minimal path.
+Route xy_route(const Topology& topo, TileId src, TileId dst);
+
+/// Converts a tile sequence into a Route; throws std::invalid_argument when
+/// consecutive tiles are not adjacent.
+Route route_along(const Topology& topo, const std::vector<TileId>& tiles);
+
+/// Number of hops of a route.
+inline std::size_t hop_count(const Route& route) { return route.size(); }
+
+/// True if the route starts at src, ends at dst and is link-continuous.
+bool is_valid_route(const Topology& topo, const Route& route, TileId src, TileId dst);
+
+/// True if the route is minimal (hop count == distance(src,dst)).
+bool is_minimal_route(const Topology& topo, const Route& route, TileId src, TileId dst);
+
+} // namespace nocmap::noc

@@ -1,0 +1,270 @@
+#include "noc/topology.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace nocmap::noc {
+
+Topology::Topology(TopologyKind kind, std::int32_t width, std::int32_t height)
+    : kind_(kind), width_(width), height_(height) {
+    if (width <= 0 || height <= 0)
+        throw std::invalid_argument("Topology: dimensions must be positive");
+    out_.resize(tile_count());
+    in_.resize(tile_count());
+}
+
+Topology Topology::mesh(std::int32_t width, std::int32_t height, double capacity) {
+    Topology topo(TopologyKind::Mesh, width, height);
+    for (std::int32_t y = 0; y < height; ++y)
+        for (std::int32_t x = 0; x < width; ++x) {
+            const TileId here = topo.tile_at(x, y);
+            if (x + 1 < width) {
+                const TileId right = topo.tile_at(x + 1, y);
+                topo.add_link(here, right, capacity);
+                topo.add_link(right, here, capacity);
+            }
+            if (y + 1 < height) {
+                const TileId down = topo.tile_at(x, y + 1);
+                topo.add_link(here, down, capacity);
+                topo.add_link(down, here, capacity);
+            }
+        }
+    return topo;
+}
+
+Topology Topology::torus(std::int32_t width, std::int32_t height, double capacity) {
+    if (width < 3 || height < 3)
+        throw std::invalid_argument("Topology::torus: dimensions must be >= 3");
+    Topology topo(TopologyKind::Torus, width, height);
+    for (std::int32_t y = 0; y < height; ++y)
+        for (std::int32_t x = 0; x < width; ++x) {
+            const TileId here = topo.tile_at(x, y);
+            const TileId right = topo.tile_at((x + 1) % width, y);
+            const TileId down = topo.tile_at(x, (y + 1) % height);
+            topo.add_link(here, right, capacity);
+            topo.add_link(right, here, capacity);
+            topo.add_link(here, down, capacity);
+            topo.add_link(down, here, capacity);
+        }
+    return topo;
+}
+
+Topology Topology::custom(std::size_t tile_count, std::vector<Link> links) {
+    if (tile_count == 0) throw std::invalid_argument("Topology::custom: zero tiles");
+    Topology topo(TopologyKind::Custom, static_cast<std::int32_t>(tile_count), 1);
+    std::unordered_set<std::int64_t> seen;
+    for (const Link& l : links) {
+        if (l.src < 0 || static_cast<std::size_t>(l.src) >= tile_count || l.dst < 0 ||
+            static_cast<std::size_t>(l.dst) >= tile_count)
+            throw std::invalid_argument("Topology::custom: link endpoint out of range");
+        if (l.src == l.dst)
+            throw std::invalid_argument("Topology::custom: self-link");
+        const std::int64_t key =
+            static_cast<std::int64_t>(l.src) * static_cast<std::int64_t>(tile_count) + l.dst;
+        if (!seen.insert(key).second)
+            throw std::invalid_argument("Topology::custom: duplicate directed link");
+        topo.add_link(l.src, l.dst, l.capacity);
+    }
+    topo.compute_hop_distances();
+    return topo;
+}
+
+Topology Topology::ring(std::size_t tile_count, double capacity) {
+    if (tile_count < 3) throw std::invalid_argument("Topology::ring: need >= 3 tiles");
+    std::vector<Link> links;
+    for (std::size_t t = 0; t < tile_count; ++t) {
+        const auto here = static_cast<TileId>(t);
+        const auto next = static_cast<TileId>((t + 1) % tile_count);
+        links.push_back(Link{here, next, capacity});
+        links.push_back(Link{next, here, capacity});
+    }
+    return custom(tile_count, std::move(links));
+}
+
+Topology Topology::hypercube(std::size_t dimension, double capacity) {
+    if (dimension < 1 || dimension > 10)
+        throw std::invalid_argument("Topology::hypercube: dimension must be in [1, 10]");
+    const std::size_t tiles = std::size_t{1} << dimension;
+    std::vector<Link> links;
+    for (std::size_t t = 0; t < tiles; ++t)
+        for (std::size_t bit = 0; bit < dimension; ++bit) {
+            const std::size_t peer = t ^ (std::size_t{1} << bit);
+            links.push_back(Link{static_cast<TileId>(t), static_cast<TileId>(peer),
+                                 capacity});
+        }
+    return custom(tiles, std::move(links));
+}
+
+Topology Topology::smallest_mesh_for(std::size_t core_count, double capacity) {
+    if (core_count == 0) throw std::invalid_argument("smallest_mesh_for: zero cores");
+    // Most-square factorable shape: height = floor(sqrt(n)), width rounded up.
+    auto height = static_cast<std::int32_t>(std::floor(std::sqrt(static_cast<double>(core_count))));
+    if (height < 1) height = 1;
+    auto width = static_cast<std::int32_t>(
+        (core_count + static_cast<std::size_t>(height) - 1) / static_cast<std::size_t>(height));
+    return mesh(width, height, capacity);
+}
+
+void Topology::add_link(TileId src, TileId dst, double capacity) {
+    if (!(capacity > 0.0)) throw std::invalid_argument("Topology: capacity must be > 0");
+    const auto id = static_cast<LinkId>(links_.size());
+    links_.push_back(Link{src, dst, capacity});
+    out_[static_cast<std::size_t>(src)].push_back(id);
+    in_[static_cast<std::size_t>(dst)].push_back(id);
+}
+
+TileId Topology::checked(TileId t) const {
+    if (t < 0 || static_cast<std::size_t>(t) >= tile_count())
+        throw std::out_of_range("Topology: tile id " + std::to_string(t) + " out of range");
+    return t;
+}
+
+void Topology::compute_hop_distances() {
+    const std::size_t n = tile_count();
+    hop_distance_.assign(n * n, -1);
+    for (std::size_t src = 0; src < n; ++src) {
+        auto* row = &hop_distance_[src * n];
+        std::queue<TileId> frontier;
+        row[src] = 0;
+        frontier.push(static_cast<TileId>(src));
+        while (!frontier.empty()) {
+            const TileId u = frontier.front();
+            frontier.pop();
+            for (const LinkId l : out_[static_cast<std::size_t>(u)]) {
+                const TileId v = links_[static_cast<std::size_t>(l)].dst;
+                if (row[static_cast<std::size_t>(v)] == -1) {
+                    row[static_cast<std::size_t>(v)] = row[static_cast<std::size_t>(u)] + 1;
+                    frontier.push(v);
+                }
+            }
+        }
+        for (std::size_t dst = 0; dst < n; ++dst)
+            if (row[dst] == -1)
+                throw std::invalid_argument(
+                    "Topology::custom: fabric is not strongly connected (tile " +
+                    std::to_string(src) + " cannot reach tile " + std::to_string(dst) + ")");
+    }
+}
+
+TileId Topology::tile_at(std::int32_t x, std::int32_t y) const {
+    if (kind_ == TopologyKind::Custom)
+        throw std::logic_error("Topology::tile_at: custom fabrics have no grid");
+    if (x < 0 || x >= width_ || y < 0 || y >= height_)
+        throw std::out_of_range("Topology::tile_at: coordinate out of range");
+    return y * width_ + x;
+}
+
+TileCoord Topology::coord(TileId t) const {
+    checked(t);
+    if (kind_ == TopologyKind::Custom)
+        throw std::logic_error("Topology::coord: custom fabrics have no grid");
+    return TileCoord{t % width_, t / width_};
+}
+
+std::optional<LinkId> Topology::link_between(TileId u, TileId v) const {
+    checked(u);
+    checked(v);
+    for (const LinkId l : out_[static_cast<std::size_t>(u)])
+        if (links_[static_cast<std::size_t>(l)].dst == v) return l;
+    return std::nullopt;
+}
+
+std::span<const LinkId> Topology::out_links(TileId t) const {
+    return out_[static_cast<std::size_t>(checked(t))];
+}
+
+std::span<const LinkId> Topology::in_links(TileId t) const {
+    return in_[static_cast<std::size_t>(checked(t))];
+}
+
+std::size_t Topology::degree(TileId t) const {
+    std::unordered_set<TileId> neighbors;
+    for (const LinkId l : out_links(t)) neighbors.insert(links_[static_cast<std::size_t>(l)].dst);
+    for (const LinkId l : in_links(t)) neighbors.insert(links_[static_cast<std::size_t>(l)].src);
+    return neighbors.size();
+}
+
+std::int32_t Topology::x_distance(TileId a, TileId b) const {
+    const auto ca = coord(a); // throws for Custom
+    const auto cb = coord(b);
+    const std::int32_t span = std::abs(ca.x - cb.x);
+    if (kind_ == TopologyKind::Torus) return std::min(span, width_ - span);
+    return span;
+}
+
+std::int32_t Topology::y_distance(TileId a, TileId b) const {
+    const auto ca = coord(a);
+    const auto cb = coord(b);
+    const std::int32_t span = std::abs(ca.y - cb.y);
+    if (kind_ == TopologyKind::Torus) return std::min(span, height_ - span);
+    return span;
+}
+
+std::int32_t Topology::distance(TileId a, TileId b) const {
+    if (kind_ == TopologyKind::Custom) {
+        checked(a);
+        checked(b);
+        return hop_distance_[static_cast<std::size_t>(a) * tile_count() +
+                             static_cast<std::size_t>(b)];
+    }
+    return x_distance(a, b) + y_distance(a, b);
+}
+
+std::vector<TileId> Topology::quadrant_tiles(TileId a, TileId b) const {
+    checked(a);
+    checked(b);
+    std::vector<TileId> tiles;
+    for (std::size_t t = 0; t < tile_count(); ++t)
+        if (in_quadrant(static_cast<TileId>(t), a, b))
+            tiles.push_back(static_cast<TileId>(t));
+    return tiles;
+}
+
+bool Topology::in_quadrant(TileId t, TileId a, TileId b) const {
+    checked(t);
+    if (kind_ == TopologyKind::Custom)
+        // General definition: t lies on some minimal a->b path.
+        return distance(a, t) + distance(t, b) == distance(a, b);
+    // Grid fabrics: per-axis minimality (equivalent to the general
+    // definition because the Manhattan metric separates by axis, but keeps
+    // torus wrap-direction handling exact).
+    return x_distance(a, t) + x_distance(t, b) == x_distance(a, b) &&
+           y_distance(a, t) + y_distance(t, b) == y_distance(a, b);
+}
+
+void Topology::set_uniform_capacity(double capacity) {
+    if (!(capacity > 0.0)) throw std::invalid_argument("Topology: capacity must be > 0");
+    for (Link& l : links_) l.capacity = capacity;
+}
+
+void Topology::set_link_capacity(LinkId l, double capacity) {
+    if (!(capacity > 0.0)) throw std::invalid_argument("Topology: capacity must be > 0");
+    links_.at(static_cast<std::size_t>(l)).capacity = capacity;
+}
+
+bool Topology::has_uniform_capacity(double eps) const {
+    if (links_.empty()) return true;
+    const double first = links_.front().capacity;
+    for (const Link& l : links_)
+        if (std::abs(l.capacity - first) > eps) return false;
+    return true;
+}
+
+graph::WeightedAdjacency Topology::unit_adjacency() const {
+    graph::WeightedAdjacency adj(tile_count());
+    for (const Link& l : links_)
+        adj[static_cast<std::size_t>(l.src)].emplace_back(l.dst, 1.0);
+    return adj;
+}
+
+std::string Topology::tile_name(TileId t) const {
+    checked(t);
+    if (kind_ == TopologyKind::Custom) return "t" + std::to_string(t);
+    const auto c = coord(t);
+    return "(" + std::to_string(c.x) + "," + std::to_string(c.y) + ")";
+}
+
+} // namespace nocmap::noc

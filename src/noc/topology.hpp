@@ -1,0 +1,145 @@
+#pragma once
+// NoC topology graph (Definition 2 of the paper).
+//
+// A directed graph P(U,F): vertices are network nodes (tiles, mesh
+// cross-points), directed edges are physical links weighted with the
+// available bandwidth bw_{i,j}. The paper restricts itself to 2-D
+// mesh/torus topologies; so do the builders here, but all downstream code
+// works on the generic link structure.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph_algorithms.hpp"
+
+namespace nocmap::noc {
+
+using TileId = std::int32_t;
+using LinkId = std::int32_t;
+constexpr TileId kInvalidTile = -1;
+constexpr LinkId kInvalidLink = -1;
+
+/// One directed physical link of the NoC.
+struct Link {
+    TileId src = kInvalidTile;
+    TileId dst = kInvalidTile;
+    double capacity = 0.0; ///< bw_{i,j}, MB/s
+};
+
+enum class TopologyKind {
+    Mesh,
+    Torus,
+    /// Arbitrary strongly-connected link list (ring, hypercube, ...);
+    /// distances come from per-node BFS instead of grid coordinates. The
+    /// paper's conclusion points at exactly this generalization ("extended
+    /// to map cores onto various NoC topologies").
+    Custom,
+};
+
+/// Integer tile coordinate on the 2-D fabric.
+struct TileCoord {
+    std::int32_t x = 0;
+    std::int32_t y = 0;
+    friend bool operator==(const TileCoord&, const TileCoord&) = default;
+};
+
+/// 2-D mesh/torus topology with per-link capacities.
+///
+/// Tiles are numbered row-major: tile(x, y) = y * width + x.
+class Topology {
+public:
+    /// Builds a width × height mesh with all link capacities = `capacity`.
+    static Topology mesh(std::int32_t width, std::int32_t height, double capacity);
+    /// Builds a width × height torus (wrap-around links in both dimensions).
+    /// Dimensions of size <= 2 would create duplicate links, so width and
+    /// height must both be >= 3.
+    static Topology torus(std::int32_t width, std::int32_t height, double capacity);
+
+    /// Smallest mesh (most-square, width >= height) with at least
+    /// `core_count` tiles — the fabric the experiments map each app onto.
+    static Topology smallest_mesh_for(std::size_t core_count, double capacity);
+
+    /// Builds an arbitrary topology from a directed link list. Endpoints
+    /// must be in [0, tile_count); duplicate directed pairs and self-links
+    /// are rejected, and the fabric must be strongly connected (every tile
+    /// must reach every other) — otherwise std::invalid_argument.
+    static Topology custom(std::size_t tile_count, std::vector<Link> links);
+
+    /// Bidirectional ring of n >= 3 tiles.
+    static Topology ring(std::size_t tile_count, double capacity);
+
+    /// Boolean hypercube with 2^dimension tiles (dimension in [1, 10]).
+    static Topology hypercube(std::size_t dimension, double capacity);
+
+    TopologyKind kind() const noexcept { return kind_; }
+    std::int32_t width() const noexcept { return width_; }
+    std::int32_t height() const noexcept { return height_; }
+    std::size_t tile_count() const noexcept {
+        return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+    }
+    std::size_t link_count() const noexcept { return links_.size(); }
+    std::span<const Link> links() const noexcept { return links_; }
+    const Link& link(LinkId l) const { return links_.at(static_cast<std::size_t>(l)); }
+
+    /// Grid coordinates. Mesh/torus only; Custom topologies have no grid
+    /// and these throw std::logic_error (distance() works for all kinds).
+    TileId tile_at(std::int32_t x, std::int32_t y) const;
+    TileCoord coord(TileId t) const;
+
+    /// Directed link from u to v, if the tiles are adjacent.
+    std::optional<LinkId> link_between(TileId u, TileId v) const;
+    /// Outgoing links of a tile.
+    std::span<const LinkId> out_links(TileId t) const;
+    /// Incoming links of a tile.
+    std::span<const LinkId> in_links(TileId t) const;
+    /// Number of distinct neighbour tiles (the "maximum neighbors" criterion
+    /// of initialize()).
+    std::size_t degree(TileId t) const;
+
+    /// Minimum hop count between tiles (Manhattan on meshes, wrapping on
+    /// tori, BFS hop distance on custom fabrics).
+    std::int32_t distance(TileId a, TileId b) const;
+    /// Per-axis distances (mesh/torus only; throws for Custom).
+    std::int32_t x_distance(TileId a, TileId b) const;
+    std::int32_t y_distance(TileId a, TileId b) const;
+
+    /// Tiles of the quadrant graph Q spanned by `a` and `b` — on a mesh the
+    /// minimal axis-aligned rectangle containing both. The general
+    /// definition (used for all kinds): every tile lying on some minimal
+    /// a→b path, i.e. distance(a,t) + distance(t,b) == distance(a,b).
+    std::vector<TileId> quadrant_tiles(TileId a, TileId b) const;
+    /// True if `t` lies inside the quadrant of (a, b).
+    bool in_quadrant(TileId t, TileId a, TileId b) const;
+
+    /// Sets every link capacity to `capacity`.
+    void set_uniform_capacity(double capacity);
+    void set_link_capacity(LinkId l, double capacity);
+    /// True when all links share one capacity value (within eps).
+    bool has_uniform_capacity(double eps = 1e-9) const;
+
+    /// Adjacency view (neighbor, hop-weight 1.0) for generic algorithms.
+    graph::WeightedAdjacency unit_adjacency() const;
+
+    /// Human-readable tile label like "(2,1)".
+    std::string tile_name(TileId t) const;
+
+private:
+    Topology(TopologyKind kind, std::int32_t width, std::int32_t height);
+    void add_link(TileId src, TileId dst, double capacity);
+    void compute_hop_distances(); ///< Custom kind: all-pairs BFS
+    TileId checked(TileId t) const;
+
+    TopologyKind kind_ = TopologyKind::Mesh;
+    std::int32_t width_ = 0;
+    std::int32_t height_ = 0;
+    std::vector<Link> links_;
+    std::vector<std::vector<LinkId>> out_;
+    std::vector<std::vector<LinkId>> in_;
+    /// Custom kind only: row-major all-pairs hop distances.
+    std::vector<std::int32_t> hop_distance_;
+};
+
+} // namespace nocmap::noc

@@ -1,0 +1,36 @@
+#pragma once
+// First-order silicon area/delay model of the NoC building blocks.
+//
+// Reproduces the design-parameter figures of Table 3 (0.13 µm-era numbers:
+// NI 0.6 mm², switch 1.08 mm², 7-cycle switch delay). The model is linear
+// in ports and buffering, calibrated so the paper's 5-port, 8-flit, 4-byte
+// configuration lands exactly on the reported values.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "noc/topology.hpp"
+
+namespace nocmap::sim {
+
+struct AreaModelConfig {
+    std::size_t flit_bytes = 4;
+    std::size_t buffer_depth_flits = 8;
+};
+
+/// Switch (router) area in mm² for a router with `ports` ports.
+double switch_area_mm2(std::size_t ports, const AreaModelConfig& config = {});
+
+/// Network-interface area in mm² (packetization + routing tables).
+double ni_area_mm2(const AreaModelConfig& config = {});
+
+/// Switch traversal delay in cycles (pipeline depth; constant in this
+/// generation of ×pipes).
+std::uint32_t switch_delay_cycles();
+
+/// Total fabric area: one switch per tile (ports = degree + local) plus one
+/// NI per mapped core.
+double fabric_area_mm2(const noc::Topology& topo, std::size_t mapped_cores,
+                       const AreaModelConfig& config = {});
+
+} // namespace nocmap::sim

@@ -1,0 +1,75 @@
+#include "sim/netlist.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace nocmap::sim {
+
+void write_netlist(std::ostream& os, const graph::CoreGraph& graph,
+                   const noc::Topology& topo, const noc::Mapping& mapping,
+                   const std::vector<FlowSpec>& flows, const NetlistConfig& config) {
+    os << "design " << config.design_name << '\n';
+    os << "params flit_bytes=" << config.flit_bytes << " packet_bytes=" << config.packet_bytes
+       << " buffer_depth=" << config.buffer_depth_flits
+       << " switch_delay=" << config.switch_delay_cycles << '\n';
+    const char* fabric_kind = "custom";
+    if (topo.kind() == noc::TopologyKind::Mesh) fabric_kind = "mesh";
+    else if (topo.kind() == noc::TopologyKind::Torus) fabric_kind = "torus";
+    os << "fabric " << fabric_kind << ' ' << topo.width() << 'x' << topo.height() << '\n';
+
+    for (std::size_t t = 0; t < topo.tile_count(); ++t) {
+        const auto tile = static_cast<noc::TileId>(t);
+        os << "router r" << t << " at " << topo.tile_name(tile) << " ports "
+           << topo.degree(tile) + 1 << '\n';
+    }
+    for (std::size_t c = 0; c < mapping.core_count(); ++c) {
+        const auto core = static_cast<graph::NodeId>(c);
+        if (!mapping.is_placed(core)) continue;
+        os << "ni ni" << c << " core " << graph.label(core) << " router r"
+           << mapping.tile_of(core) << '\n';
+    }
+    for (std::size_t l = 0; l < topo.link_count(); ++l) {
+        const noc::Link& link = topo.link(static_cast<noc::LinkId>(l));
+        os << "link l" << l << " r" << link.src << " -> r" << link.dst << " bw "
+           << link.capacity << " MB/s\n";
+    }
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+        const FlowSpec& flow = flows[f];
+        os << "flow f" << f << ' ' << graph.label(flow.commodity.src_core) << " -> "
+           << graph.label(flow.commodity.dst_core) << " bw " << flow.commodity.value
+           << " MB/s paths " << flow.paths.size() << '\n';
+        for (const auto& [route, weight] : flow.paths) {
+            os << "  path w=" << weight << " :";
+            for (const noc::LinkId l : route) os << " l" << l;
+            os << '\n';
+        }
+    }
+}
+
+std::string netlist_to_string(const graph::CoreGraph& graph, const noc::Topology& topo,
+                              const noc::Mapping& mapping,
+                              const std::vector<FlowSpec>& flows,
+                              const NetlistConfig& config) {
+    std::ostringstream os;
+    write_netlist(os, graph, topo, mapping, flows, config);
+    return os.str();
+}
+
+std::pair<std::size_t, std::size_t> routing_table_overhead(
+    const noc::Topology& topo, const std::vector<FlowSpec>& flows,
+    const NetlistConfig& config) {
+    // Each stored path entry: per hop a 3-bit output-port selector (5-port
+    // switch) plus an 8-bit split weight.
+    std::size_t table_bits = 0;
+    for (const FlowSpec& flow : flows)
+        for (const auto& [route, weight] : flow.paths)
+            table_bits += 3 * route.size() + 8;
+
+    // Network buffer bits: every link input buffer holds `depth` flits.
+    const std::size_t buffer_bits =
+        topo.link_count() * config.buffer_depth_flits * config.flit_bytes * 8;
+    return {table_bits, buffer_bits};
+}
+
+} // namespace nocmap::sim

@@ -1,0 +1,48 @@
+#pragma once
+// NoC netlist generation — substitute for the ×pipesCompiler flow.
+//
+// The paper's tool chain instantiates SystemC switches, links and network
+// interfaces around the mapped cores. We emit the same structure as a
+// textual netlist: one record per router, NI and link, plus each flow's
+// routing table (paths with split weights). The cycle-accurate simulator is
+// built from exactly this information, and the format round-trips into
+// documentation.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/core_graph.hpp"
+#include "noc/mapping.hpp"
+#include "noc/topology.hpp"
+#include "sim/packet.hpp"
+
+namespace nocmap::sim {
+
+struct NetlistConfig {
+    std::string design_name = "nocmap_design";
+    std::size_t flit_bytes = 4;
+    std::size_t packet_bytes = 64;
+    std::size_t buffer_depth_flits = 8;
+    std::uint32_t switch_delay_cycles = 7;
+};
+
+/// Writes the full design netlist: routers (one per tile), NIs (one per
+/// mapped core), links with capacities, and per-flow routing tables.
+void write_netlist(std::ostream& os, const graph::CoreGraph& graph,
+                   const noc::Topology& topo, const noc::Mapping& mapping,
+                   const std::vector<FlowSpec>& flows, const NetlistConfig& config = {});
+
+std::string netlist_to_string(const graph::CoreGraph& graph, const noc::Topology& topo,
+                              const noc::Mapping& mapping,
+                              const std::vector<FlowSpec>& flows,
+                              const NetlistConfig& config = {});
+
+/// Routing-table bit budget of the split solution: the paper argues the
+/// split tables stay below 10% of the network buffer bits. Returns
+/// (table_bits, buffer_bits).
+std::pair<std::size_t, std::size_t> routing_table_overhead(
+    const noc::Topology& topo, const std::vector<FlowSpec>& flows,
+    const NetlistConfig& config = {});
+
+} // namespace nocmap::sim

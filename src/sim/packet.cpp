@@ -1,0 +1,24 @@
+#include "sim/packet.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nocmap::sim {
+
+void validate_flow_spec(const noc::Topology& topo, const FlowSpec& flow) {
+    if (flow.paths.empty())
+        throw std::invalid_argument("FlowSpec: flow has no routes");
+    double total = 0.0;
+    for (const auto& [route, weight] : flow.paths) {
+        if (!(weight > 0.0))
+            throw std::invalid_argument("FlowSpec: non-positive path weight");
+        if (!noc::is_valid_route(topo, route, flow.commodity.src_tile,
+                                 flow.commodity.dst_tile))
+            throw std::invalid_argument("FlowSpec: route does not connect the commodity");
+        total += weight;
+    }
+    if (std::abs(total - 1.0) > 1e-6)
+        throw std::invalid_argument("FlowSpec: path weights must sum to 1");
+}
+
+} // namespace nocmap::sim

@@ -1,0 +1,51 @@
+#pragma once
+// Packet / flit model of the cycle-accurate NoC simulator.
+//
+// Packets are segmented into flits (×pipes style). Routing is source
+// routing: a packet carries its full link route, chosen at the network
+// interface (single path, or weighted multipath for split traffic).
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/commodity.hpp"
+#include "noc/routing.hpp"
+
+namespace nocmap::sim {
+
+using PacketId = std::int64_t;
+using FlowId = std::int32_t;
+constexpr PacketId kInvalidPacket = -1;
+
+/// One flit moving through the network. `hop` counts links already
+/// traversed, so the next link of the packet's route is route[hop].
+struct Flit {
+    PacketId packet = kInvalidPacket;
+    std::uint16_t hop = 0;
+    bool head = false;
+    bool tail = false;
+};
+
+/// Book-keeping for one in-flight or completed packet.
+struct PacketRecord {
+    FlowId flow = -1;
+    noc::Route route;              ///< source route (link ids)
+    std::uint32_t size_flits = 0;  ///< including head and tail
+    std::uint64_t created_cycle = 0; ///< when the generator produced it
+    std::uint64_t ejected_cycle = 0; ///< when the tail left the network
+    bool completed = false;
+};
+
+/// One traffic flow: a core-graph commodity plus its routing table — a set
+/// of weighted routes (weights sum to 1; single-path flows have one entry).
+struct FlowSpec {
+    noc::Commodity commodity;
+    std::vector<std::pair<noc::Route, double>> paths;
+};
+
+/// Validates a flow spec against a topology: every route must connect the
+/// commodity's tiles and weights must be positive and sum to ~1.
+/// Throws std::invalid_argument otherwise.
+void validate_flow_spec(const noc::Topology& topo, const FlowSpec& flow);
+
+} // namespace nocmap::sim

@@ -1,0 +1,40 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace nocmap::util {
+
+std::string CsvWriter::escape(const std::string& cell) {
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"') out += "\"\"";
+        else out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) os_ << ',';
+        os_ << escape(cells[i]);
+    }
+    os_ << '\n';
+}
+
+void write_csv_file(const std::string& path,
+                    const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows) {
+    std::ofstream file(path);
+    if (!file) throw std::runtime_error("cannot open CSV file for writing: " + path);
+    CsvWriter writer(file);
+    if (!header.empty()) writer.write_row(header);
+    for (const auto& row : rows) writer.write_row(row);
+    if (!file) throw std::runtime_error("I/O error while writing CSV file: " + path);
+}
+
+} // namespace nocmap::util

@@ -1,0 +1,28 @@
+#pragma once
+// CSV emission for experiment series (so figures can be re-plotted).
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nocmap::util {
+
+class CsvWriter {
+public:
+    explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+    void write_row(const std::vector<std::string>& cells);
+
+    /// Quotes a cell per RFC 4180 when it contains commas/quotes/newlines.
+    static std::string escape(const std::string& cell);
+
+private:
+    std::ostream& os_;
+};
+
+/// Writes header + rows to `path`; throws std::runtime_error on I/O failure.
+void write_csv_file(const std::string& path,
+                    const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows);
+
+} // namespace nocmap::util

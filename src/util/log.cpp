@@ -1,0 +1,34 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace nocmap::util {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+} // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+std::string_view log_level_name(LogLevel level) noexcept {
+    switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+void log_message(LogLevel level, std::string_view component, std::string_view text) {
+    if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+    std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+                 static_cast<int>(log_level_name(level).size()), log_level_name(level).data(),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(text.size()), text.data());
+}
+
+} // namespace nocmap::util

@@ -1,0 +1,68 @@
+#pragma once
+// Minimal leveled logger used across nocmap.
+//
+// The library itself is quiet by default (level = Warn); examples and
+// benches raise the level for progress reporting. Not thread-safe by
+// design: all nocmap algorithms are single-threaded.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace nocmap::util {
+
+enum class LogLevel : int {
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Off = 4,
+};
+
+/// Global log level; messages below this are dropped.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Returns a short tag ("DEBUG", "INFO", ...) for a level.
+std::string_view log_level_name(LogLevel level) noexcept;
+
+/// Emits one formatted line to stderr if `level` passes the filter.
+void log_message(LogLevel level, std::string_view component, std::string_view text);
+
+namespace detail {
+// Stream-style collector so call sites can write LOG_INFO("nmap") << ...
+class LogLine {
+public:
+    LogLine(LogLevel level, std::string_view component)
+        : level_(level), component_(component) {}
+    LogLine(const LogLine&) = delete;
+    LogLine& operator=(const LogLine&) = delete;
+    ~LogLine() { log_message(level_, component_, stream_.str()); }
+
+    template <typename T>
+    LogLine& operator<<(const T& value) {
+        stream_ << value;
+        return *this;
+    }
+
+private:
+    LogLevel level_;
+    std::string component_;
+    std::ostringstream stream_;
+};
+} // namespace detail
+
+inline detail::LogLine log_debug(std::string_view component) {
+    return detail::LogLine(LogLevel::Debug, component);
+}
+inline detail::LogLine log_info(std::string_view component) {
+    return detail::LogLine(LogLevel::Info, component);
+}
+inline detail::LogLine log_warn(std::string_view component) {
+    return detail::LogLine(LogLevel::Warn, component);
+}
+inline detail::LogLine log_error(std::string_view component) {
+    return detail::LogLine(LogLevel::Error, component);
+}
+
+} // namespace nocmap::util

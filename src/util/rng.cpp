@@ -1,0 +1,104 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace nocmap::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+}
+
+} // namespace
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+    // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+    // zero words from any seed, but guard anyway.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+    have_gaussian_ = false;
+}
+
+std::uint64_t Rng::next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+    // Lemire's nearly-divisionless method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        const std::uint64_t threshold = (0 - bound) % bound;
+        while (lo < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_double_in(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+}
+
+bool Rng::next_bool(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+}
+
+double Rng::next_gaussian() noexcept {
+    if (have_gaussian_) {
+        have_gaussian_ = false;
+        return cached_gaussian_;
+    }
+    double u, v, s;
+    do {
+        u = next_double_in(-1.0, 1.0);
+        v = next_double_in(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gaussian_ = v * factor;
+    have_gaussian_ = true;
+    return u * factor;
+}
+
+Rng Rng::split() noexcept {
+    Rng child(0);
+    child.state_ = {next(), next(), next(), next()};
+    if ((child.state_[0] | child.state_[1] | child.state_[2] | child.state_[3]) == 0)
+        child.state_[0] = 1;
+    return child;
+}
+
+} // namespace nocmap::util

@@ -1,0 +1,73 @@
+#pragma once
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic parts of nocmap (random core graphs, bursty traffic,
+// tie-breaking) take an explicit Rng so every table and figure regenerates
+// bit-identically from a seed. The engine is xoshiro256** seeded through
+// splitmix64 — fast, high quality, and independent of the standard library's
+// unspecified distributions.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace nocmap::util {
+
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the full 256-bit state from one 64-bit seed via splitmix64.
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+    void reseed(std::uint64_t seed) noexcept;
+
+    /// Raw 64-bit output (xoshiro256**).
+    std::uint64_t next() noexcept;
+
+    // UniformRandomBitGenerator interface so <algorithm> shuffles work.
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return std::numeric_limits<std::uint64_t>::max(); }
+    result_type operator()() noexcept { return next(); }
+
+    /// Uniform integer in [0, bound). Precondition: bound > 0.
+    /// Uses Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+    /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+    std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+    /// Uniform double in [0, 1).
+    double next_double() noexcept;
+
+    /// Uniform double in [lo, hi).
+    double next_double_in(double lo, double hi) noexcept;
+
+    /// Bernoulli trial with success probability p (clamped to [0,1]).
+    bool next_bool(double p = 0.5) noexcept;
+
+    /// Standard normal via Marsaglia polar method.
+    double next_gaussian() noexcept;
+
+    /// Fisher–Yates shuffle of a random-access container.
+    template <typename Container>
+    void shuffle(Container& c) noexcept {
+        const auto n = c.size();
+        if (n < 2) return;
+        for (auto i = n - 1; i > 0; --i) {
+            const auto j = static_cast<decltype(i)>(next_below(static_cast<std::uint64_t>(i) + 1));
+            using std::swap;
+            swap(c[i], c[j]);
+        }
+    }
+
+    /// Derives an independent child stream (for parallel experiment arms).
+    Rng split() noexcept;
+
+private:
+    std::array<std::uint64_t, 4> state_{};
+    bool have_gaussian_ = false;
+    double cached_gaussian_ = 0.0;
+};
+
+} // namespace nocmap::util

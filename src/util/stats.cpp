@@ -1,0 +1,81 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nocmap::util {
+
+void RunningStats::add(double x) noexcept {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto total = n_ + other.n_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / static_cast<double>(total);
+    mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(total);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ = total;
+}
+
+double RunningStats::variance() const noexcept {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) noexcept {
+    if (xs.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : xs) s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+    RunningStats st;
+    for (double x : xs) st.add(x);
+    return st.stddev();
+}
+
+double median(std::vector<double> xs) noexcept { return percentile(std::move(xs), 50.0); }
+
+double percentile(std::vector<double> xs, double p) noexcept {
+    if (xs.empty()) return 0.0;
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1) return xs[0];
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    const double rank = clamped / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double geometric_mean(std::span<const double> xs) noexcept {
+    if (xs.empty()) return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0) return 0.0;
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace nocmap::util

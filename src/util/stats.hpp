@@ -1,0 +1,43 @@
+#pragma once
+// Small descriptive-statistics helpers for experiment reporting.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nocmap::util {
+
+/// Running mean/min/max/variance accumulator (Welford's algorithm).
+class RunningStats {
+public:
+    void add(double x) noexcept;
+    void merge(const RunningStats& other) noexcept;
+    void reset() noexcept { *this = RunningStats{}; }
+
+    std::size_t count() const noexcept { return n_; }
+    bool empty() const noexcept { return n_ == 0; }
+    double mean() const noexcept { return n_ ? mean_ : 0.0; }
+    double min() const noexcept { return n_ ? min_ : 0.0; }
+    double max() const noexcept { return n_ ? max_ : 0.0; }
+    double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    double variance() const noexcept;
+    double stddev() const noexcept;
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs) noexcept;
+double stddev(std::span<const double> xs) noexcept;
+double median(std::vector<double> xs) noexcept;
+/// Linear-interpolated percentile, p in [0,100].
+double percentile(std::vector<double> xs, double p) noexcept;
+/// Geometric mean; all inputs must be > 0, returns 0 on empty input.
+double geometric_mean(std::span<const double> xs) noexcept;
+
+} // namespace nocmap::util

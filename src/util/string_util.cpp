@@ -1,0 +1,65 @@
+#include "util/string_util.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace nocmap::util {
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+    std::vector<std::string> parts;
+    std::size_t begin = 0;
+    while (true) {
+        const std::size_t end = text.find(delimiter, begin);
+        if (end == std::string_view::npos) {
+            parts.emplace_back(text.substr(begin));
+            break;
+        }
+        parts.emplace_back(text.substr(begin, end - begin));
+        begin = end + 1;
+    }
+    return parts;
+}
+
+std::string_view trim(std::string_view text) noexcept {
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+    return text.substr(begin, end - begin);
+}
+
+std::string to_lower(std::string_view text) {
+    std::string out(text);
+    for (char& ch : out) ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+    return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool parse_double(std::string_view text, double& out) noexcept {
+    text = trim(text);
+    if (text.empty()) return false;
+    // std::from_chars for double is not universally available; strtod on a
+    // bounded copy keeps this portable.
+    std::string buffer(text);
+    char* end = nullptr;
+    const double value = std::strtod(buffer.c_str(), &end);
+    if (end != buffer.c_str() + buffer.size()) return false;
+    out = value;
+    return true;
+}
+
+bool parse_size(std::string_view text, std::size_t& out) noexcept {
+    text = trim(text);
+    if (text.empty()) return false;
+    std::size_t value = 0;
+    const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) return false;
+    out = value;
+    return true;
+}
+
+} // namespace nocmap::util

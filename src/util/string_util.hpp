@@ -1,0 +1,20 @@
+#pragma once
+// Small string helpers shared by graph I/O and the app registry.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nocmap::util {
+
+std::vector<std::string> split(std::string_view text, char delimiter);
+std::string_view trim(std::string_view text) noexcept;
+std::string to_lower(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// Parses a double; returns false (and leaves `out` untouched) on garbage.
+bool parse_double(std::string_view text, double& out) noexcept;
+/// Parses a non-negative integer; returns false on garbage/overflow.
+bool parse_size(std::string_view text, std::size_t& out) noexcept;
+
+} // namespace nocmap::util

@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace nocmap::util {
+
+void Table::set_header(std::vector<std::string> header) {
+    header_ = std::move(header);
+    align_.assign(header_.size(), Align::Right);
+    if (!align_.empty()) align_[0] = Align::Left;
+}
+
+void Table::set_align(std::size_t column, Align align) {
+    if (column >= align_.size()) align_.resize(column + 1, Align::Right);
+    align_[column] = align;
+}
+
+void Table::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string Table::num(double value, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string Table::num(long long value) { return std::to_string(value); }
+
+void Table::print(std::ostream& os) const {
+    std::size_t columns = header_.size();
+    for (const auto& row : rows_) columns = std::max(columns, row.size());
+    if (columns == 0) return;
+
+    std::vector<std::size_t> width(columns, 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    if (!header_.empty()) widen(header_);
+    for (const auto& row : rows_) widen(row);
+
+    auto rule = [&] {
+        os << '+';
+        for (std::size_t c = 0; c < columns; ++c)
+            os << std::string(width[c] + 2, '-') << '+';
+        os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string>& row) {
+        os << '|';
+        for (std::size_t c = 0; c < columns; ++c) {
+            const std::string cell = c < row.size() ? row[c] : std::string{};
+            const Align a = c < align_.size() ? align_[c] : Align::Right;
+            os << ' ';
+            if (a == Align::Left)
+                os << cell << std::string(width[c] - cell.size(), ' ');
+            else
+                os << std::string(width[c] - cell.size(), ' ') << cell;
+            os << " |";
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty()) os << title_ << '\n';
+    rule();
+    if (!header_.empty()) {
+        emit(header_);
+        rule();
+    }
+    for (const auto& row : rows_) emit(row);
+    rule();
+}
+
+std::string Table::to_string() const {
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace nocmap::util

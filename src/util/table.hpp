@@ -1,0 +1,45 @@
+#pragma once
+// ASCII table rendering for bench output.
+//
+// Every bench binary reproduces one paper table/figure and prints it in a
+// fixed-width table so the series can be compared against the paper at a
+// glance (and grepped by scripts).
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nocmap::util {
+
+enum class Align { Left, Right };
+
+class Table {
+public:
+    explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+    /// Sets the header row; columns default to right alignment except col 0.
+    void set_header(std::vector<std::string> header);
+    void set_align(std::size_t column, Align align);
+
+    void add_row(std::vector<std::string> row);
+
+    /// Convenience: formats doubles with `precision` decimals.
+    static std::string num(double value, int precision = 1);
+    /// Formats integral values with no decimals.
+    static std::string num(long long value);
+
+    std::size_t row_count() const noexcept { return rows_.size(); }
+
+    /// Renders with box-drawing dashes/pipes.
+    void print(std::ostream& os) const;
+    std::string to_string() const;
+
+private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<Align> align_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace nocmap::util

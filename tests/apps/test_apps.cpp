@@ -1,0 +1,109 @@
+#include "apps/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/dsp_filter.hpp"
+#include "apps/vopd.hpp"
+#include "noc/topology.hpp"
+
+namespace nocmap::apps {
+namespace {
+
+TEST(Apps, RegistryListsSevenApplications) {
+    EXPECT_EQ(all_applications().size(), 7u);
+    EXPECT_EQ(video_applications().size(), 6u);
+    EXPECT_EQ(application_names().size(), 7u);
+}
+
+TEST(Apps, CoreCountsMatchThePaper) {
+    EXPECT_EQ(make_application("mpeg4").node_count(), 14u);
+    EXPECT_EQ(make_application("vopd").node_count(), 16u);
+    EXPECT_EQ(make_application("pip").node_count(), 8u);
+    EXPECT_EQ(make_application("mwa").node_count(), 14u);
+    EXPECT_EQ(make_application("mwag").node_count(), 16u);
+    EXPECT_EQ(make_application("dsd").node_count(), 16u);
+    EXPECT_EQ(make_application("dsp").node_count(), 6u);
+}
+
+TEST(Apps, RegistryMetadataConsistent) {
+    for (const AppInfo& info : all_applications()) {
+        const auto g = info.factory();
+        EXPECT_EQ(g.node_count(), info.cores) << info.name;
+        EXPECT_EQ(g.name(), info.name);
+        EXPECT_FALSE(info.description.empty());
+    }
+}
+
+TEST(Apps, LookupIsCaseInsensitive) {
+    EXPECT_EQ(make_application("VOPD").name(), "vopd");
+    EXPECT_EQ(make_application("MpEg4").name(), "mpeg4");
+}
+
+TEST(Apps, UnknownNameThrowsWithKnownList) {
+    try {
+        make_application("quake");
+        FAIL() << "expected exception";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("vopd"), std::string::npos);
+    }
+}
+
+TEST(Apps, AllGraphsConnectedAndValid) {
+    for (const AppInfo& info : all_applications()) {
+        const auto g = info.factory();
+        EXPECT_NO_THROW(g.validate()) << info.name;
+        EXPECT_TRUE(g.is_connected()) << info.name;
+        EXPECT_GT(g.edge_count(), 0u) << info.name;
+    }
+}
+
+TEST(Apps, VideoBandwidthsInHundredsOfMBps) {
+    // The paper motivates NoCs with aggregate demands in the GB/s range.
+    for (const AppInfo& info : video_applications()) {
+        const auto g = info.factory();
+        EXPECT_GT(g.total_bandwidth(), 500.0) << info.name;
+        for (const graph::CoreEdge& e : g.edges()) {
+            EXPECT_GE(e.bandwidth, 0.5) << info.name;
+            EXPECT_LE(e.bandwidth, 1000.0) << info.name;
+        }
+    }
+}
+
+TEST(Apps, VopdMatchesFigure1) {
+    const auto g = make_vopd();
+    // Spot-check the headline flows of Figure 1.
+    EXPECT_DOUBLE_EQ(g.comm(g.find_node("vop_mem").value(), g.find_node("pad").value()),
+                     500.0);
+    EXPECT_DOUBLE_EQ(g.comm(g.find_node("vld").value(), g.find_node("run_le_dec").value()),
+                     70.0);
+    EXPECT_DOUBLE_EQ(
+        g.comm(g.find_node("acdc_pred").value(), g.find_node("iquant").value()), 357.0);
+    EXPECT_DOUBLE_EQ(
+        g.comm(g.find_node("iquant").value(), g.find_node("idct").value()), 353.0);
+    EXPECT_DOUBLE_EQ(
+        g.comm(g.find_node("stripe_mem").value(), g.find_node("acdc_pred").value()), 27.0);
+}
+
+TEST(Apps, DspMatchesFigure5a) {
+    const auto g = make_dsp_filter();
+    std::size_t big = 0, small = 0;
+    for (const graph::CoreEdge& e : g.edges()) {
+        if (e.bandwidth == 600.0) ++big;
+        else if (e.bandwidth == 200.0) ++small;
+        else FAIL() << "unexpected bandwidth " << e.bandwidth;
+    }
+    EXPECT_EQ(big, 2u);   // two 600 MB/s flows
+    EXPECT_EQ(small, 6u); // six 200 MB/s flows
+    EXPECT_DOUBLE_EQ(g.comm(g.find_node("memory").value(), g.find_node("fft").value()),
+                     600.0);
+}
+
+TEST(Apps, AppsFitTheirSmallestMesh) {
+    for (const AppInfo& info : all_applications()) {
+        const auto topo = noc::Topology::smallest_mesh_for(info.cores, 1e9);
+        EXPECT_GE(topo.tile_count(), info.cores) << info.name;
+    }
+}
+
+} // namespace
+} // namespace nocmap::apps

@@ -1,0 +1,142 @@
+#include "graph/core_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocmap::graph {
+namespace {
+
+CoreGraph triangle() {
+    CoreGraph g("tri");
+    g.add_node("a");
+    g.add_node("b");
+    g.add_node("c");
+    g.add_edge("a", "b", 10);
+    g.add_edge("b", "c", 20);
+    g.add_edge("c", "a", 30);
+    return g;
+}
+
+TEST(CoreGraph, AddNodesAssignsDenseIds) {
+    CoreGraph g;
+    EXPECT_EQ(g.add_node("x"), 0);
+    EXPECT_EQ(g.add_node("y"), 1);
+    EXPECT_EQ(g.node_count(), 2u);
+    EXPECT_EQ(g.label(0), "x");
+    EXPECT_EQ(g.label(1), "y");
+}
+
+TEST(CoreGraph, FindNode) {
+    const auto g = triangle();
+    EXPECT_EQ(g.find_node("b").value(), 1);
+    EXPECT_FALSE(g.find_node("nope").has_value());
+}
+
+TEST(CoreGraph, RejectsDuplicateLabel) {
+    CoreGraph g;
+    g.add_node("x");
+    EXPECT_THROW(g.add_node("x"), std::invalid_argument);
+    EXPECT_THROW(g.add_node(""), std::invalid_argument);
+}
+
+TEST(CoreGraph, RejectsBadEdges) {
+    CoreGraph g;
+    g.add_node("a");
+    g.add_node("b");
+    EXPECT_THROW(g.add_edge(0, 0, 5), std::invalid_argument);  // self loop
+    EXPECT_THROW(g.add_edge(0, 1, 0.0), std::invalid_argument); // zero bw
+    EXPECT_THROW(g.add_edge(0, 1, -1.0), std::invalid_argument);
+    EXPECT_THROW(g.add_edge(0, 7, 1.0), std::out_of_range);
+    g.add_edge(0, 1, 5);
+    EXPECT_THROW(g.add_edge(0, 1, 5), std::invalid_argument); // duplicate
+    EXPECT_THROW(g.add_edge("a", "zz", 1.0), std::invalid_argument);
+}
+
+TEST(CoreGraph, DirectedCommLookup) {
+    const auto g = triangle();
+    EXPECT_DOUBLE_EQ(g.comm(0, 1), 10.0);
+    EXPECT_DOUBLE_EQ(g.comm(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(g.undirected_comm(0, 1), 10.0);
+}
+
+TEST(CoreGraph, UndirectedCommSumsBothDirections) {
+    CoreGraph g;
+    g.add_node("a");
+    g.add_node("b");
+    g.add_edge(0, 1, 7);
+    g.add_edge(1, 0, 5);
+    EXPECT_DOUBLE_EQ(g.undirected_comm(0, 1), 12.0);
+    EXPECT_DOUBLE_EQ(g.undirected_comm(1, 0), 12.0);
+}
+
+TEST(CoreGraph, TotalsAndTraffic) {
+    const auto g = triangle();
+    EXPECT_DOUBLE_EQ(g.total_bandwidth(), 60.0);
+    EXPECT_DOUBLE_EQ(g.node_traffic(0), 40.0); // out 10 + in 30
+    EXPECT_DOUBLE_EQ(g.node_traffic(1), 30.0);
+}
+
+TEST(CoreGraph, UndirectedDegreeCountsDistinctPartners) {
+    const auto g = triangle();
+    EXPECT_EQ(g.undirected_degree(0), 2u);
+    CoreGraph h;
+    h.add_node("a");
+    h.add_node("b");
+    h.add_edge(0, 1, 1);
+    h.add_edge(1, 0, 1);
+    EXPECT_EQ(h.undirected_degree(0), 1u); // both directions, one partner
+}
+
+TEST(CoreGraph, EdgeSpansMatchAdjacency) {
+    const auto g = triangle();
+    EXPECT_EQ(g.edge_count(), 3u);
+    EXPECT_EQ(g.out_edges(0).size(), 1u);
+    EXPECT_EQ(g.in_edges(0).size(), 1u);
+    const CoreEdge& e = g.edges()[static_cast<std::size_t>(g.out_edges(0)[0])];
+    EXPECT_EQ(e.src, 0);
+    EXPECT_EQ(e.dst, 1);
+}
+
+TEST(CoreGraph, Connectivity) {
+    auto g = triangle();
+    EXPECT_TRUE(g.is_connected());
+    g.add_node("island");
+    EXPECT_FALSE(g.is_connected());
+    CoreGraph empty;
+    EXPECT_TRUE(empty.is_connected());
+    CoreGraph one;
+    one.add_node("solo");
+    EXPECT_TRUE(one.is_connected());
+}
+
+TEST(CoreGraph, DirectionDoesNotBreakConnectivityCheck) {
+    // a -> b <- c is weakly connected.
+    CoreGraph g;
+    g.add_node("a");
+    g.add_node("b");
+    g.add_node("c");
+    g.add_edge(0, 1, 1);
+    g.add_edge(2, 1, 1);
+    EXPECT_TRUE(g.is_connected());
+}
+
+TEST(CoreGraph, ValidatePassesOnWellFormed) {
+    EXPECT_NO_THROW(triangle().validate());
+}
+
+TEST(CoreGraph, OutOfRangeAccessThrows) {
+    const auto g = triangle();
+    EXPECT_THROW(g.label(99), std::out_of_range);
+    EXPECT_THROW(g.node_traffic(-1), std::out_of_range);
+    EXPECT_THROW((void)g.comm(0, 99), std::out_of_range);
+}
+
+TEST(CoreGraph, EqualityComparesStructure) {
+    EXPECT_EQ(triangle(), triangle());
+    auto g = triangle();
+    auto h = triangle();
+    h.add_node("extra");
+    EXPECT_NE(g, h);
+}
+
+} // namespace
+} // namespace nocmap::graph

@@ -1,0 +1,157 @@
+#include "graph/graph_algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace nocmap::graph {
+namespace {
+
+WeightedAdjacency line_graph(std::size_t n, double w = 1.0) {
+    WeightedAdjacency adj(n);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        adj[i].emplace_back(static_cast<std::int32_t>(i + 1), w);
+        adj[i + 1].emplace_back(static_cast<std::int32_t>(i), w);
+    }
+    return adj;
+}
+
+WeightedAdjacency random_graph(std::size_t n, double edge_prob, util::Rng& rng) {
+    WeightedAdjacency adj(n);
+    for (std::size_t u = 0; u < n; ++u)
+        for (std::size_t v = 0; v < n; ++v) {
+            if (u == v) continue;
+            if (rng.next_bool(edge_prob))
+                adj[u].emplace_back(static_cast<std::int32_t>(v),
+                                    rng.next_double_in(0.1, 10.0));
+        }
+    return adj;
+}
+
+TEST(Dijkstra, LineGraphDistances) {
+    const auto adj = line_graph(5, 2.0);
+    const auto tree = dijkstra(adj, 0);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_DOUBLE_EQ(tree.distance[i], 2.0 * static_cast<double>(i));
+}
+
+TEST(Dijkstra, UnreachableIsInfinite) {
+    WeightedAdjacency adj(3);
+    adj[0].emplace_back(1, 1.0);
+    const auto tree = dijkstra(adj, 0);
+    EXPECT_EQ(tree.distance[2], kInfiniteDistance);
+    EXPECT_TRUE(extract_path(tree, 0, 2).empty());
+}
+
+TEST(Dijkstra, PrefersCheaperLongerPath) {
+    WeightedAdjacency adj(3);
+    adj[0].emplace_back(2, 10.0); // direct but expensive
+    adj[0].emplace_back(1, 1.0);
+    adj[1].emplace_back(2, 1.0);
+    const auto tree = dijkstra(adj, 0);
+    EXPECT_DOUBLE_EQ(tree.distance[2], 2.0);
+    const auto path = extract_path(tree, 0, 2);
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_EQ(path[1], 1);
+}
+
+TEST(Dijkstra, RejectsNegativeWeights) {
+    WeightedAdjacency adj(2);
+    adj[0].emplace_back(1, -1.0);
+    EXPECT_THROW(dijkstra(adj, 0), std::invalid_argument);
+}
+
+TEST(Dijkstra, RejectsBadSource) {
+    EXPECT_THROW(dijkstra(line_graph(3), 5), std::out_of_range);
+    EXPECT_THROW(dijkstra(line_graph(3), -1), std::out_of_range);
+}
+
+TEST(ExtractPath, SourceEqualsTarget) {
+    const auto adj = line_graph(3);
+    const auto tree = dijkstra(adj, 1);
+    const auto path = extract_path(tree, 1, 1);
+    ASSERT_EQ(path.size(), 1u);
+    EXPECT_EQ(path[0], 1);
+}
+
+TEST(BfsHops, GridLikeGraph) {
+    const auto adj = line_graph(6);
+    const auto hops = bfs_hops(adj, 2);
+    EXPECT_EQ(hops[2], 0);
+    EXPECT_EQ(hops[0], 2);
+    EXPECT_EQ(hops[5], 3);
+}
+
+TEST(BfsHops, UnreachableIsMinusOne) {
+    WeightedAdjacency adj(3);
+    adj[0].emplace_back(1, 1.0);
+    const auto hops = bfs_hops(adj, 0);
+    EXPECT_EQ(hops[2], -1);
+}
+
+TEST(FloydWarshall, MatchesDijkstraOnLine) {
+    const auto adj = line_graph(7, 1.5);
+    const auto all = floyd_warshall(adj);
+    for (std::int32_t s = 0; s < 7; ++s) {
+        const auto tree = dijkstra(adj, s);
+        for (std::size_t t = 0; t < 7; ++t)
+            EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(s)][t], tree.distance[t]);
+    }
+}
+
+class DijkstraVsFloydWarshall : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DijkstraVsFloydWarshall, AgreeOnRandomDigraphs) {
+    util::Rng rng(GetParam());
+    const std::size_t n = 12;
+    const auto adj = random_graph(n, 0.25, rng);
+    const auto all = floyd_warshall(adj);
+    for (std::int32_t s = 0; s < static_cast<std::int32_t>(n); ++s) {
+        const auto tree = dijkstra(adj, s);
+        for (std::size_t t = 0; t < n; ++t) {
+            const double fw = all[static_cast<std::size_t>(s)][t];
+            const double dj = tree.distance[t];
+            if (fw == kInfiniteDistance || dj == kInfiniteDistance)
+                EXPECT_EQ(fw, dj) << "s=" << s << " t=" << t;
+            else
+                EXPECT_NEAR(fw, dj, 1e-9) << "s=" << s << " t=" << t;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraVsFloydWarshall,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Connectivity, UndirectedView) {
+    WeightedAdjacency adj(3);
+    adj[0].emplace_back(1, 1.0); // directed edge still connects undirected
+    adj[2].emplace_back(1, 1.0);
+    EXPECT_TRUE(is_connected_undirected(adj));
+    WeightedAdjacency disconnected(3);
+    disconnected[0].emplace_back(1, 1.0);
+    EXPECT_FALSE(is_connected_undirected(disconnected));
+    EXPECT_TRUE(is_connected_undirected(WeightedAdjacency{}));
+    EXPECT_TRUE(is_connected_undirected(WeightedAdjacency(1)));
+}
+
+TEST(MonotonePaths, BinomialValues) {
+    EXPECT_EQ(count_monotone_paths(0, 0), 1);
+    EXPECT_EQ(count_monotone_paths(1, 0), 1);
+    EXPECT_EQ(count_monotone_paths(1, 1), 2);
+    EXPECT_EQ(count_monotone_paths(2, 2), 6);
+    EXPECT_EQ(count_monotone_paths(3, 3), 20);
+    EXPECT_EQ(count_monotone_paths(2, 3), 10);
+    EXPECT_EQ(count_monotone_paths(3, 2), 10); // symmetric
+}
+
+TEST(MonotonePaths, SaturatesInsteadOfOverflowing) {
+    const auto huge = count_monotone_paths(200, 200);
+    EXPECT_EQ(huge, std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(MonotonePaths, RejectsNegative) {
+    EXPECT_THROW(count_monotone_paths(-1, 2), std::invalid_argument);
+}
+
+} // namespace
+} // namespace nocmap::graph

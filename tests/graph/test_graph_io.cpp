@@ -1,0 +1,81 @@
+#include "graph/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/random_graph.hpp"
+
+namespace nocmap::graph {
+namespace {
+
+TEST(GraphIo, RoundtripSmallGraph) {
+    CoreGraph g("demo");
+    g.add_node("a");
+    g.add_node("b");
+    g.add_edge("a", "b", 12.5);
+    const auto text = core_graph_to_string(g);
+    const auto parsed = core_graph_from_string(text);
+    EXPECT_EQ(parsed, g);
+}
+
+TEST(GraphIo, RoundtripRandomGraphs) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        RandomGraphConfig cfg;
+        cfg.core_count = 15;
+        cfg.seed = seed;
+        const auto g = generate_random_core_graph(cfg);
+        EXPECT_EQ(core_graph_from_string(core_graph_to_string(g)), g);
+    }
+}
+
+TEST(GraphIo, IgnoresCommentsAndBlankLines) {
+    const std::string text =
+        "# a comment\n"
+        "graph t\n"
+        "\n"
+        "node a\n"
+        "node b\n"
+        "   # indented comment\n"
+        "edge a b 5\n";
+    const auto g = core_graph_from_string(text);
+    EXPECT_EQ(g.name(), "t");
+    EXPECT_EQ(g.node_count(), 2u);
+    EXPECT_DOUBLE_EQ(g.comm(0, 1), 5.0);
+}
+
+TEST(GraphIo, ReportsLineNumbersOnErrors) {
+    const std::string bad =
+        "graph t\n"
+        "node a\n"
+        "edge a missing 5\n";
+    try {
+        core_graph_from_string(bad);
+        FAIL() << "expected parse error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    }
+}
+
+TEST(GraphIo, RejectsUnknownRecord) {
+    EXPECT_THROW(core_graph_from_string("frobnicate x\n"), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsMalformedEdge) {
+    EXPECT_THROW(core_graph_from_string("node a\nnode b\nedge a b notanumber\n"),
+                 std::runtime_error);
+    EXPECT_THROW(core_graph_from_string("node a\nnode b\nedge a b\n"),
+                 std::runtime_error);
+}
+
+TEST(GraphIo, DotOutputMentionsAllEdges) {
+    CoreGraph g("d");
+    g.add_node("x");
+    g.add_node("y");
+    g.add_edge("x", "y", 42);
+    const auto dot = core_graph_to_dot(g);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("\"x\" -> \"y\""), std::string::npos);
+    EXPECT_NE(dot.find("42"), std::string::npos);
+}
+
+} // namespace
+} // namespace nocmap::graph

@@ -1,0 +1,103 @@
+#include "graph/random_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocmap::graph {
+namespace {
+
+TEST(RandomGraph, Deterministic) {
+    RandomGraphConfig cfg;
+    cfg.core_count = 20;
+    cfg.seed = 7;
+    const auto a = generate_random_core_graph(cfg);
+    const auto b = generate_random_core_graph(cfg);
+    EXPECT_EQ(a, b);
+}
+
+TEST(RandomGraph, DifferentSeedsDiffer) {
+    RandomGraphConfig cfg;
+    cfg.core_count = 20;
+    cfg.seed = 1;
+    const auto a = generate_random_core_graph(cfg);
+    cfg.seed = 2;
+    const auto b = generate_random_core_graph(cfg);
+    EXPECT_NE(a, b);
+}
+
+TEST(RandomGraph, RejectsBadConfigs) {
+    RandomGraphConfig cfg;
+    cfg.core_count = 0;
+    EXPECT_THROW(generate_random_core_graph(cfg), std::invalid_argument);
+    cfg.core_count = 10;
+    cfg.min_bandwidth = 100;
+    cfg.max_bandwidth = 10;
+    EXPECT_THROW(generate_random_core_graph(cfg), std::invalid_argument);
+    cfg.min_bandwidth = 0;
+    cfg.max_bandwidth = 10;
+    EXPECT_THROW(generate_random_core_graph(cfg), std::invalid_argument);
+    cfg = RandomGraphConfig{};
+    cfg.core_count = 4;
+    cfg.average_out_degree = 100.0;
+    EXPECT_THROW(generate_random_core_graph(cfg), std::invalid_argument);
+}
+
+TEST(RandomGraph, SingleNodeWorks) {
+    RandomGraphConfig cfg;
+    cfg.core_count = 1;
+    cfg.average_out_degree = 0.0;
+    const auto g = generate_random_core_graph(cfg);
+    EXPECT_EQ(g.node_count(), 1u);
+    EXPECT_EQ(g.edge_count(), 0u);
+    EXPECT_TRUE(g.is_connected());
+}
+
+struct SweepParam {
+    std::size_t cores;
+    std::uint64_t seed;
+};
+
+class RandomGraphSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RandomGraphSweep, ConnectedValidAndInRange) {
+    RandomGraphConfig cfg;
+    cfg.core_count = GetParam().cores;
+    cfg.seed = GetParam().seed;
+    cfg.average_out_degree =
+        std::min(2.0, static_cast<double>(GetParam().cores - 1));
+    cfg.min_bandwidth = 16.0;
+    cfg.max_bandwidth = 512.0;
+    const auto g = generate_random_core_graph(cfg);
+    EXPECT_EQ(g.node_count(), cfg.core_count);
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_NO_THROW(g.validate());
+    // Spanning connectivity guarantees at least n-1 edges; the target is
+    // 2 per core.
+    EXPECT_GE(g.edge_count(), cfg.core_count - 1);
+    EXPECT_LE(g.edge_count(), static_cast<std::size_t>(2.0 * cfg.core_count) + 1);
+    for (const CoreEdge& e : g.edges()) {
+        EXPECT_GE(e.bandwidth, cfg.min_bandwidth * (1.0 - 1e-9));
+        EXPECT_LE(e.bandwidth, cfg.max_bandwidth * (1.0 + 1e-9));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, RandomGraphSweep,
+    ::testing::Values(SweepParam{2, 1}, SweepParam{5, 3}, SweepParam{25, 1},
+                      SweepParam{35, 2}, SweepParam{45, 3}, SweepParam{55, 4},
+                      SweepParam{65, 5}));
+
+TEST(RandomGraph, UniformBandwidthMode) {
+    RandomGraphConfig cfg;
+    cfg.core_count = 30;
+    cfg.log_uniform_bandwidth = false;
+    cfg.min_bandwidth = 100.0;
+    cfg.max_bandwidth = 101.0;
+    const auto g = generate_random_core_graph(cfg);
+    for (const CoreEdge& e : g.edges()) {
+        EXPECT_GE(e.bandwidth, 100.0);
+        EXPECT_LE(e.bandwidth, 101.0);
+    }
+}
+
+} // namespace
+} // namespace nocmap::graph

@@ -1,0 +1,246 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace nocmap::lp {
+namespace {
+
+TEST(Simplex, TrivialMinimumAtZero) {
+    LpProblem p;
+    p.add_variable(1.0);
+    p.add_variable(2.0);
+    const auto sol = solve_lp(p);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_DOUBLE_EQ(sol.objective, 0.0);
+    EXPECT_DOUBLE_EQ(sol.x[0], 0.0);
+}
+
+TEST(Simplex, ClassicMaximizationAsMinimization) {
+    // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (Dantzig's example)
+    // => min -3x - 5y, optimum x=2, y=6, objective -36.
+    LpProblem p;
+    const auto x = p.add_variable(-3.0);
+    const auto y = p.add_variable(-5.0);
+    p.add_constraint({{x, 1.0}}, Relation::LessEqual, 4.0);
+    p.add_constraint({{y, 2.0}}, Relation::LessEqual, 12.0);
+    p.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::LessEqual, 18.0);
+    const auto sol = solve_lp(p);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.objective, -36.0, 1e-9);
+    EXPECT_NEAR(sol.x[static_cast<std::size_t>(x)], 2.0, 1e-9);
+    EXPECT_NEAR(sol.x[static_cast<std::size_t>(y)], 6.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqualNeedsPhase1) {
+    // min x + y s.t. x + y >= 4, x >= 1 -> optimum 4.
+    LpProblem p;
+    const auto x = p.add_variable(1.0);
+    const auto y = p.add_variable(1.0);
+    p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::GreaterEqual, 4.0);
+    p.add_constraint({{x, 1.0}}, Relation::GreaterEqual, 1.0);
+    const auto sol = solve_lp(p);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.objective, 4.0, 1e-9);
+    EXPECT_GE(sol.x[static_cast<std::size_t>(x)], 1.0 - 1e-9);
+}
+
+TEST(Simplex, EqualityConstraints) {
+    // min 2x + 3y s.t. x + y = 10, x - y = 2 -> x=6, y=4, obj 24.
+    LpProblem p;
+    const auto x = p.add_variable(2.0);
+    const auto y = p.add_variable(3.0);
+    p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::Equal, 10.0);
+    p.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::Equal, 2.0);
+    const auto sol = solve_lp(p);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.objective, 24.0, 1e-9);
+    EXPECT_NEAR(sol.x[static_cast<std::size_t>(x)], 6.0, 1e-9);
+    EXPECT_NEAR(sol.x[static_cast<std::size_t>(y)], 4.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+    LpProblem p;
+    const auto x = p.add_variable(1.0);
+    p.add_constraint({{x, 1.0}}, Relation::LessEqual, 1.0);
+    p.add_constraint({{x, 1.0}}, Relation::GreaterEqual, 2.0);
+    const auto sol = solve_lp(p);
+    EXPECT_EQ(sol.status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+    LpProblem p;
+    const auto x = p.add_variable(-1.0); // minimize -x, x free upward
+    p.add_constraint({{x, 1.0}}, Relation::GreaterEqual, 0.0);
+    const auto sol = solve_lp(p);
+    EXPECT_EQ(sol.status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+    // x <= -2 with x >= 0 is infeasible.
+    LpProblem p;
+    const auto x = p.add_variable(1.0);
+    p.add_constraint({{x, 1.0}}, Relation::LessEqual, -2.0);
+    EXPECT_EQ(solve_lp(p).status, LpStatus::Infeasible);
+
+    // -x <= -2 (i.e. x >= 2), min x -> 2.
+    LpProblem q;
+    const auto y = q.add_variable(1.0);
+    q.add_constraint({{y, -1.0}}, Relation::LessEqual, -2.0);
+    const auto sol = solve_lp(q);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, RedundantConstraintsHandled) {
+    LpProblem p;
+    const auto x = p.add_variable(1.0);
+    const auto y = p.add_variable(1.0);
+    p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::Equal, 5.0);
+    p.add_constraint({{x, 2.0}, {y, 2.0}}, Relation::Equal, 10.0); // redundant
+    const auto sol = solve_lp(p);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.objective, 5.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+    // Classic degeneracy: multiple constraints meet at the optimum.
+    LpProblem p;
+    const auto x = p.add_variable(-1.0);
+    const auto y = p.add_variable(-1.0);
+    p.add_constraint({{x, 1.0}}, Relation::LessEqual, 1.0);
+    p.add_constraint({{y, 1.0}}, Relation::LessEqual, 1.0);
+    p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::LessEqual, 2.0);
+    p.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::LessEqual, 0.0);
+    const auto sol = solve_lp(p);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.objective, -2.0, 1e-9);
+}
+
+TEST(Simplex, DuplicateTermsAreMerged) {
+    LpProblem p;
+    const auto x = p.add_variable(1.0);
+    p.add_constraint({{x, 0.5}, {x, 0.5}}, Relation::GreaterEqual, 3.0);
+    const auto sol = solve_lp(p);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.objective, 3.0, 1e-9);
+}
+
+TEST(Simplex, ValidationCatchesBadInput) {
+    LpProblem p;
+    EXPECT_THROW(p.add_constraint({{0, 1.0}}, Relation::LessEqual, 1.0),
+                 std::out_of_range);
+    EXPECT_THROW(p.add_variable(std::numeric_limits<double>::quiet_NaN()),
+                 std::invalid_argument);
+}
+
+TEST(Simplex, IterationLimitReported) {
+    // A solvable LP with an absurdly small pivot budget must report the
+    // limit instead of looping or returning garbage.
+    LpProblem p;
+    std::vector<std::int32_t> vars;
+    for (int i = 0; i < 20; ++i) vars.push_back(p.add_variable(1.0));
+    for (int i = 0; i < 20; ++i)
+        p.add_constraint({{vars[static_cast<std::size_t>(i)], 1.0}},
+                         Relation::GreaterEqual, 1.0);
+    SimplexOptions opt;
+    opt.max_iterations = 2;
+    const auto sol = solve_lp(p, opt);
+    EXPECT_EQ(sol.status, LpStatus::IterationLimit);
+    EXPECT_FALSE(sol.optimal());
+}
+
+TEST(Simplex, BealeCyclingExampleTerminates) {
+    // Beale's classic example cycles forever under naive Dantzig pivoting;
+    // the Bland fallback must terminate it at the optimum -0.05.
+    //   min -0.75 x4 + 150 x5 - 0.02 x6 + 6 x7
+    //   s.t. 0.25 x4 - 60 x5 - 0.04 x6 + 9 x7 <= 0
+    //        0.50 x4 - 90 x5 - 0.02 x6 + 3 x7 <= 0
+    //        x6 <= 1
+    LpProblem p;
+    const auto x4 = p.add_variable(-0.75);
+    const auto x5 = p.add_variable(150.0);
+    const auto x6 = p.add_variable(-0.02);
+    const auto x7 = p.add_variable(6.0);
+    p.add_constraint({{x4, 0.25}, {x5, -60.0}, {x6, -0.04}, {x7, 9.0}},
+                     Relation::LessEqual, 0.0);
+    p.add_constraint({{x4, 0.5}, {x5, -90.0}, {x6, -0.02}, {x7, 3.0}},
+                     Relation::LessEqual, 0.0);
+    p.add_constraint({{x6, 1.0}}, Relation::LessEqual, 1.0);
+    SimplexOptions opt;
+    opt.bland_threshold = 8; // force the anti-cycling rule early
+    const auto sol = solve_lp(p, opt);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.objective, -0.05, 1e-9);
+}
+
+TEST(Simplex, LargeDiagonalProblem) {
+    // 200 independent variables x_i >= i, min sum: objective = sum(i).
+    LpProblem p;
+    double expected = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        const auto v = p.add_variable(1.0);
+        p.add_constraint({{v, 1.0}}, Relation::GreaterEqual, static_cast<double>(i));
+        expected += static_cast<double>(i);
+    }
+    const auto sol = solve_lp(p);
+    ASSERT_TRUE(sol.optimal());
+    EXPECT_NEAR(sol.objective, expected, 1e-6);
+}
+
+class RandomLpSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: on random bounded-feasible LPs, the simplex solution is primal
+// feasible and no sampled feasible point beats it.
+TEST_P(RandomLpSweep, SolutionFeasibleAndLocallyOptimal) {
+    util::Rng rng(GetParam());
+    const std::size_t n = 4;
+    const std::size_t m = 6;
+    LpProblem p;
+    std::vector<double> cost(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        cost[j] = rng.next_double_in(0.1, 2.0); // positive costs: bounded below
+        p.add_variable(cost[j]);
+    }
+    std::vector<std::vector<double>> rows(m, std::vector<double>(n));
+    std::vector<double> rhs(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        std::vector<std::pair<std::int32_t, double>> terms;
+        for (std::size_t j = 0; j < n; ++j) {
+            rows[i][j] = rng.next_double_in(0.0, 1.0);
+            terms.emplace_back(static_cast<std::int32_t>(j), rows[i][j]);
+        }
+        rhs[i] = rng.next_double_in(1.0, 4.0);
+        p.add_constraint(std::move(terms), Relation::GreaterEqual, rhs[i]);
+    }
+    const auto sol = solve_lp(p);
+    ASSERT_TRUE(sol.optimal());
+    // Primal feasibility.
+    for (std::size_t i = 0; i < m; ++i) {
+        double lhs = 0.0;
+        for (std::size_t j = 0; j < n; ++j) lhs += rows[i][j] * sol.x[j];
+        EXPECT_GE(lhs, rhs[i] - 1e-6);
+    }
+    // Random feasible points never beat the reported optimum.
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<double> x(n);
+        for (std::size_t j = 0; j < n; ++j) x[j] = rng.next_double_in(0.0, 10.0);
+        bool feasible = true;
+        for (std::size_t i = 0; i < m && feasible; ++i) {
+            double lhs = 0.0;
+            for (std::size_t j = 0; j < n; ++j) lhs += rows[i][j] * x[j];
+            feasible = lhs >= rhs[i];
+        }
+        if (!feasible) continue;
+        double value = 0.0;
+        for (std::size_t j = 0; j < n; ++j) value += cost[j] * x[j];
+        EXPECT_GE(value, sol.objective - 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110));
+
+} // namespace
+} // namespace nocmap::lp

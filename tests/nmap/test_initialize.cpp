@@ -1,0 +1,115 @@
+#include "nmap/initialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "graph/random_graph.hpp"
+
+namespace nocmap::nmap {
+namespace {
+
+TEST(Initialize, ProducesCompleteValidMapping) {
+    const auto g = apps::make_application("vopd");
+    const auto topo = noc::Topology::mesh(4, 4, 1e9);
+    const auto m = initial_mapping(g, topo);
+    EXPECT_TRUE(m.is_complete());
+    EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Initialize, SeedCoreOnMaxDegreeTile) {
+    const auto g = apps::make_application("vopd");
+    const auto topo = noc::Topology::mesh(4, 4, 1e9);
+    const auto m = initial_mapping(g, topo);
+    // Find the core with max traffic; its tile must have degree 4 (an
+    // interior tile of the 4x4 mesh).
+    graph::NodeId heaviest = 0;
+    double best = -1.0;
+    for (std::size_t v = 0; v < g.node_count(); ++v) {
+        const double t = g.node_traffic(static_cast<graph::NodeId>(v));
+        if (t > best) {
+            best = t;
+            heaviest = static_cast<graph::NodeId>(v);
+        }
+    }
+    EXPECT_EQ(topo.degree(m.tile_of(heaviest)), 4u);
+}
+
+TEST(Initialize, TwoCoreChainPlacedAdjacent) {
+    graph::CoreGraph g;
+    g.add_node("a");
+    g.add_node("b");
+    g.add_edge("a", "b", 100);
+    const auto topo = noc::Topology::mesh(3, 3, 1e9);
+    const auto m = initial_mapping(g, topo);
+    EXPECT_EQ(topo.distance(m.tile_of(0), m.tile_of(1)), 1);
+}
+
+TEST(Initialize, HeavyPairEndsUpCloserThanLightPair) {
+    graph::CoreGraph g;
+    g.add_node("hub");
+    g.add_node("heavy");
+    g.add_node("light");
+    g.add_edge("hub", "heavy", 1000);
+    g.add_edge("hub", "light", 1);
+    const auto topo = noc::Topology::mesh(3, 3, 1e9);
+    const auto m = initial_mapping(g, topo);
+    EXPECT_LE(topo.distance(m.tile_of(0), m.tile_of(1)),
+              topo.distance(m.tile_of(0), m.tile_of(2)));
+    EXPECT_EQ(topo.distance(m.tile_of(0), m.tile_of(1)), 1);
+}
+
+TEST(Initialize, Deterministic) {
+    const auto g = apps::make_application("mpeg4");
+    const auto topo = noc::Topology::mesh(4, 4, 1e9);
+    EXPECT_EQ(initial_mapping(g, topo), initial_mapping(g, topo));
+}
+
+TEST(Initialize, ThrowsWhenGraphDoesNotFit) {
+    const auto g = apps::make_application("vopd"); // 16 cores
+    const auto topo = noc::Topology::mesh(3, 3, 1e9);
+    EXPECT_THROW(initial_mapping(g, topo), std::invalid_argument);
+    EXPECT_THROW(initial_mapping(graph::CoreGraph{}, topo), std::invalid_argument);
+}
+
+TEST(Initialize, HandlesDisconnectedGraphs) {
+    graph::CoreGraph g;
+    g.add_node("a");
+    g.add_node("b");
+    g.add_node("island1");
+    g.add_node("island2");
+    g.add_edge("a", "b", 10);
+    const auto topo = noc::Topology::mesh(2, 2, 1e9);
+    const auto m = initial_mapping(g, topo);
+    EXPECT_TRUE(m.is_complete());
+    EXPECT_NO_THROW(m.validate());
+}
+
+class InitializeAppSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(InitializeAppSweep, CompleteOnSmallestMesh) {
+    const auto g = apps::make_application(GetParam());
+    const auto topo = noc::Topology::smallest_mesh_for(g.node_count(), 1e9);
+    const auto m = initial_mapping(g, topo);
+    EXPECT_TRUE(m.is_complete());
+    EXPECT_NO_THROW(m.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, InitializeAppSweep,
+                         ::testing::Values("mpeg4", "vopd", "pip", "mwa", "mwag",
+                                           "dsd", "dsp"));
+
+TEST(Initialize, RandomGraphsOfVaryingSize) {
+    for (const std::size_t n : {5u, 12u, 25u, 40u}) {
+        graph::RandomGraphConfig cfg;
+        cfg.core_count = n;
+        cfg.seed = n;
+        const auto g = generate_random_core_graph(cfg);
+        const auto topo = noc::Topology::smallest_mesh_for(n, 1e9);
+        const auto m = initial_mapping(g, topo);
+        EXPECT_TRUE(m.is_complete());
+        EXPECT_NO_THROW(m.validate());
+    }
+}
+
+} // namespace
+} // namespace nocmap::nmap

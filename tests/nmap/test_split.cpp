@@ -1,0 +1,179 @@
+#include "nmap/split.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "nmap/initialize.hpp"
+#include "nmap/single_path.hpp"
+#include "noc/commodity.hpp"
+
+namespace nocmap::nmap {
+namespace {
+
+TEST(Split, FeasibleWhereSinglePathIsNot) {
+    // One heavy flow larger than any single link: splitting is required.
+    graph::CoreGraph g;
+    g.add_node("a");
+    g.add_node("b");
+    g.add_edge("a", "b", 150.0);
+    auto topo = noc::Topology::mesh(2, 2, 100.0);
+
+    const auto single = map_with_single_path(g, topo);
+    EXPECT_FALSE(single.feasible);
+
+    SplitOptions opt;
+    opt.mode = SplitMode::AllPaths;
+    const auto split = map_with_splitting(g, topo, opt);
+    EXPECT_TRUE(split.feasible);
+    EXPECT_LT(split.comm_cost, kMaxValue);
+    EXPECT_TRUE(noc::satisfies_bandwidth(topo, split.loads, 1e-4));
+}
+
+TEST(Split, FlowsConserveAndMatchLoads) {
+    const auto g = apps::make_application("pip");
+    const auto topo = noc::Topology::mesh(4, 2, 1e9);
+    SplitOptions opt;
+    const auto result = map_with_splitting(g, topo, opt);
+    ASSERT_TRUE(result.feasible);
+    const auto d = noc::build_commodities(g, result.mapping);
+    EXPECT_NEAR(lp::max_conservation_violation(topo, d, result.flows), 0.0, 1e-5);
+    for (std::size_t l = 0; l < topo.link_count(); ++l) {
+        double sum = 0.0;
+        for (const auto& flow : result.flows) sum += flow[l];
+        EXPECT_NEAR(sum, result.loads[l], 1e-6);
+    }
+}
+
+TEST(Split, CostLowerBoundedByMappingCost) {
+    // MCF2 total flow >= Σ value * distance (each unit travels >= distance).
+    const auto g = apps::make_application("pip");
+    const auto topo = noc::Topology::mesh(4, 2, 1e9);
+    const auto result = map_with_splitting(g, topo);
+    ASSERT_TRUE(result.feasible);
+    const auto d = noc::build_commodities(g, result.mapping);
+    EXPECT_GE(result.comm_cost, noc::communication_cost(topo, d) - 1e-4);
+    // With ample capacity, shortest paths are optimal: equality.
+    EXPECT_NEAR(result.comm_cost, noc::communication_cost(topo, d), 1e-2);
+}
+
+TEST(Split, MinPathsModeStaysInQuadrants) {
+    const auto g = apps::make_application("pip");
+    const auto topo = noc::Topology::mesh(4, 2, 1e9);
+    SplitOptions opt;
+    opt.mode = SplitMode::MinPaths;
+    const auto result = map_with_splitting(g, topo, opt);
+    ASSERT_TRUE(result.feasible);
+    const auto d = noc::build_commodities(g, result.mapping);
+    for (std::size_t k = 0; k < d.size(); ++k)
+        for (std::size_t l = 0; l < topo.link_count(); ++l) {
+            if (result.flows[k][l] <= 1e-6) continue;
+            const noc::Link& link = topo.link(static_cast<noc::LinkId>(l));
+            EXPECT_TRUE(topo.in_quadrant(link.src, d[k].src_tile, d[k].dst_tile));
+            EXPECT_TRUE(topo.in_quadrant(link.dst, d[k].src_tile, d[k].dst_tile));
+        }
+    // Quadrant flows are minimal: total flow equals the Eq.7 cost exactly.
+    EXPECT_NEAR(result.comm_cost, noc::communication_cost(topo, d), 1e-2);
+}
+
+TEST(Split, SplitNeedsNoMoreBandwidthThanSinglePath) {
+    // For the same mapping, the min-max split load never exceeds the
+    // single-path peak load.
+    const auto g = apps::make_application("dsp");
+    const auto topo = noc::Topology::mesh(3, 2, 1e9);
+    const auto single = map_with_single_path(g, topo);
+    const auto d = noc::build_commodities(g, single.mapping);
+
+    lp::McfOptions mcf;
+    mcf.objective = lp::McfObjective::MinMaxLoad;
+    const auto split = lp::solve_mcf(topo, d, mcf);
+    ASSERT_TRUE(split.solved);
+    EXPECT_LE(split.objective, noc::max_load(single.loads) + 1e-6);
+}
+
+TEST(Split, ExactInnerLpOnTinyInstance) {
+    graph::CoreGraph g;
+    g.add_node("a");
+    g.add_node("b");
+    g.add_node("c");
+    g.add_edge("a", "b", 120.0);
+    g.add_edge("b", "c", 40.0);
+    const auto topo = noc::Topology::mesh(2, 2, 100.0);
+    SplitOptions opt;
+    opt.exact_inner_lp = true;
+    const auto result = map_with_splitting(g, topo, opt);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_TRUE(noc::satisfies_bandwidth(topo, result.loads, 1e-4));
+}
+
+TEST(Split, Deterministic) {
+    const auto g = apps::make_application("dsp");
+    const auto topo = noc::Topology::mesh(3, 2, 1e9);
+    const auto a = map_with_splitting(g, topo);
+    const auto b = map_with_splitting(g, topo);
+    EXPECT_EQ(a.mapping, b.mapping);
+    EXPECT_NEAR(a.comm_cost, b.comm_cost, 1e-9);
+}
+
+TEST(Split, BandwidthModeNeverWorseThanRemappingCostOptimal) {
+    // The Figure-4 variant searches mappings for minimum min-max load; it
+    // must never need more bandwidth than its own starting point
+    // (initialize()) re-routed with splitting.
+    const auto g = apps::make_application("pip");
+    const auto topo = noc::Topology::mesh(4, 2, 1e9);
+    SplitOptions opt;
+    opt.optimize_bandwidth = true;
+    const auto optimized = map_with_splitting(g, topo, opt);
+    ASSERT_TRUE(optimized.feasible);
+
+    const auto init = initial_mapping(g, topo);
+    lp::McfOptions minmax;
+    minmax.objective = lp::McfObjective::MinMaxLoad;
+    const auto rerouted = lp::solve_mcf(topo, noc::build_commodities(g, init), minmax);
+    EXPECT_LE(noc::max_load(optimized.loads), rerouted.objective + 1e-6);
+}
+
+TEST(Split, BandwidthModeQuadrantFlowsStayMinimal) {
+    const auto g = apps::make_application("dsp");
+    const auto topo = noc::Topology::mesh(3, 2, 1e9);
+    SplitOptions opt;
+    opt.optimize_bandwidth = true;
+    opt.mode = SplitMode::MinPaths;
+    const auto result = map_with_splitting(g, topo, opt);
+    ASSERT_TRUE(result.feasible);
+    const auto d = noc::build_commodities(g, result.mapping);
+    for (std::size_t k = 0; k < d.size(); ++k)
+        for (std::size_t l = 0; l < topo.link_count(); ++l) {
+            if (result.flows[k][l] <= 1e-6) continue;
+            const noc::Link& link = topo.link(static_cast<noc::LinkId>(l));
+            EXPECT_TRUE(topo.in_quadrant(link.src, d[k].src_tile, d[k].dst_tile));
+            EXPECT_TRUE(topo.in_quadrant(link.dst, d[k].src_tile, d[k].dst_tile));
+        }
+}
+
+TEST(Split, BandwidthModeReportsMcf2Cost) {
+    const auto g = apps::make_application("dsp");
+    const auto topo = noc::Topology::mesh(3, 2, 1e9);
+    SplitOptions opt;
+    opt.optimize_bandwidth = true;
+    const auto result = map_with_splitting(g, topo, opt);
+    ASSERT_TRUE(result.feasible);
+    // comm_cost is the MCF2 flow of the final mapping: bounded below by the
+    // Eq.7 mapping cost.
+    const auto d = noc::build_commodities(g, result.mapping);
+    EXPECT_GE(result.comm_cost, noc::communication_cost(topo, d) - 1e-6);
+}
+
+TEST(Split, ReportsInfeasibleWhenTrulyImpossible) {
+    // Demand exceeding the source's total outgoing capacity can never fit.
+    graph::CoreGraph g;
+    g.add_node("a");
+    g.add_node("b");
+    g.add_edge("a", "b", 500.0);
+    const auto topo = noc::Topology::mesh(2, 2, 100.0); // corner cut = 200
+    const auto result = map_with_splitting(g, topo);
+    EXPECT_FALSE(result.feasible);
+    EXPECT_EQ(result.comm_cost, kMaxValue);
+}
+
+} // namespace
+} // namespace nocmap::nmap

@@ -1,0 +1,68 @@
+#include "noc/commodity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocmap::noc {
+namespace {
+
+graph::CoreGraph two_edge_graph() {
+    graph::CoreGraph g;
+    g.add_node("a");
+    g.add_node("b");
+    g.add_node("c");
+    g.add_edge("a", "b", 100);
+    g.add_edge("b", "c", 300);
+    return g;
+}
+
+TEST(Commodity, BuildMirrorsEdges) {
+    const auto g = two_edge_graph();
+    Mapping m(3, 4);
+    m.place(0, 0);
+    m.place(1, 1);
+    m.place(2, 3);
+    const auto d = build_commodities(g, m);
+    ASSERT_EQ(d.size(), 2u);
+    EXPECT_EQ(d[0].id, 0);
+    EXPECT_EQ(d[0].src_core, 0);
+    EXPECT_EQ(d[0].dst_core, 1);
+    EXPECT_EQ(d[0].src_tile, 0);
+    EXPECT_EQ(d[0].dst_tile, 1);
+    EXPECT_DOUBLE_EQ(d[0].value, 100.0);
+    EXPECT_EQ(d[1].src_tile, 1);
+    EXPECT_EQ(d[1].dst_tile, 3);
+}
+
+TEST(Commodity, ThrowsOnIncompleteMapping) {
+    const auto g = two_edge_graph();
+    Mapping m(3, 4);
+    m.place(0, 0);
+    EXPECT_THROW(build_commodities(g, m), std::logic_error);
+}
+
+TEST(Commodity, SortByDecreasingValue) {
+    std::vector<Commodity> d(3);
+    d[0].id = 0;
+    d[0].value = 10;
+    d[1].id = 1;
+    d[1].value = 30;
+    d[2].id = 2;
+    d[2].value = 30;
+    sort_by_decreasing_value(d);
+    EXPECT_EQ(d[0].id, 1); // ties keep id order
+    EXPECT_EQ(d[1].id, 2);
+    EXPECT_EQ(d[2].id, 0);
+}
+
+TEST(Commodity, TotalValue) {
+    const auto g = two_edge_graph();
+    Mapping m(3, 3);
+    m.place(0, 0);
+    m.place(1, 1);
+    m.place(2, 2);
+    EXPECT_DOUBLE_EQ(total_value(build_commodities(g, m)), 400.0);
+    EXPECT_DOUBLE_EQ(total_value({}), 0.0);
+}
+
+} // namespace
+} // namespace nocmap::noc

@@ -1,0 +1,111 @@
+// Custom (non-grid) fabrics — the paper's "various NoC topologies"
+// extension: rings, hypercubes and arbitrary strongly-connected link lists.
+
+#include <gtest/gtest.h>
+
+#include "noc/topology.hpp"
+
+namespace nocmap::noc {
+namespace {
+
+TEST(CustomTopology, RingStructure) {
+    const auto ring = Topology::ring(6, 100.0);
+    EXPECT_EQ(ring.kind(), TopologyKind::Custom);
+    EXPECT_EQ(ring.tile_count(), 6u);
+    EXPECT_EQ(ring.link_count(), 12u);
+    for (std::size_t t = 0; t < 6; ++t)
+        EXPECT_EQ(ring.degree(static_cast<TileId>(t)), 2u);
+    // Ring distance wraps: opposite tiles are 3 apart, neighbours 1.
+    EXPECT_EQ(ring.distance(0, 3), 3);
+    EXPECT_EQ(ring.distance(0, 5), 1);
+    EXPECT_EQ(ring.distance(2, 2), 0);
+}
+
+TEST(CustomTopology, HypercubeStructure) {
+    const auto cube = Topology::hypercube(3, 100.0);
+    EXPECT_EQ(cube.tile_count(), 8u);
+    EXPECT_EQ(cube.link_count(), 24u); // 8 * 3 directed links
+    // Distance equals Hamming distance.
+    EXPECT_EQ(cube.distance(0b000, 0b111), 3);
+    EXPECT_EQ(cube.distance(0b000, 0b101), 2);
+    EXPECT_EQ(cube.distance(0b010, 0b011), 1);
+    EXPECT_THROW(Topology::hypercube(0, 1.0), std::invalid_argument);
+    EXPECT_THROW(Topology::hypercube(11, 1.0), std::invalid_argument);
+}
+
+TEST(CustomTopology, CustomValidation) {
+    std::vector<Link> links{{0, 1, 10.0}, {1, 0, 10.0}};
+    EXPECT_NO_THROW(Topology::custom(2, links));
+    EXPECT_THROW(Topology::custom(0, {}), std::invalid_argument);
+    // Out-of-range endpoint.
+    EXPECT_THROW(Topology::custom(2, {{0, 5, 10.0}, {5, 0, 10.0}}),
+                 std::invalid_argument);
+    // Self-link.
+    EXPECT_THROW(Topology::custom(2, {{0, 0, 10.0}}), std::invalid_argument);
+    // Duplicate directed pair.
+    EXPECT_THROW(Topology::custom(2, {{0, 1, 10.0}, {0, 1, 5.0}, {1, 0, 10.0}}),
+                 std::invalid_argument);
+    // Not strongly connected (one-way edge only).
+    EXPECT_THROW(Topology::custom(2, {{0, 1, 10.0}}), std::invalid_argument);
+    // Disconnected third tile.
+    EXPECT_THROW(Topology::custom(3, {{0, 1, 10.0}, {1, 0, 10.0}}),
+                 std::invalid_argument);
+}
+
+TEST(CustomTopology, AsymmetricDirectedDistances) {
+    // Directed triangle: 0->1->2->0 — distances are direction-dependent.
+    const auto tri = Topology::custom(
+        3, {{0, 1, 10.0}, {1, 2, 10.0}, {2, 0, 10.0}});
+    EXPECT_EQ(tri.distance(0, 1), 1);
+    EXPECT_EQ(tri.distance(1, 0), 2);
+    EXPECT_EQ(tri.distance(0, 2), 2);
+    EXPECT_EQ(tri.distance(2, 0), 1);
+}
+
+TEST(CustomTopology, GridAccessorsThrow) {
+    const auto ring = Topology::ring(4, 1.0);
+    EXPECT_THROW(ring.coord(0), std::logic_error);
+    EXPECT_THROW(ring.tile_at(0, 0), std::logic_error);
+    EXPECT_THROW(ring.x_distance(0, 1), std::logic_error);
+    EXPECT_EQ(ring.tile_name(2), "t2");
+}
+
+TEST(CustomTopology, QuadrantIsMinimalPathSet) {
+    const auto ring = Topology::ring(6, 1.0);
+    // From 0 to 2 the only minimal path is 0-1-2.
+    const auto q = ring.quadrant_tiles(0, 2);
+    EXPECT_EQ(q, (std::vector<TileId>{0, 1, 2}));
+    // From 0 to 3 both directions are minimal: every tile qualifies.
+    EXPECT_EQ(ring.quadrant_tiles(0, 3).size(), 6u);
+    EXPECT_TRUE(ring.in_quadrant(4, 0, 3));
+    EXPECT_FALSE(ring.in_quadrant(4, 0, 2));
+}
+
+TEST(CustomTopology, QuadrantDefinitionMatchesGridVersionOnMesh) {
+    // Building the same 3x3 mesh as a custom fabric must give identical
+    // distances and quadrants (sanity of the generic definitions).
+    const auto mesh = Topology::mesh(3, 3, 1.0);
+    std::vector<Link> links(mesh.links().begin(), mesh.links().end());
+    const auto custom = Topology::custom(mesh.tile_count(), links);
+    for (std::size_t a = 0; a < mesh.tile_count(); ++a)
+        for (std::size_t b = 0; b < mesh.tile_count(); ++b) {
+            EXPECT_EQ(mesh.distance(static_cast<TileId>(a), static_cast<TileId>(b)),
+                      custom.distance(static_cast<TileId>(a), static_cast<TileId>(b)));
+            EXPECT_EQ(mesh.quadrant_tiles(static_cast<TileId>(a), static_cast<TileId>(b)),
+                      custom.quadrant_tiles(static_cast<TileId>(a), static_cast<TileId>(b)));
+        }
+}
+
+TEST(CustomTopology, UnitAdjacencyAndCapacities) {
+    auto cube = Topology::hypercube(2, 50.0);
+    EXPECT_TRUE(cube.has_uniform_capacity());
+    cube.set_link_capacity(0, 75.0);
+    EXPECT_FALSE(cube.has_uniform_capacity());
+    const auto adj = cube.unit_adjacency();
+    std::size_t entries = 0;
+    for (const auto& list : adj) entries += list.size();
+    EXPECT_EQ(entries, cube.link_count());
+}
+
+} // namespace
+} // namespace nocmap::noc

@@ -1,0 +1,101 @@
+#include "noc/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocmap::noc {
+namespace {
+
+TEST(Mapping, PlaceAndLookup) {
+    Mapping m(3, 6);
+    m.place(0, 4);
+    EXPECT_TRUE(m.is_placed(0));
+    EXPECT_TRUE(m.is_occupied(4));
+    EXPECT_EQ(m.tile_of(0), 4);
+    EXPECT_EQ(m.core_at(4), 0);
+    EXPECT_EQ(m.core_at(0), graph::kInvalidNode);
+    EXPECT_FALSE(m.is_complete());
+    EXPECT_EQ(m.placed_count(), 1u);
+}
+
+TEST(Mapping, RejectsMoreCoresThanTiles) {
+    EXPECT_THROW(Mapping(5, 4), std::invalid_argument);
+}
+
+TEST(Mapping, RejectsDoublePlacement) {
+    Mapping m(2, 4);
+    m.place(0, 1);
+    EXPECT_THROW(m.place(0, 2), std::logic_error); // core reused
+    EXPECT_THROW(m.place(1, 1), std::logic_error); // tile reused
+}
+
+TEST(Mapping, UnplaceFreesBoth) {
+    Mapping m(2, 4);
+    m.place(0, 1);
+    m.unplace(0);
+    EXPECT_FALSE(m.is_placed(0));
+    EXPECT_FALSE(m.is_occupied(1));
+    EXPECT_THROW(m.unplace(0), std::logic_error);
+    m.place(1, 1); // tile reusable after unplace
+}
+
+TEST(Mapping, TileOfUnplacedThrows) {
+    Mapping m(2, 4);
+    EXPECT_THROW(m.tile_of(0), std::logic_error);
+    EXPECT_THROW(m.tile_of(9), std::out_of_range);
+    EXPECT_THROW(m.core_at(9), std::out_of_range);
+}
+
+TEST(Mapping, SwapOccupiedTiles) {
+    Mapping m(2, 4);
+    m.place(0, 0);
+    m.place(1, 3);
+    m.swap_tiles(0, 3);
+    EXPECT_EQ(m.tile_of(0), 3);
+    EXPECT_EQ(m.tile_of(1), 0);
+    m.validate();
+}
+
+TEST(Mapping, SwapWithEmptyTileMovesCore) {
+    Mapping m(1, 4);
+    m.place(0, 0);
+    m.swap_tiles(0, 2);
+    EXPECT_EQ(m.tile_of(0), 2);
+    EXPECT_FALSE(m.is_occupied(0));
+    m.validate();
+}
+
+TEST(Mapping, SwapTwoEmptyTilesIsNoop) {
+    Mapping m(1, 4);
+    m.place(0, 0);
+    m.swap_tiles(1, 2);
+    EXPECT_EQ(m.tile_of(0), 0);
+    m.validate();
+}
+
+TEST(Mapping, SwapSameTileIsNoop) {
+    Mapping m(1, 4);
+    m.place(0, 1);
+    m.swap_tiles(1, 1);
+    EXPECT_EQ(m.tile_of(0), 1);
+    m.validate();
+}
+
+TEST(Mapping, CompleteFlag) {
+    Mapping m(2, 2);
+    m.place(0, 0);
+    m.place(1, 1);
+    EXPECT_TRUE(m.is_complete());
+}
+
+TEST(Mapping, EqualityAndCopy) {
+    Mapping a(2, 4);
+    a.place(0, 1);
+    Mapping b = a;
+    EXPECT_EQ(a, b);
+    b.swap_tiles(1, 2);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a.tile_of(0), 1); // copy is independent
+}
+
+} // namespace
+} // namespace nocmap::noc

@@ -1,0 +1,81 @@
+#include "noc/mapping_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "nmap/initialize.hpp"
+
+namespace nocmap::noc {
+namespace {
+
+struct Fixture {
+    graph::CoreGraph graph = apps::make_application("dsp");
+    Topology topo = Topology::mesh(3, 2, 1e9);
+    Mapping mapping = nmap::initial_mapping(graph, topo);
+};
+
+TEST(MappingIo, Roundtrip) {
+    Fixture f;
+    const auto text = mapping_to_string(f.graph, f.topo, f.mapping);
+    const auto parsed = mapping_from_string(text, f.graph, f.topo);
+    EXPECT_EQ(parsed, f.mapping);
+}
+
+TEST(MappingIo, RoundtripPartialMapping) {
+    Fixture f;
+    Mapping partial(f.graph.node_count(), f.topo.tile_count());
+    partial.place(0, 3);
+    partial.place(2, 5);
+    const auto parsed =
+        mapping_from_string(mapping_to_string(f.graph, f.topo, partial), f.graph, f.topo);
+    EXPECT_EQ(parsed, partial);
+    EXPECT_EQ(parsed.placed_count(), 2u);
+}
+
+TEST(MappingIo, HeaderIsValidated) {
+    Fixture f;
+    EXPECT_THROW(mapping_from_string("place arm 0 0\n", f.graph, f.topo),
+                 std::runtime_error); // missing header
+    EXPECT_THROW(
+        mapping_from_string("mapping dsp torus 3x2\n", f.graph, f.topo),
+        std::runtime_error); // wrong kind
+    EXPECT_THROW(
+        mapping_from_string("mapping dsp mesh 4x2\n", f.graph, f.topo),
+        std::runtime_error); // wrong dims
+}
+
+TEST(MappingIo, RejectsBadPlacements) {
+    Fixture f;
+    const std::string header = "mapping dsp mesh 3x2\n";
+    EXPECT_THROW(mapping_from_string(header + "place nosuchcore 0 0\n", f.graph, f.topo),
+                 std::runtime_error);
+    EXPECT_THROW(mapping_from_string(header + "place arm 9 0\n", f.graph, f.topo),
+                 std::runtime_error);
+    EXPECT_THROW(mapping_from_string(header + "place arm 0 0\nplace arm 1 0\n",
+                                     f.graph, f.topo),
+                 std::runtime_error); // core twice
+    EXPECT_THROW(mapping_from_string(header + "place arm 0 0\nplace fft 0 0\n",
+                                     f.graph, f.topo),
+                 std::runtime_error); // tile twice
+}
+
+TEST(MappingIo, ErrorsCarryLineNumbers) {
+    Fixture f;
+    try {
+        mapping_from_string("mapping dsp mesh 3x2\n# comment\nplace bogus 0 0\n",
+                            f.graph, f.topo);
+        FAIL() << "expected parse error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    }
+}
+
+TEST(MappingIo, CommentsAndBlanksIgnored) {
+    Fixture f;
+    const auto parsed = mapping_from_string(
+        "# saved by nocmap\nmapping dsp mesh 3x2\n\nplace arm 2 1\n", f.graph, f.topo);
+    EXPECT_EQ(parsed.tile_of(f.graph.find_node("arm").value()), f.topo.tile_at(2, 1));
+}
+
+} // namespace
+} // namespace nocmap::noc

@@ -1,0 +1,162 @@
+#include "noc/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace nocmap::noc {
+namespace {
+
+TEST(Topology, MeshCounts) {
+    const auto m = Topology::mesh(4, 4, 100.0);
+    EXPECT_EQ(m.tile_count(), 16u);
+    // Directed links: 2 * ((w-1)*h + w*(h-1)) = 2 * (12 + 12) = 48.
+    EXPECT_EQ(m.link_count(), 48u);
+    EXPECT_EQ(m.kind(), TopologyKind::Mesh);
+}
+
+TEST(Topology, NonSquareMeshCounts) {
+    const auto m = Topology::mesh(3, 2, 50.0);
+    EXPECT_EQ(m.tile_count(), 6u);
+    EXPECT_EQ(m.link_count(), 2u * (2 * 2 + 3 * 1));
+}
+
+TEST(Topology, TorusCounts) {
+    const auto t = Topology::torus(4, 3, 100.0);
+    EXPECT_EQ(t.tile_count(), 12u);
+    // Every tile has 4 outgoing links on a torus.
+    EXPECT_EQ(t.link_count(), 4u * 12u);
+    for (std::size_t i = 0; i < t.tile_count(); ++i)
+        EXPECT_EQ(t.degree(static_cast<TileId>(i)), 4u);
+}
+
+TEST(Topology, RejectsBadDimensions) {
+    EXPECT_THROW(Topology::mesh(0, 4, 1.0), std::invalid_argument);
+    EXPECT_THROW(Topology::mesh(4, -1, 1.0), std::invalid_argument);
+    EXPECT_THROW(Topology::torus(2, 4, 1.0), std::invalid_argument);
+    EXPECT_THROW(Topology::mesh(2, 2, 0.0), std::invalid_argument);
+}
+
+TEST(Topology, CoordinateRoundtrip) {
+    const auto m = Topology::mesh(5, 3, 1.0);
+    for (std::int32_t y = 0; y < 3; ++y)
+        for (std::int32_t x = 0; x < 5; ++x) {
+            const TileId t = m.tile_at(x, y);
+            EXPECT_EQ(m.coord(t).x, x);
+            EXPECT_EQ(m.coord(t).y, y);
+        }
+    EXPECT_THROW(m.tile_at(5, 0), std::out_of_range);
+    EXPECT_THROW(m.coord(99), std::out_of_range);
+}
+
+TEST(Topology, MeshDegrees) {
+    const auto m = Topology::mesh(4, 4, 1.0);
+    EXPECT_EQ(m.degree(m.tile_at(0, 0)), 2u); // corner
+    EXPECT_EQ(m.degree(m.tile_at(1, 0)), 3u); // edge
+    EXPECT_EQ(m.degree(m.tile_at(1, 1)), 4u); // centre
+}
+
+TEST(Topology, LinkBetweenAdjacentOnly) {
+    const auto m = Topology::mesh(3, 3, 1.0);
+    EXPECT_TRUE(m.link_between(m.tile_at(0, 0), m.tile_at(1, 0)).has_value());
+    EXPECT_TRUE(m.link_between(m.tile_at(1, 0), m.tile_at(0, 0)).has_value());
+    EXPECT_FALSE(m.link_between(m.tile_at(0, 0), m.tile_at(2, 0)).has_value());
+    EXPECT_FALSE(m.link_between(m.tile_at(0, 0), m.tile_at(1, 1)).has_value());
+}
+
+TEST(Topology, MeshDistanceIsManhattan) {
+    const auto m = Topology::mesh(4, 4, 1.0);
+    EXPECT_EQ(m.distance(m.tile_at(0, 0), m.tile_at(3, 3)), 6);
+    EXPECT_EQ(m.distance(m.tile_at(2, 1), m.tile_at(2, 1)), 0);
+    EXPECT_EQ(m.x_distance(m.tile_at(0, 2), m.tile_at(3, 2)), 3);
+    EXPECT_EQ(m.y_distance(m.tile_at(0, 0), m.tile_at(0, 3)), 3);
+}
+
+TEST(Topology, TorusDistanceWraps) {
+    const auto t = Topology::torus(5, 4, 1.0);
+    EXPECT_EQ(t.x_distance(t.tile_at(0, 0), t.tile_at(4, 0)), 1);
+    EXPECT_EQ(t.y_distance(t.tile_at(0, 0), t.tile_at(0, 3)), 1);
+    EXPECT_EQ(t.distance(t.tile_at(0, 0), t.tile_at(4, 3)), 2);
+    EXPECT_EQ(t.distance(t.tile_at(0, 0), t.tile_at(2, 2)), 4);
+}
+
+TEST(Topology, QuadrantIsRectangleOnMesh) {
+    const auto m = Topology::mesh(4, 4, 1.0);
+    const TileId a = m.tile_at(1, 0);
+    const TileId b = m.tile_at(3, 2);
+    const auto tiles = m.quadrant_tiles(a, b);
+    EXPECT_EQ(tiles.size(), 9u); // 3 x 3 rectangle
+    for (const TileId t : tiles) {
+        const auto c = m.coord(t);
+        EXPECT_GE(c.x, 1);
+        EXPECT_LE(c.x, 3);
+        EXPECT_GE(c.y, 0);
+        EXPECT_LE(c.y, 2);
+        EXPECT_TRUE(m.in_quadrant(t, a, b));
+    }
+}
+
+TEST(Topology, InQuadrantMatchesQuadrantTilesOnMesh) {
+    const auto m = Topology::mesh(5, 4, 1.0);
+    for (std::size_t a = 0; a < m.tile_count(); ++a)
+        for (std::size_t b = 0; b < m.tile_count(); ++b) {
+            const auto tiles =
+                m.quadrant_tiles(static_cast<TileId>(a), static_cast<TileId>(b));
+            const std::set<TileId> inside(tiles.begin(), tiles.end());
+            for (std::size_t t = 0; t < m.tile_count(); ++t)
+                EXPECT_EQ(inside.count(static_cast<TileId>(t)) == 1,
+                          m.in_quadrant(static_cast<TileId>(t), static_cast<TileId>(a),
+                                        static_cast<TileId>(b)))
+                    << "a=" << a << " b=" << b << " t=" << t;
+        }
+}
+
+TEST(Topology, QuadrantDegenerateCases) {
+    const auto m = Topology::mesh(4, 4, 1.0);
+    const TileId a = m.tile_at(2, 2);
+    EXPECT_EQ(m.quadrant_tiles(a, a).size(), 1u);
+    // Same row: quadrant is the row segment.
+    const auto row = m.quadrant_tiles(m.tile_at(0, 1), m.tile_at(3, 1));
+    EXPECT_EQ(row.size(), 4u);
+}
+
+TEST(Topology, SmallestMeshForCoreCounts) {
+    EXPECT_EQ(Topology::smallest_mesh_for(16, 1.0).tile_count(), 16u);
+    EXPECT_EQ(Topology::smallest_mesh_for(14, 1.0).tile_count(), 15u); // 5x3
+    EXPECT_EQ(Topology::smallest_mesh_for(8, 1.0).tile_count(), 8u);   // 4x2
+    EXPECT_EQ(Topology::smallest_mesh_for(1, 1.0).tile_count(), 1u);
+    const auto m = Topology::smallest_mesh_for(6, 1.0);
+    EXPECT_EQ(m.tile_count(), 6u); // 3x2
+    EXPECT_GE(m.width(), m.height());
+    EXPECT_THROW(Topology::smallest_mesh_for(0, 1.0), std::invalid_argument);
+}
+
+TEST(Topology, CapacityManagement) {
+    auto m = Topology::mesh(3, 3, 100.0);
+    EXPECT_TRUE(m.has_uniform_capacity());
+    m.set_link_capacity(0, 250.0);
+    EXPECT_FALSE(m.has_uniform_capacity());
+    EXPECT_DOUBLE_EQ(m.link(0).capacity, 250.0);
+    m.set_uniform_capacity(500.0);
+    EXPECT_TRUE(m.has_uniform_capacity());
+    for (const Link& l : m.links()) EXPECT_DOUBLE_EQ(l.capacity, 500.0);
+    EXPECT_THROW(m.set_uniform_capacity(0.0), std::invalid_argument);
+    EXPECT_THROW(m.set_link_capacity(0, -5.0), std::invalid_argument);
+}
+
+TEST(Topology, UnitAdjacencyMirrorsLinks) {
+    const auto m = Topology::mesh(3, 2, 1.0);
+    const auto adj = m.unit_adjacency();
+    std::size_t entries = 0;
+    for (const auto& list : adj) entries += list.size();
+    EXPECT_EQ(entries, m.link_count());
+}
+
+TEST(Topology, TileNames) {
+    const auto m = Topology::mesh(3, 3, 1.0);
+    EXPECT_EQ(m.tile_name(m.tile_at(2, 1)), "(2,1)");
+}
+
+} // namespace
+} // namespace nocmap::noc

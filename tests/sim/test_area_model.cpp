@@ -1,0 +1,48 @@
+#include "sim/area_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocmap::sim {
+namespace {
+
+TEST(AreaModel, Table3Calibration) {
+    // The paper's Table 3: switch 1.08 mm2, NI 0.6 mm2, switch delay 7 cy
+    // at the 5-port / 8-flit / 4-byte configuration.
+    EXPECT_NEAR(switch_area_mm2(5), 1.08, 1e-9);
+    EXPECT_NEAR(ni_area_mm2(), 0.6, 1e-9);
+    EXPECT_EQ(switch_delay_cycles(), 7u);
+}
+
+TEST(AreaModel, MonotonicInPorts) {
+    AreaModelConfig cfg;
+    double previous = 0.0;
+    for (std::size_t ports = 2; ports <= 6; ++ports) {
+        const double area = switch_area_mm2(ports, cfg);
+        EXPECT_GT(area, previous);
+        previous = area;
+    }
+}
+
+TEST(AreaModel, MonotonicInBufferDepth) {
+    AreaModelConfig shallow;
+    shallow.buffer_depth_flits = 4;
+    AreaModelConfig deep;
+    deep.buffer_depth_flits = 16;
+    EXPECT_LT(switch_area_mm2(5, shallow), switch_area_mm2(5, deep));
+}
+
+TEST(AreaModel, FabricAreaSumsComponents) {
+    const auto topo = noc::Topology::mesh(3, 2, 1.0);
+    const double total = fabric_area_mm2(topo, 6);
+    // 2 corner routers on 3x2? Corners have degree 2; count by hand:
+    // degrees: corners (4x) = 2+1 ports=3, edges (2x) = 3+1=4.
+    double expected = 0.0;
+    for (std::size_t t = 0; t < topo.tile_count(); ++t)
+        expected += switch_area_mm2(topo.degree(static_cast<noc::TileId>(t)) + 1);
+    expected += 6 * ni_area_mm2();
+    EXPECT_NEAR(total, expected, 1e-9);
+    EXPECT_GT(total, 6 * 0.6);
+}
+
+} // namespace
+} // namespace nocmap::sim

@@ -1,0 +1,123 @@
+// Jitter statistics — the paper's motivation for NMAPTM: packets split
+// across *minimum* paths share one hop count and keep delivery jitter low.
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace nocmap::sim {
+namespace {
+
+FlowSpec flow_between(const noc::Topology& topo, noc::TileId src, noc::TileId dst,
+                      double mbps, std::int32_t id = 0) {
+    FlowSpec f;
+    f.commodity.id = id;
+    f.commodity.src_core = id;
+    f.commodity.dst_core = id + 50;
+    f.commodity.src_tile = src;
+    f.commodity.dst_tile = dst;
+    f.commodity.value = mbps;
+    f.paths.emplace_back(noc::xy_route(topo, src, dst), 1.0);
+    return f;
+}
+
+SimConfig smooth_config() {
+    SimConfig cfg;
+    cfg.warmup_cycles = 3'000;
+    cfg.measure_cycles = 80'000;
+    cfg.drain_cycles = 40'000;
+    cfg.traffic.burstiness = 1.0; // smooth arrivals isolate routing jitter
+    return cfg;
+}
+
+TEST(Jitter, SinglePathHopCountIsConstant) {
+    const auto topo = noc::Topology::mesh(3, 2, 1200.0);
+    Simulator sim(topo, {flow_between(topo, 0, 5, 200.0)}, smooth_config());
+    const auto stats = sim.run();
+    ASSERT_FALSE(stats.stalled);
+    const auto& fs = stats.flows[0];
+    EXPECT_DOUBLE_EQ(fs.hops.min(), fs.hops.max());
+    EXPECT_DOUBLE_EQ(fs.hops.mean(), 3.0);
+}
+
+TEST(Jitter, EqualLengthSplitKeepsHopSpreadZero) {
+    const auto topo = noc::Topology::mesh(2, 2, 1200.0);
+    FlowSpec f = flow_between(topo, topo.tile_at(0, 0), topo.tile_at(1, 1), 300.0);
+    f.paths.clear();
+    f.paths.emplace_back(noc::route_along(topo, {topo.tile_at(0, 0), topo.tile_at(1, 0),
+                                                 topo.tile_at(1, 1)}),
+                         0.5);
+    f.paths.emplace_back(noc::route_along(topo, {topo.tile_at(0, 0), topo.tile_at(0, 1),
+                                                 topo.tile_at(1, 1)}),
+                         0.5);
+    Simulator sim(topo, {f}, smooth_config());
+    const auto stats = sim.run();
+    ASSERT_FALSE(stats.stalled);
+    EXPECT_DOUBLE_EQ(stats.flows[0].hops.min(), stats.flows[0].hops.max());
+}
+
+TEST(Jitter, MixedLengthSplitShowsHopSpread) {
+    const auto topo = noc::Topology::mesh(3, 2, 1200.0);
+    const noc::TileId src = topo.tile_at(0, 0);
+    const noc::TileId dst = topo.tile_at(1, 0);
+    FlowSpec f = flow_between(topo, src, dst, 300.0);
+    f.paths.clear();
+    f.paths.emplace_back(noc::xy_route(topo, src, dst), 0.5); // 1 hop
+    f.paths.emplace_back(
+        noc::route_along(topo, {src, topo.tile_at(0, 1), topo.tile_at(1, 1), dst}),
+        0.5); // 3 hops
+    Simulator sim(topo, {f}, smooth_config());
+    const auto stats = sim.run();
+    ASSERT_FALSE(stats.stalled);
+    EXPECT_DOUBLE_EQ(stats.flows[0].hops.min(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.flows[0].hops.max(), 3.0);
+}
+
+TEST(Jitter, MixedLengthSplitHasHigherJitterThanEqualSplit) {
+    // Same demand, same endpoints: equal-hop split (TM-style) vs a split
+    // mixing 1-hop and 3-hop paths (TA-style). The mixed split must show
+    // strictly higher delivery jitter.
+    const auto topo = noc::Topology::mesh(3, 2, 900.0);
+    const noc::TileId src = topo.tile_at(0, 0);
+    const noc::TileId dst = topo.tile_at(1, 1);
+
+    FlowSpec equal = flow_between(topo, src, dst, 400.0);
+    equal.paths.clear();
+    equal.paths.emplace_back(
+        noc::route_along(topo, {src, topo.tile_at(1, 0), dst}), 0.5);
+    equal.paths.emplace_back(
+        noc::route_along(topo, {src, topo.tile_at(0, 1), dst}), 0.5);
+
+    FlowSpec mixed = equal;
+    mixed.paths.clear();
+    mixed.paths.emplace_back(
+        noc::route_along(topo, {src, topo.tile_at(1, 0), dst}), 0.5);
+    mixed.paths.emplace_back(
+        noc::route_along(topo, {src, topo.tile_at(0, 1), topo.tile_at(1, 1)}), 0.25);
+    mixed.paths.emplace_back(
+        noc::route_along(topo,
+                         {src, topo.tile_at(1, 0), topo.tile_at(2, 0), topo.tile_at(2, 1),
+                          dst}),
+        0.25); // 4 hops
+
+    Simulator equal_sim(topo, {equal}, smooth_config());
+    Simulator mixed_sim(topo, {mixed}, smooth_config());
+    const auto equal_stats = equal_sim.run();
+    const auto mixed_stats = mixed_sim.run();
+    ASSERT_FALSE(equal_stats.stalled);
+    ASSERT_FALSE(mixed_stats.stalled);
+    EXPECT_GT(mixed_stats.flows[0].jitter(), equal_stats.flows[0].jitter());
+}
+
+TEST(Jitter, InterArrivalMeanMatchesPacketRate) {
+    const auto topo = noc::Topology::mesh(2, 1, 1600.0);
+    SimConfig cfg = smooth_config();
+    Simulator sim(topo, {flow_between(topo, 0, 1, 320.0)}, cfg);
+    const auto stats = sim.run();
+    ASSERT_FALSE(stats.stalled);
+    // 320 MB/s -> 0.32 B/cy -> one 64B packet per 200 cycles.
+    EXPECT_NEAR(stats.flows[0].inter_arrival.mean(), 200.0, 20.0);
+}
+
+} // namespace
+} // namespace nocmap::sim

@@ -1,0 +1,65 @@
+#include "sim/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocmap::sim {
+namespace {
+
+FlowSpec make_flow(const noc::Topology& topo, noc::TileId src, noc::TileId dst,
+                   double value) {
+    FlowSpec f;
+    f.commodity.id = 0;
+    f.commodity.src_core = 0;
+    f.commodity.dst_core = 1;
+    f.commodity.src_tile = src;
+    f.commodity.dst_tile = dst;
+    f.commodity.value = value;
+    f.paths.emplace_back(noc::xy_route(topo, src, dst), 1.0);
+    return f;
+}
+
+TEST(FlowSpec, ValidSinglePath) {
+    const auto topo = noc::Topology::mesh(3, 3, 100.0);
+    EXPECT_NO_THROW(validate_flow_spec(topo, make_flow(topo, 0, 8, 50.0)));
+}
+
+TEST(FlowSpec, RejectsEmptyPaths) {
+    const auto topo = noc::Topology::mesh(3, 3, 100.0);
+    auto f = make_flow(topo, 0, 8, 50.0);
+    f.paths.clear();
+    EXPECT_THROW(validate_flow_spec(topo, f), std::invalid_argument);
+}
+
+TEST(FlowSpec, RejectsWeightsNotSummingToOne) {
+    const auto topo = noc::Topology::mesh(3, 3, 100.0);
+    auto f = make_flow(topo, 0, 8, 50.0);
+    f.paths[0].second = 0.7;
+    EXPECT_THROW(validate_flow_spec(topo, f), std::invalid_argument);
+    f.paths[0].second = 0.0;
+    EXPECT_THROW(validate_flow_spec(topo, f), std::invalid_argument);
+}
+
+TEST(FlowSpec, RejectsDisconnectedRoute) {
+    const auto topo = noc::Topology::mesh(3, 3, 100.0);
+    auto f = make_flow(topo, 0, 8, 50.0);
+    f.paths[0].first.pop_back(); // no longer reaches dst
+    EXPECT_THROW(validate_flow_spec(topo, f), std::invalid_argument);
+}
+
+TEST(FlowSpec, AcceptsMultipathSplit) {
+    const auto topo = noc::Topology::mesh(2, 2, 100.0);
+    FlowSpec f;
+    f.commodity.src_tile = topo.tile_at(0, 0);
+    f.commodity.dst_tile = topo.tile_at(1, 1);
+    f.commodity.value = 100.0;
+    const std::vector<noc::TileId> upper{topo.tile_at(0, 0), topo.tile_at(1, 0),
+                                         topo.tile_at(1, 1)};
+    const std::vector<noc::TileId> lower{topo.tile_at(0, 0), topo.tile_at(0, 1),
+                                         topo.tile_at(1, 1)};
+    f.paths.emplace_back(noc::route_along(topo, upper), 0.5);
+    f.paths.emplace_back(noc::route_along(topo, lower), 0.5);
+    EXPECT_NO_THROW(validate_flow_spec(topo, f));
+}
+
+} // namespace
+} // namespace nocmap::sim

@@ -1,0 +1,139 @@
+// Additional simulator behaviour: multipath distribution accuracy, output
+// buffering, hop-delay scaling and config edge cases.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/simulator.hpp"
+
+namespace nocmap::sim {
+namespace {
+
+FlowSpec base_flow(const noc::Topology& topo, noc::TileId src, noc::TileId dst,
+                   double mbps) {
+    FlowSpec f;
+    f.commodity.id = 0;
+    f.commodity.src_core = 0;
+    f.commodity.dst_core = 1;
+    f.commodity.src_tile = src;
+    f.commodity.dst_tile = dst;
+    f.commodity.value = mbps;
+    f.paths.emplace_back(noc::xy_route(topo, src, dst), 1.0);
+    return f;
+}
+
+SimConfig quick() {
+    SimConfig cfg;
+    cfg.warmup_cycles = 1'000;
+    cfg.measure_cycles = 60'000;
+    cfg.drain_cycles = 60'000;
+    return cfg;
+}
+
+TEST(SimulatorExtra, WeightedRoundRobinMatchesSplitRatios) {
+    // A 75/25 split must deliver packets on the two routes in that ratio.
+    const auto topo = noc::Topology::mesh(2, 2, 1500.0);
+    FlowSpec f = base_flow(topo, topo.tile_at(0, 0), topo.tile_at(1, 1), 400.0);
+    f.paths.clear();
+    const auto upper = noc::route_along(
+        topo, {topo.tile_at(0, 0), topo.tile_at(1, 0), topo.tile_at(1, 1)});
+    const auto lower = noc::route_along(
+        topo, {topo.tile_at(0, 0), topo.tile_at(0, 1), topo.tile_at(1, 1)});
+    f.paths.emplace_back(upper, 0.75);
+    f.paths.emplace_back(lower, 0.25);
+
+    Simulator sim(topo, {f}, quick());
+    const auto stats = sim.run();
+    ASSERT_FALSE(stats.stalled);
+
+    std::map<noc::LinkId, std::size_t> first_hop_count;
+    for (const auto& p : sim.packet_records())
+        if (p.completed) ++first_hop_count[p.route.front()];
+    const double upper_count = static_cast<double>(first_hop_count[upper.front()]);
+    const double lower_count = static_cast<double>(first_hop_count[lower.front()]);
+    const double fraction = upper_count / (upper_count + lower_count);
+    EXPECT_NEAR(fraction, 0.75, 0.01); // smoothed WRR is nearly exact
+}
+
+TEST(SimulatorExtra, TinyOutputBufferStillDeliversEverything) {
+    const auto topo = noc::Topology::mesh(3, 1, 900.0);
+    SimConfig cfg = quick();
+    cfg.output_buffer_depth_flits = 1; // minimal decoupling
+    Simulator sim(topo, {base_flow(topo, 0, 2, 300.0)}, cfg);
+    const auto stats = sim.run();
+    EXPECT_FALSE(stats.stalled);
+    EXPECT_EQ(stats.packets_injected, stats.packets_ejected);
+}
+
+TEST(SimulatorExtra, DeeperOutputBuffersNeverIncreaseLatency) {
+    const auto topo = noc::Topology::mesh(3, 1, 900.0);
+    SimConfig shallow = quick();
+    shallow.output_buffer_depth_flits = 1;
+    SimConfig deep = quick();
+    deep.output_buffer_depth_flits = 32;
+    Simulator a(topo, {base_flow(topo, 0, 2, 350.0)}, shallow);
+    Simulator b(topo, {base_flow(topo, 0, 2, 350.0)}, deep);
+    const double shallow_latency = a.run().packet_latency.mean();
+    const double deep_latency = b.run().packet_latency.mean();
+    EXPECT_LE(deep_latency, shallow_latency * 1.02);
+}
+
+TEST(SimulatorExtra, HopDelayShiftsLatencyLinearly) {
+    const auto topo = noc::Topology::mesh(4, 1, 1600.0);
+    SimConfig fast = quick();
+    fast.hop_delay_cycles = 1;
+    fast.traffic.burstiness = 1.0;
+    SimConfig slow = fast;
+    slow.hop_delay_cycles = 15;
+    Simulator a(topo, {base_flow(topo, 0, 3, 100.0)}, fast);
+    Simulator b(topo, {base_flow(topo, 0, 3, 100.0)}, slow);
+    const double fast_latency = a.run().packet_latency.mean();
+    const double slow_latency = b.run().packet_latency.mean();
+    // Three hops, 14 extra cycles each: +42 cycles, modulo queueing noise.
+    EXPECT_NEAR(slow_latency - fast_latency, 3.0 * 14.0, 8.0);
+}
+
+TEST(SimulatorExtra, ZeroFlowsRunsToCompletion) {
+    const auto topo = noc::Topology::mesh(2, 2, 1000.0);
+    Simulator sim(topo, {}, quick());
+    const auto stats = sim.run();
+    EXPECT_FALSE(stats.stalled);
+    EXPECT_EQ(stats.packets_injected, 0u);
+    EXPECT_EQ(stats.packets_ejected, 0u);
+}
+
+TEST(SimulatorExtra, ManyFlowsFromOneTileUsePerConnectionQueues) {
+    // Three flows from tile 0 to distinct destinations: with per-connection
+    // NI queues none of them starves even when one is heavy.
+    const auto topo = noc::Topology::mesh(2, 2, 1200.0);
+    std::vector<FlowSpec> flows;
+    int id = 0;
+    for (const noc::TileId dst : {topo.tile_at(1, 0), topo.tile_at(0, 1),
+                                  topo.tile_at(1, 1)}) {
+        auto f = base_flow(topo, topo.tile_at(0, 0), dst, dst == topo.tile_at(1, 0)
+                                                              ? 500.0
+                                                              : 60.0);
+        f.commodity.id = id++;
+        flows.push_back(std::move(f));
+    }
+    Simulator sim(topo, flows, quick());
+    const auto stats = sim.run();
+    ASSERT_FALSE(stats.stalled);
+    for (const auto& fs : stats.flows) {
+        EXPECT_GT(fs.packets_ejected, 0u) << "flow " << fs.flow;
+        EXPECT_EQ(fs.packets_ejected, fs.packets_injected) << "flow " << fs.flow;
+    }
+}
+
+TEST(SimulatorExtra, PacketBytesSmallerThanFlitRejected) {
+    const auto topo = noc::Topology::mesh(2, 1, 1000.0);
+    SimConfig cfg = quick();
+    cfg.packet_bytes = 2;
+    cfg.flit_bytes = 4;
+    EXPECT_THROW(Simulator(topo, {base_flow(topo, 0, 1, 100.0)}, cfg),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace nocmap::sim

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/simulator.hpp"
+
+namespace nocmap::sim {
+namespace {
+
+TEST(PacketTrace, RecordsMatchStats) {
+    const auto topo = noc::Topology::mesh(2, 1, 1200.0);
+    FlowSpec f;
+    f.commodity.id = 0;
+    f.commodity.src_core = 0;
+    f.commodity.dst_core = 1;
+    f.commodity.src_tile = 0;
+    f.commodity.dst_tile = 1;
+    f.commodity.value = 250.0;
+    f.paths.emplace_back(noc::xy_route(topo, 0, 1), 1.0);
+
+    SimConfig cfg;
+    cfg.warmup_cycles = 1'000;
+    cfg.measure_cycles = 20'000;
+    cfg.drain_cycles = 20'000;
+    Simulator sim(topo, {f}, cfg);
+    const auto stats = sim.run();
+    ASSERT_FALSE(stats.stalled);
+
+    const auto records = sim.packet_records();
+    EXPECT_GT(records.size(), stats.packets_ejected); // warmup packets too
+    std::size_t completed = 0;
+    for (const auto& p : records) {
+        EXPECT_EQ(p.flow, 0);
+        EXPECT_EQ(p.route.size(), 1u);
+        if (p.completed) {
+            ++completed;
+            EXPECT_GE(p.ejected_cycle, p.created_cycle);
+        }
+    }
+    EXPECT_GE(completed, stats.packets_ejected);
+}
+
+TEST(PacketTrace, CsvFormat) {
+    std::vector<PacketRecord> records(2);
+    records[0].flow = 3;
+    records[0].created_cycle = 10;
+    records[0].ejected_cycle = 42;
+    records[0].completed = true;
+    records[0].route = {0, 1};
+    records[1].flow = 4;
+    records[1].created_cycle = 20;
+    records[1].completed = false;
+
+    std::ostringstream os;
+    write_packet_trace(os, records);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("flow,created_cycle,ejected_cycle,latency_cycles,hops"),
+              std::string::npos);
+    EXPECT_NE(text.find("3,10,42,32,2"), std::string::npos);
+    EXPECT_NE(text.find("4,20,,,0"), std::string::npos);
+}
+
+} // namespace
+} // namespace nocmap::sim

@@ -1,0 +1,47 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace nocmap::util {
+namespace {
+
+TEST(Csv, EscapePlainCellUnchanged) {
+    EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+    EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST(Csv, EscapeQuotesCommasNewlines) {
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRows) {
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.write_row({"a", "b,c", "d"});
+    w.write_row({"1", "2", "3"});
+    EXPECT_EQ(os.str(), "a,\"b,c\",d\n1,2,3\n");
+}
+
+TEST(Csv, WriteFileRoundtrip) {
+    const std::string path = ::testing::TempDir() + "/nocmap_csv_test.csv";
+    write_csv_file(path, {"x", "y"}, {{"1", "2"}, {"3", "4"}});
+    std::ifstream in(path);
+    std::stringstream content;
+    content << in.rdbuf();
+    EXPECT_EQ(content.str(), "x,y\n1,2\n3,4\n");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, WriteFileThrowsOnBadPath) {
+    EXPECT_THROW(write_csv_file("/nonexistent_dir_xyz/file.csv", {"a"}, {}),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace nocmap::util

@@ -1,0 +1,148 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace nocmap::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next()) ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+    Rng a(7);
+    const auto first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+    Rng rng(42);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+    Rng rng(99);
+    std::array<int, 8> counts{};
+    const int draws = 80000;
+    for (int i = 0; i < draws; ++i) ++counts[rng.next_below(8)];
+    for (const int c : counts) {
+        EXPECT_GT(c, draws / 8 * 0.9);
+        EXPECT_LT(c, draws / 8 * 1.1);
+    }
+}
+
+TEST(Rng, NextInIsInclusive) {
+    Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.next_in(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.next_double();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleInRange) {
+    Rng rng(12);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.next_double_in(2.5, 7.5);
+        EXPECT_GE(v, 2.5);
+        EXPECT_LT(v, 7.5);
+    }
+}
+
+TEST(Rng, NextBoolExtremes) {
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.next_bool(0.0));
+        EXPECT_TRUE(rng.next_bool(1.0));
+    }
+}
+
+TEST(Rng, NextBoolMatchesProbability) {
+    Rng rng(14);
+    int hits = 0;
+    const int draws = 50000;
+    for (int i = 0; i < draws; ++i) hits += rng.next_bool(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+    Rng rng(15);
+    double sum = 0.0, sum2 = 0.0;
+    const int draws = 50000;
+    for (int i = 0; i < draws; ++i) {
+        const double g = rng.next_gaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / draws, 0.0, 0.03);
+    EXPECT_NEAR(sum2 / draws, 1.0, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    Rng rng(16);
+    std::vector<int> v(50);
+    std::iota(v.begin(), v.end(), 0);
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(v, shuffled);
+}
+
+TEST(Rng, SplitStreamsDecorrelated) {
+    Rng parent(17);
+    Rng child = parent.split();
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (parent.next() == child.next()) ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, MeanOfUniformNearHalf) {
+    Rng rng(GetParam());
+    double sum = 0.0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i) sum += rng.next_double();
+    EXPECT_NEAR(sum / draws, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0, 1, 2, 42, 1234567, 0xFFFFFFFFFFFFFFFFULL));
+
+} // namespace
+} // namespace nocmap::util

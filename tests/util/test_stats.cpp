@@ -1,0 +1,101 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace nocmap::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+    RunningStats s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+    RunningStats s;
+    s.add(4.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 4.5);
+    EXPECT_EQ(s.min(), 4.5);
+    EXPECT_EQ(s.max(), 4.5);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+    RunningStats s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    // Sample variance of this classic sequence is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+    RunningStats a, b, all;
+    const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 100, -3};
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        (i < 4 ? a : b).add(xs[i]);
+        all.add(xs[i]);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean = a.mean();
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.mean(), mean);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(Stats, MeanAndStddev) {
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+    EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_EQ(median({}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+    const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 12.5), 15.0);
+    // Out-of-range p clamps.
+    EXPECT_DOUBLE_EQ(percentile(xs, -5.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 150.0), 50.0);
+}
+
+TEST(Stats, GeometricMean) {
+    EXPECT_DOUBLE_EQ(geometric_mean(std::vector<double>{1.0, 4.0}), 2.0);
+    EXPECT_NEAR(geometric_mean(std::vector<double>{2.0, 8.0, 4.0}), 4.0, 1e-12);
+    EXPECT_EQ(geometric_mean(std::vector<double>{}), 0.0);
+    EXPECT_EQ(geometric_mean(std::vector<double>{1.0, -1.0}), 0.0);
+}
+
+} // namespace
+} // namespace nocmap::util

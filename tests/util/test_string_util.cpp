@@ -1,0 +1,71 @@
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocmap::util {
+namespace {
+
+TEST(StringUtil, SplitBasic) {
+    const auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+    const auto parts = split(",x,", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "");
+    EXPECT_EQ(parts[1], "x");
+    EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtil, SplitNoDelimiter) {
+    const auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtil, Trim) {
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim("\t\nx\r "), "x");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(StringUtil, ToLower) {
+    EXPECT_EQ(to_lower("VoPd"), "vopd");
+    EXPECT_EQ(to_lower("123-ABC"), "123-abc");
+}
+
+TEST(StringUtil, StartsWith) {
+    EXPECT_TRUE(starts_with("mesh4x4", "mesh"));
+    EXPECT_FALSE(starts_with("mesh", "mesh4"));
+    EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(StringUtil, ParseDouble) {
+    double v = -1.0;
+    EXPECT_TRUE(parse_double("3.5", v));
+    EXPECT_DOUBLE_EQ(v, 3.5);
+    EXPECT_TRUE(parse_double("  -2e3 ", v));
+    EXPECT_DOUBLE_EQ(v, -2000.0);
+    EXPECT_FALSE(parse_double("abc", v));
+    EXPECT_FALSE(parse_double("1.5x", v));
+    EXPECT_FALSE(parse_double("", v));
+}
+
+TEST(StringUtil, ParseSize) {
+    std::size_t v = 0;
+    EXPECT_TRUE(parse_size("42", v));
+    EXPECT_EQ(v, 42u);
+    EXPECT_TRUE(parse_size(" 7 ", v));
+    EXPECT_EQ(v, 7u);
+    EXPECT_FALSE(parse_size("-1", v));
+    EXPECT_FALSE(parse_size("12abc", v));
+    EXPECT_FALSE(parse_size("", v));
+}
+
+} // namespace
+} // namespace nocmap::util

@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nocmap::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+    Table t("My Title");
+    t.set_header({"app", "cost"});
+    t.add_row({"vopd", "123"});
+    t.add_row({"pip", "45"});
+    const std::string out = t.to_string();
+    EXPECT_NE(out.find("My Title"), std::string::npos);
+    EXPECT_NE(out.find("app"), std::string::npos);
+    EXPECT_NE(out.find("vopd"), std::string::npos);
+    EXPECT_NE(out.find("45"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, EmptyTableRendersNothing) {
+    Table t;
+    EXPECT_TRUE(t.to_string().empty());
+}
+
+TEST(Table, ColumnsPadToWidestCell) {
+    Table t;
+    t.set_header({"x", "y"});
+    t.add_row({"longvalue", "1"});
+    const std::string out = t.to_string();
+    // Every rendered line has the same length.
+    std::size_t line_length = 0;
+    std::size_t start = 0;
+    while (start < out.size()) {
+        const std::size_t end = out.find('\n', start);
+        const std::size_t len = end - start;
+        if (line_length == 0) line_length = len;
+        EXPECT_EQ(len, line_length);
+        start = end + 1;
+    }
+}
+
+TEST(Table, HandlesRaggedRows) {
+    Table t;
+    t.set_header({"a", "b", "c"});
+    t.add_row({"1"});
+    t.add_row({"1", "2", "3"});
+    const std::string out = t.to_string();
+    EXPECT_NE(out.find('3'), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.0, 0), "3");
+    EXPECT_EQ(Table::num(static_cast<long long>(42)), "42");
+    EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, AlignmentDefaultsFirstColumnLeft) {
+    Table t;
+    t.set_header({"name", "value"});
+    t.add_row({"a", "1"});
+    const std::string out = t.to_string();
+    // Left-aligned cell: "| a    " style (text immediately after "| ").
+    EXPECT_NE(out.find("| a "), std::string::npos);
+}
+
+} // namespace
+} // namespace nocmap::util
