@@ -2,14 +2,17 @@
 //
 // Usage:
 //   nocmap_cli map    <app|graph-file> [--mesh WxH] [--bw MBps]
-//                     [--algo nmap|nmap-split|nmap-tm|pmap|gmap|pbb|sa]
+//                     [--algo <name>]   (see `nocmap_cli algos`)
 //   nocmap_cli bw     <app|graph-file> [--mesh WxH]
 //   nocmap_cli netlist <app|graph-file> [--mesh WxH] [--bw MBps]
 //   nocmap_cli dot    <app|graph-file>
 //   nocmap_cli apps
+//   nocmap_cli algos            (also: --list-algos anywhere)
 //
 // <app> is a built-in application name (see `nocmap_cli apps`) or a path to
 // a core-graph text file (graph/node/edge records; see graph/graph_io.hpp).
+// Algorithms are resolved through engine::registry(), so newly registered
+// mappers show up here without CLI changes.
 
 #include <fstream>
 #include <iostream>
@@ -17,15 +20,11 @@
 #include <vector>
 
 #include "apps/registry.hpp"
-#include "baselines/annealing.hpp"
-#include "baselines/gmap.hpp"
-#include "baselines/pbb.hpp"
-#include "baselines/pmap.hpp"
+#include "engine/mapper.hpp"
 #include "graph/graph_io.hpp"
 #include "lp/mcf.hpp"
 #include "nmap/shortest_path_router.hpp"
 #include "nmap/single_path.hpp"
-#include "nmap/split.hpp"
 #include "noc/commodity.hpp"
 #include "noc/energy.hpp"
 #include "sim/netlist.hpp"
@@ -66,8 +65,10 @@ bool parse_mesh(const std::string& text, std::int32_t& w, std::int32_t& h) {
 int usage() {
     std::cerr << "usage: nocmap_cli map|bw|netlist|dot <app|graph-file> "
                  "[--mesh WxH] [--fabric mesh|torus|ring|hypercube] [--bw MBps] "
-                 "[--algo nmap|nmap-split|nmap-tm|pmap|gmap|pbb|sa]\n"
-                 "       nocmap_cli apps\n";
+                 "[--algo "
+              << util::join(engine::registry().names(), "|")
+              << "]\n"
+                 "       nocmap_cli apps | algos\n";
     return 2;
 }
 
@@ -92,24 +93,13 @@ noc::Topology make_topology(const CliOptions& opt, const graph::CoreGraph& g) {
     return noc::Topology::smallest_mesh_for(g.node_count(), capacity);
 }
 
-nmap::MappingResult run_algorithm(const CliOptions& opt, const graph::CoreGraph& g,
-                                  const noc::Topology& topo) {
-    if (opt.algo == "nmap") return nmap::map_with_single_path(g, topo);
-    if (opt.algo == "nmap-split") {
-        nmap::SplitOptions split;
-        split.mode = nmap::SplitMode::AllPaths;
-        return nmap::map_with_splitting(g, topo, split);
-    }
-    if (opt.algo == "nmap-tm") {
-        nmap::SplitOptions split;
-        split.mode = nmap::SplitMode::MinPaths;
-        return nmap::map_with_splitting(g, topo, split);
-    }
-    if (opt.algo == "pmap") return baselines::pmap_map(g, topo);
-    if (opt.algo == "gmap") return baselines::gmap_map(g, topo);
-    if (opt.algo == "pbb") return baselines::pbb_map(g, topo);
-    if (opt.algo == "sa") return baselines::annealing_map(g, topo);
-    throw std::invalid_argument("unknown algorithm '" + opt.algo + "'");
+int cmd_algos() {
+    util::Table table("Registered mapping algorithms");
+    table.set_header({"name", "description"});
+    for (const auto& info : engine::registry().infos())
+        table.add_row({info.name, info.description});
+    table.print(std::cout);
+    return 0;
 }
 
 int cmd_apps() {
@@ -127,7 +117,7 @@ int cmd_apps() {
 
 int cmd_map(const CliOptions& opt, const graph::CoreGraph& g) {
     const auto topo = make_topology(opt, g);
-    const auto result = run_algorithm(opt, g, topo);
+    const auto result = engine::map_by_name(opt.algo, g, topo);
     std::cout << "algorithm: " << opt.algo << "\nfabric: " << opt.fabric << " ("
               << topo.tile_count() << " tiles, " << topo.link_count() << " links) @ "
               << (opt.bandwidth > 0 ? std::to_string(opt.bandwidth) + " MB/s"
@@ -189,9 +179,11 @@ int main(int argc, char** argv) {
     CliOptions opt;
     opt.command = args[0];
     if (opt.command == "apps") return cmd_apps();
+    if (opt.command == "algos" || opt.command == "--list-algos") return cmd_algos();
 
     std::vector<std::string> positional;
     for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--list-algos") return cmd_algos();
         if (args[i] == "--mesh" && i + 1 < args.size()) {
             if (!parse_mesh(args[++i], opt.width, opt.height)) return usage();
         } else if (args[i] == "--bw" && i + 1 < args.size()) {

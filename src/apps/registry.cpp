@@ -38,13 +38,8 @@ graph::CoreGraph make_application(std::string_view name) {
     const std::string lowered = util::to_lower(name);
     for (const AppInfo& app : kApps)
         if (app.name == lowered) return app.factory();
-    std::string known;
-    for (const AppInfo& app : kApps) {
-        if (!known.empty()) known += ", ";
-        known += app.name;
-    }
     throw std::invalid_argument("unknown application '" + std::string(name) +
-                                "' (known: " + known + ")");
+                                "' (known: " + util::join(application_names(), ", ") + ")");
 }
 
 std::vector<std::string> application_names() {

@@ -1,114 +1,23 @@
 #include "baselines/annealing.hpp"
 
-#include <cmath>
-
+#include "engine/sweep.hpp"
 #include "nmap/initialize.hpp"
 #include "nmap/shortest_path_router.hpp"
-#include "noc/commodity.hpp"
-#include "noc/evaluation.hpp"
-#include "util/rng.hpp"
 
 namespace nocmap::baselines {
 
-namespace {
-
-double eq7_cost(const graph::CoreGraph& graph, const noc::Topology& topo,
-                const noc::Mapping& mapping) {
-    return noc::communication_cost(topo, noc::build_commodities(graph, mapping));
-}
-
-/// Cost delta of swapping tiles a and b, computed incrementally: only edges
-/// touching the two affected cores change.
-double swap_delta(const graph::CoreGraph& graph, const noc::Topology& topo,
-                  const noc::Mapping& mapping, noc::TileId a, noc::TileId b) {
-    const graph::NodeId core_a = mapping.core_at(a);
-    const graph::NodeId core_b = mapping.core_at(b);
-    auto edge_cost = [&](graph::NodeId core, noc::TileId tile, graph::NodeId skip) {
-        double cost = 0.0;
-        if (core == graph::kInvalidNode) return cost;
-        for (const std::int32_t e : graph.out_edges(core)) {
-            const graph::CoreEdge& edge = graph.edges()[static_cast<std::size_t>(e)];
-            if (edge.dst == skip || !mapping.is_placed(edge.dst)) continue;
-            cost += edge.bandwidth *
-                    static_cast<double>(topo.distance(tile, mapping.tile_of(edge.dst)));
-        }
-        for (const std::int32_t e : graph.in_edges(core)) {
-            const graph::CoreEdge& edge = graph.edges()[static_cast<std::size_t>(e)];
-            if (edge.src == skip || !mapping.is_placed(edge.src)) continue;
-            cost += edge.bandwidth *
-                    static_cast<double>(topo.distance(tile, mapping.tile_of(edge.src)));
-        }
-        return cost;
-    };
-    // The a<->b edge itself keeps its distance under a swap, so excluding
-    // the partner from both sums cancels it exactly.
-    const double before = edge_cost(core_a, a, core_b) + edge_cost(core_b, b, core_a);
-    const double after = edge_cost(core_a, b, core_b) + edge_cost(core_b, a, core_a);
-    return after - before;
-}
-
-} // namespace
-
 nmap::MappingResult annealing_map(const graph::CoreGraph& graph, const noc::Topology& topo,
                                   const AnnealingOptions& options) {
-    nmap::MappingResult result;
-    noc::Mapping current = nmap::initial_mapping(graph, topo);
-    double current_cost = eq7_cost(graph, topo, current);
-    noc::Mapping best = current;
-    double best_cost = current_cost;
+    engine::AnnealOptions anneal;
+    anneal.seed = options.seed;
+    anneal.moves_per_temperature = options.moves_per_temperature;
+    anneal.cooling = options.cooling;
+    anneal.initial_acceptance = options.initial_acceptance;
+    anneal.stop_fraction = options.stop_fraction;
 
-    util::Rng rng(options.seed);
-    const auto tiles = topo.tile_count();
-    const std::size_t moves = options.moves_per_temperature
-                                  ? options.moves_per_temperature
-                                  : 8 * tiles * tiles;
-
-    // Calibrate T0 from the average uphill delta of a random-move sample.
-    double uphill_sum = 0.0;
-    std::size_t uphill_count = 0;
-    for (std::size_t i = 0; i < 64; ++i) {
-        const auto a = static_cast<noc::TileId>(rng.next_below(tiles));
-        const auto b = static_cast<noc::TileId>(rng.next_below(tiles));
-        if (a == b) continue;
-        const double delta = swap_delta(graph, topo, current, a, b);
-        if (delta > 0) {
-            uphill_sum += delta;
-            ++uphill_count;
-        }
-    }
-    const double mean_uphill = uphill_count ? uphill_sum / static_cast<double>(uphill_count)
-                                            : graph.total_bandwidth();
-    double temperature = -mean_uphill / std::log(std::min(0.999, options.initial_acceptance));
-    if (!(temperature > 0)) temperature = std::max(1.0, graph.total_bandwidth());
-    const double floor_temperature = temperature * options.stop_fraction;
-
-    while (temperature > floor_temperature) {
-        for (std::size_t move = 0; move < moves; ++move) {
-            const auto a = static_cast<noc::TileId>(rng.next_below(tiles));
-            const auto b = static_cast<noc::TileId>(rng.next_below(tiles));
-            if (a == b) continue;
-            if (!current.is_occupied(a) && !current.is_occupied(b)) continue;
-            const double delta = swap_delta(graph, topo, current, a, b);
-            ++result.evaluations;
-            const bool accept = delta <= 0.0 || rng.next_double() < std::exp(-delta / temperature);
-            if (!accept) continue;
-            current.swap_tiles(a, b);
-            current_cost += delta;
-            if (current_cost < best_cost) {
-                best_cost = current_cost;
-                best = current;
-            }
-        }
-        temperature *= options.cooling;
-    }
-
-    result.mapping = best;
-    const auto commodities = noc::build_commodities(graph, result.mapping);
-    const auto routed = nmap::route_single_min_paths(topo, commodities);
-    result.comm_cost = routed.cost;
-    result.feasible = routed.feasible;
-    result.loads = routed.loads;
-    return result;
+    const engine::AnnealOutcome outcome =
+        engine::anneal(graph, topo, nmap::initial_mapping(graph, topo), anneal);
+    return nmap::scored_result(graph, topo, outcome.best, outcome.evaluations);
 }
 
 } // namespace nocmap::baselines

@@ -6,8 +6,6 @@
 #include <stdexcept>
 
 #include "nmap/shortest_path_router.hpp"
-#include "noc/commodity.hpp"
-#include "noc/evaluation.hpp"
 
 namespace nocmap::baselines {
 
@@ -98,18 +96,10 @@ nmap::MappingResult exhaustive_map(const graph::CoreGraph& graph, const noc::Top
                       {}};
     search(state, 0);
 
-    nmap::MappingResult result;
     noc::Mapping mapping(graph.node_count(), topo.tile_count());
     for (std::size_t core = 0; core < graph.node_count(); ++core)
         mapping.place(static_cast<graph::NodeId>(core), state.best_assignment[core]);
-    result.mapping = std::move(mapping);
-    const auto commodities = noc::build_commodities(graph, result.mapping);
-    const auto routed = nmap::route_single_min_paths(topo, commodities);
-    result.comm_cost = routed.cost;
-    result.feasible = routed.feasible;
-    result.loads = routed.loads;
-    result.evaluations = 1;
-    return result;
+    return nmap::scored_result(graph, topo, std::move(mapping));
 }
 
 } // namespace nocmap::baselines

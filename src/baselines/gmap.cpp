@@ -5,7 +5,6 @@
 #include <stdexcept>
 
 #include "nmap/shortest_path_router.hpp"
-#include "noc/commodity.hpp"
 
 namespace nocmap::baselines {
 
@@ -54,15 +53,7 @@ noc::Mapping gmap_placement(const graph::CoreGraph& graph, const noc::Topology& 
 }
 
 nmap::MappingResult gmap_map(const graph::CoreGraph& graph, const noc::Topology& topo) {
-    nmap::MappingResult result;
-    result.mapping = gmap_placement(graph, topo);
-    const auto commodities = noc::build_commodities(graph, result.mapping);
-    const auto routed = nmap::route_single_min_paths(topo, commodities);
-    result.comm_cost = routed.cost;
-    result.feasible = routed.feasible;
-    result.loads = routed.loads;
-    result.evaluations = 1;
-    return result;
+    return nmap::scored_result(graph, topo, gmap_placement(graph, topo));
 }
 
 } // namespace nocmap::baselines

@@ -188,16 +188,8 @@ nmap::MappingResult pbb_map(const graph::CoreGraph& graph, const noc::Topology& 
     }
     stats.exhausted = open.empty();
 
-    nmap::MappingResult result;
-    result.mapping = std::move(best_mapping);
-    const auto commodities = noc::build_commodities(graph, result.mapping);
-    const auto routed = nmap::route_single_min_paths(topo, commodities);
-    result.comm_cost = routed.cost;
-    result.feasible = routed.feasible;
-    result.loads = routed.loads;
-    result.evaluations = stats.expansions + 1;
     if (stats_out) *stats_out = stats;
-    return result;
+    return nmap::scored_result(graph, topo, std::move(best_mapping), stats.expansions + 1);
 }
 
 } // namespace nocmap::baselines

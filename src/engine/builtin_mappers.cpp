@@ -1,0 +1,92 @@
+// Registration of the built-in mapping algorithms.
+//
+// This is deliberately the single translation unit where the engine layer
+// names the concrete algorithms living above it (nmap/, baselines/): the
+// registry mechanism itself (mapper.cpp) stays free of those dependencies,
+// and adding an algorithm means adding one entry here (or calling
+// Registry::add from anywhere else at startup).
+
+#include "baselines/annealing.hpp"
+#include "baselines/exhaustive.hpp"
+#include "baselines/gmap.hpp"
+#include "baselines/pbb.hpp"
+#include "baselines/pmap.hpp"
+#include "engine/mapper.hpp"
+#include "nmap/single_path.hpp"
+#include "nmap/split.hpp"
+
+namespace nocmap::engine {
+
+namespace {
+
+using MapFn = MappingResult (*)(const graph::CoreGraph&, const noc::Topology&);
+
+class FunctionMapper final : public Mapper {
+public:
+    FunctionMapper(MapperInfo info, MapFn fn) : info_(std::move(info)), fn_(fn) {}
+    const MapperInfo& info() const override { return info_; }
+    MappingResult map(const graph::CoreGraph& graph, const noc::Topology& topo) const override {
+        return fn_(graph, topo);
+    }
+
+private:
+    MapperInfo info_;
+    MapFn fn_;
+};
+
+void add(Registry& registry, const char* name, const char* description, MapFn fn) {
+    registry.add(MapperInfo{name, description},
+                 [info = MapperInfo{name, description}, fn] {
+                     return std::make_unique<FunctionMapper>(info, fn);
+                 });
+}
+
+MappingResult run_split(const graph::CoreGraph& graph, const noc::Topology& topo,
+                        nmap::SplitMode mode) {
+    nmap::SplitOptions options;
+    options.mode = mode;
+    return nmap::map_with_splitting(graph, topo, options);
+}
+
+} // namespace
+
+namespace detail {
+
+void register_builtin_mappers(Registry& registry) {
+    add(registry, "nmap", "NMAP, single minimum-path routing (Section 5)",
+        [](const graph::CoreGraph& g, const noc::Topology& t) {
+            return nmap::map_with_single_path(g, t);
+        });
+    add(registry, "nmap-split", "NMAP with traffic splitting over all paths (NMAPTA)",
+        [](const graph::CoreGraph& g, const noc::Topology& t) {
+            return run_split(g, t, nmap::SplitMode::AllPaths);
+        });
+    add(registry, "nmap-tm", "NMAP with minimum-path traffic splitting (NMAPTM, Eq. 10)",
+        [](const graph::CoreGraph& g, const noc::Topology& t) {
+            return run_split(g, t, nmap::SplitMode::MinPaths);
+        });
+    add(registry, "pmap", "PMAP multiprocessor placement baseline",
+        [](const graph::CoreGraph& g, const noc::Topology& t) {
+            return baselines::pmap_map(g, t);
+        });
+    add(registry, "gmap", "Greedy constructive placement baseline",
+        [](const graph::CoreGraph& g, const noc::Topology& t) {
+            return baselines::gmap_map(g, t);
+        });
+    add(registry, "pbb", "Partial branch-and-bound (Hu & Marculescu)",
+        [](const graph::CoreGraph& g, const noc::Topology& t) {
+            return baselines::pbb_map(g, t);
+        });
+    add(registry, "sa", "Simulated annealing on the Eq.7 objective",
+        [](const graph::CoreGraph& g, const noc::Topology& t) {
+            return baselines::annealing_map(g, t);
+        });
+    add(registry, "exhaustive", "Exhaustive optimum (tiny instances only)",
+        [](const graph::CoreGraph& g, const noc::Topology& t) {
+            return baselines::exhaustive_map(g, t);
+        });
+}
+
+} // namespace detail
+
+} // namespace nocmap::engine

@@ -1,0 +1,75 @@
+#include "engine/incremental_cost.hpp"
+
+#include <stdexcept>
+
+#include "noc/evaluation.hpp"
+
+namespace nocmap::engine {
+
+IncrementalEvaluator::IncrementalEvaluator(const graph::CoreGraph& graph,
+                                           const noc::Topology& topo, noc::Mapping mapping)
+    : graph_(graph), topo_(topo), mapping_(std::move(mapping)) {
+    if (!mapping_.is_complete())
+        throw std::invalid_argument("IncrementalEvaluator: mapping must be complete");
+    commodities_ = noc::build_commodities(graph_, mapping_);
+    cost_ = noc::communication_cost(topo_, commodities_);
+}
+
+void IncrementalEvaluator::rebase(const noc::Mapping& mapping) {
+    if (!mapping.is_complete())
+        throw std::invalid_argument("IncrementalEvaluator: mapping must be complete");
+    mapping_ = mapping;
+    commodities_ = noc::build_commodities(graph_, mapping_);
+    cost_ = noc::communication_cost(topo_, commodities_);
+}
+
+/// Σ over edges incident to `core` (placed on `tile`) of vl · dist, skipping
+/// the partner core of the swap: the i<->j edge keeps its distance under a
+/// swap, so excluding it from both sums cancels it exactly.
+double IncrementalEvaluator::placed_edge_cost(graph::NodeId core, noc::TileId tile,
+                                              graph::NodeId skip) const {
+    double cost = 0.0;
+    if (core == graph::kInvalidNode) return cost;
+    for (const std::int32_t e : graph_.out_edges(core)) {
+        const graph::CoreEdge& edge = graph_.edges()[static_cast<std::size_t>(e)];
+        if (edge.dst == skip || !mapping_.is_placed(edge.dst)) continue;
+        cost += edge.bandwidth *
+                static_cast<double>(topo_.distance(tile, mapping_.tile_of(edge.dst)));
+    }
+    for (const std::int32_t e : graph_.in_edges(core)) {
+        const graph::CoreEdge& edge = graph_.edges()[static_cast<std::size_t>(e)];
+        if (edge.src == skip || !mapping_.is_placed(edge.src)) continue;
+        cost += edge.bandwidth *
+                static_cast<double>(topo_.distance(tile, mapping_.tile_of(edge.src)));
+    }
+    return cost;
+}
+
+double IncrementalEvaluator::swap_delta(noc::TileId a, noc::TileId b) const {
+    const graph::NodeId core_a = mapping_.core_at(a);
+    const graph::NodeId core_b = mapping_.core_at(b);
+    const double before = placed_edge_cost(core_a, a, core_b) + placed_edge_cost(core_b, b, core_a);
+    const double after = placed_edge_cost(core_a, b, core_b) + placed_edge_cost(core_b, a, core_a);
+    return after - before;
+}
+
+void IncrementalEvaluator::refresh_core_commodities(graph::NodeId core) {
+    if (core == graph::kInvalidNode) return;
+    const noc::TileId tile = mapping_.tile_of(core);
+    // Commodity k is core-graph edge k, so the incident commodity ids are
+    // exactly the incident edge ids.
+    for (const std::int32_t e : graph_.out_edges(core))
+        commodities_[static_cast<std::size_t>(e)].src_tile = tile;
+    for (const std::int32_t e : graph_.in_edges(core))
+        commodities_[static_cast<std::size_t>(e)].dst_tile = tile;
+}
+
+void IncrementalEvaluator::commit_swap(noc::TileId a, noc::TileId b) {
+    const double delta = swap_delta(a, b);
+    mapping_.swap_tiles(a, b);
+    refresh_core_commodities(mapping_.core_at(a));
+    refresh_core_commodities(mapping_.core_at(b));
+    cost_ += delta;
+}
+
+} // namespace nocmap::engine

@@ -1,0 +1,68 @@
+#pragma once
+// engine::IncrementalEvaluator — incremental Equation-7 cost evaluation for
+// swap-based mapping search.
+//
+// The naive evaluation of one candidate swap rebuilds every commodity and
+// re-sums Σ vl(d_k) · dist(source, dest) over the whole graph — O(|E|) plus
+// a full shortestpath() re-route. But a pairwise tile swap only moves the
+// (at most two) cores sitting on those tiles, so only the edges incident to
+// them change distance. This evaluator maintains the commodity set and the
+// running cost for its current mapping and answers
+//
+//   * swap_delta(a, b)   — the exact Eq.7 cost change of swapping tiles a,b,
+//                          in O(deg(i) + deg(j)) distance lookups;
+//   * commit_swap(a, b)  — applies the swap, updating the mapping, the
+//                          affected commodities' endpoint tiles and the
+//                          running cost in the same O(deg) time.
+//
+// Feasibility (Inequality 3) still needs a full re-route; callers check it
+// only for candidates whose delta makes them acceptable (see the single-path
+// sweep policy), which is where the order-of-magnitude speedup comes from.
+
+#include <vector>
+
+#include "graph/core_graph.hpp"
+#include "noc/commodity.hpp"
+#include "noc/mapping.hpp"
+#include "noc/topology.hpp"
+
+namespace nocmap::engine {
+
+class IncrementalEvaluator {
+public:
+    /// Binds the evaluator to a complete mapping; builds the commodity set
+    /// and the initial cost (identical to noc::communication_cost over
+    /// noc::build_commodities).
+    IncrementalEvaluator(const graph::CoreGraph& graph, const noc::Topology& topo,
+                         noc::Mapping mapping);
+
+    const noc::Mapping& mapping() const noexcept { return mapping_; }
+    const std::vector<noc::Commodity>& commodities() const noexcept { return commodities_; }
+
+    /// Running Equation-7 cost of the current mapping.
+    double cost() const noexcept { return cost_; }
+
+    /// Exact Eq.7 cost change of swapping the contents of tiles a and b
+    /// (either may be empty). O(deg(i)+deg(j)); thread-safe (const).
+    double swap_delta(noc::TileId a, noc::TileId b) const;
+
+    /// Applies the swap: mapping, incident commodities and running cost are
+    /// all updated in O(deg(i)+deg(j)).
+    void commit_swap(noc::TileId a, noc::TileId b);
+
+    /// Re-binds the evaluator to a different complete mapping (O(|E|)). Used
+    /// by sweep policies when the search re-bases onto a new best mapping.
+    void rebase(const noc::Mapping& mapping);
+
+private:
+    double placed_edge_cost(graph::NodeId core, noc::TileId tile, graph::NodeId skip) const;
+    void refresh_core_commodities(graph::NodeId core);
+
+    const graph::CoreGraph& graph_;
+    const noc::Topology& topo_;
+    noc::Mapping mapping_;
+    std::vector<noc::Commodity> commodities_;
+    double cost_ = 0.0;
+};
+
+} // namespace nocmap::engine

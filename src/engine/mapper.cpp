@@ -1,0 +1,65 @@
+#include "engine/mapper.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace nocmap::engine {
+
+void Registry::add(MapperInfo info, Factory factory) {
+    if (info.name.empty())
+        throw std::invalid_argument("Registry::add: empty mapper name");
+    if (!factory) throw std::invalid_argument("Registry::add: null factory");
+    if (find(info.name))
+        throw std::invalid_argument("Registry::add: duplicate mapper '" + info.name + "'");
+    entries_.push_back(Entry{std::move(info), std::move(factory)});
+}
+
+const Registry::Entry* Registry::find(std::string_view name) const {
+    for (const Entry& entry : entries_)
+        if (entry.info.name == name) return &entry;
+    return nullptr;
+}
+
+bool Registry::contains(std::string_view name) const { return find(name) != nullptr; }
+
+std::unique_ptr<Mapper> Registry::create(std::string_view name) const {
+    if (const Entry* entry = find(name)) return entry->factory();
+    std::string message = "unknown mapper '" + std::string(name) + "'; valid names: ";
+    message += util::join(names(), ", ");
+    throw std::invalid_argument(message);
+}
+
+std::vector<std::string> Registry::names() const {
+    std::vector<std::string> result;
+    result.reserve(entries_.size());
+    for (const Entry& entry : entries_) result.push_back(entry.info.name);
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+std::vector<MapperInfo> Registry::infos() const {
+    std::vector<MapperInfo> result;
+    result.reserve(entries_.size());
+    for (const Entry& entry : entries_) result.push_back(entry.info);
+    std::sort(result.begin(), result.end(),
+              [](const MapperInfo& a, const MapperInfo& b) { return a.name < b.name; });
+    return result;
+}
+
+Registry& registry() {
+    static Registry instance = [] {
+        Registry r;
+        detail::register_builtin_mappers(r);
+        return r;
+    }();
+    return instance;
+}
+
+MappingResult map_by_name(std::string_view name, const graph::CoreGraph& graph,
+                          const noc::Topology& topo) {
+    return registry().create(name)->map(graph, topo);
+}
+
+} // namespace nocmap::engine

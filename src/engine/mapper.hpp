@@ -1,0 +1,82 @@
+#pragma once
+// engine::Mapper — the uniform interface over every mapping algorithm, and
+// the string-keyed registry that constructs them by name.
+//
+// The registry replaces per-binary if-chains (CLI, benches, tests) with one
+// factory table. The eight built-in algorithms (nmap, nmap-split, nmap-tm,
+// pmap, gmap, pbb, sa, exhaustive) are pre-registered; new mappers register
+// through Registry::add() — see docs/ARCHITECTURE.md for a worked example.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/mapping_result.hpp"
+#include "graph/core_graph.hpp"
+#include "noc/topology.hpp"
+
+namespace nocmap::engine {
+
+struct MapperInfo {
+    std::string name;        ///< registry key, lower-case, stable
+    std::string description; ///< one-line summary for --list-algos etc.
+};
+
+class Mapper {
+public:
+    virtual ~Mapper() = default;
+    virtual const MapperInfo& info() const = 0;
+    /// Maps `graph` onto `topo`. Implementations may throw
+    /// std::invalid_argument for instances they cannot handle (e.g. the
+    /// exhaustive mapper's search-space guard).
+    virtual MappingResult map(const graph::CoreGraph& graph,
+                              const noc::Topology& topo) const = 0;
+};
+
+class Registry {
+public:
+    using Factory = std::function<std::unique_ptr<Mapper>()>;
+
+    /// Registers a factory; throws std::invalid_argument on an empty or
+    /// duplicate name.
+    void add(MapperInfo info, Factory factory);
+
+    bool contains(std::string_view name) const;
+
+    /// Constructs the mapper registered under `name`; throws
+    /// std::invalid_argument listing all valid names when unknown.
+    std::unique_ptr<Mapper> create(std::string_view name) const;
+
+    /// Registered names, sorted.
+    std::vector<std::string> names() const;
+    /// Registered infos, sorted by name.
+    std::vector<MapperInfo> infos() const;
+
+private:
+    struct Entry {
+        MapperInfo info;
+        Factory factory;
+    };
+    const Entry* find(std::string_view name) const;
+
+    std::vector<Entry> entries_;
+};
+
+/// The process-wide registry, with the built-in algorithms pre-registered on
+/// first use (explicit registration instead of static initializers, so a
+/// static-library build cannot silently drop mappers).
+Registry& registry();
+
+/// Convenience: construct and run a registered mapper in one call.
+MappingResult map_by_name(std::string_view name, const graph::CoreGraph& graph,
+                          const noc::Topology& topo);
+
+namespace detail {
+/// Defined in builtin_mappers.cpp — the one translation unit that wires the
+/// concrete algorithm layers (nmap/, baselines/) into the engine registry.
+void register_builtin_mappers(Registry& registry);
+} // namespace detail
+
+} // namespace nocmap::engine

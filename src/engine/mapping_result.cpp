@@ -1,8 +1,8 @@
-#include "nmap/result.hpp"
+#include "engine/mapping_result.hpp"
 
 #include <sstream>
 
-namespace nocmap::nmap {
+namespace nocmap::engine {
 
 std::string describe(const MappingResult& result, const graph::CoreGraph& graph,
                      const noc::Topology& topo) {
@@ -18,4 +18,4 @@ std::string describe(const MappingResult& result, const graph::CoreGraph& graph,
     return os.str();
 }
 
-} // namespace nocmap::nmap
+} // namespace nocmap::engine

@@ -1,0 +1,234 @@
+#include "engine/sweep.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/incremental_cost.hpp"
+#include "util/rng.hpp"
+
+namespace nocmap::engine {
+
+void SweepPolicy::on_commit(const noc::Mapping&, const Score&) {}
+void SweepPolicy::on_rebase(const noc::Mapping&, const Score&) {}
+
+std::size_t SwapSweepDriver::worker_count(const SweepPolicy& policy) const {
+    // First-improvement re-bases `placed` mid-row, so scores computed
+    // against the row-start mapping would be committed onto a different
+    // base; that acceptance mode is inherently serial.
+    if (options_.acceptance == Acceptance::FirstImprovement) return 1;
+    if (!policy.parallel_safe() || options_.threads == 1) return 1;
+    std::size_t workers = options_.threads;
+    if (workers == 0) workers = std::max<unsigned>(1, std::thread::hardware_concurrency());
+    return std::max<std::size_t>(1, workers);
+}
+
+SweepOutcome SwapSweepDriver::sweep(const noc::Mapping& initial, SweepPolicy& policy) const {
+    SweepOutcome outcome;
+    noc::Mapping placed = initial;
+    Score placed_score = policy.evaluate(placed);
+    outcome.best = placed;
+    outcome.best_score = placed_score;
+    policy.on_rebase(placed, placed_score);
+
+    const auto tiles = static_cast<noc::TileId>(placed.tile_count());
+    const std::size_t sweeps = std::max<std::size_t>(1, options_.max_sweeps);
+
+    const auto commit = [&](noc::TileId a, noc::TileId b, const Score& score) {
+        outcome.best = placed;
+        outcome.best.swap_tiles(a, b);
+        outcome.best_score = score;
+        ++outcome.accepted;
+        policy.on_commit(outcome.best, score);
+        if (options_.acceptance == Acceptance::FirstImprovement) {
+            placed = outcome.best;
+            placed_score = outcome.best_score;
+            policy.on_rebase(placed, placed_score);
+        }
+    };
+
+    // Shared row state for the worker pool. Workers only touch it between
+    // the two barriers of a row; the main thread only mutates it outside
+    // that window, so the barriers are the only synchronization needed.
+    const std::size_t workers = std::max<std::size_t>(
+        1, std::min(worker_count(policy), placed.tile_count()));
+    std::vector<noc::TileId> row; // inner-row candidate partners j
+    std::vector<Score> scores;
+    std::atomic<std::size_t> next{0};
+    noc::TileId row_i = 0;
+    Score row_incumbent;
+    bool done = false;
+
+    // A policy throw during row scoring must reach the caller, not
+    // std::terminate: workers capture the first exception and keep the
+    // barrier protocol intact; the main thread rethrows after the row.
+    std::mutex error_mutex;
+    std::exception_ptr scoring_error;
+    const auto score_claimed = [&]() noexcept {
+        try {
+            for (std::size_t k = next.fetch_add(1); k < row.size(); k = next.fetch_add(1))
+                scores[k] = policy.evaluate_swap(placed, placed_score, row_incumbent, row_i,
+                                                 row[k]);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!scoring_error) scoring_error = std::current_exception();
+        }
+    };
+
+    // One pool for the whole call (not per row): a row's scoring is often
+    // microseconds under incremental pruning, where per-row thread spawn
+    // and join would dominate.
+    std::barrier row_start(static_cast<std::ptrdiff_t>(workers));
+    std::barrier row_finish(static_cast<std::ptrdiff_t>(workers));
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 0; w + 1 < workers; ++w)
+        pool.emplace_back([&]() {
+            while (true) {
+                row_start.arrive_and_wait();
+                if (done) return;
+                score_claimed();
+                row_finish.arrive_and_wait();
+            }
+        });
+
+    // Orderly pool teardown, usable from both the success path and the
+    // unwind path: release workers into their exit branch, then join, so a
+    // main-thread throw never destroys joinable threads.
+    const auto shutdown_pool = [&]() {
+        if (!pool.empty() && !done) {
+            done = true;
+            row_start.arrive_and_wait();
+        }
+        for (auto& worker : pool) worker.join();
+        pool.clear();
+    };
+
+    try {
+    for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+        bool improved = false;
+        for (noc::TileId i = 0; i < tiles; ++i) {
+            if (workers > 1) {
+                // Greedy only (first-improvement forces workers == 1), so
+                // `placed` — and with it tile occupancy — is fixed for the
+                // whole row and the candidate list can be precomputed.
+                row.clear();
+                for (noc::TileId j = i + 1; j < tiles; ++j) {
+                    // Swapping two empty tiles is a no-op; skip it.
+                    if (!placed.is_occupied(i) && !placed.is_occupied(j)) continue;
+                    row.push_back(j);
+                }
+                // Score every candidate of the row against the incumbent at
+                // row start, then reduce in ascending-j order: identical to
+                // the serial loop because a policy prune against a stale
+                // (weaker) incumbent only over-approximates the candidate
+                // set, and acceptance below re-compares exactly.
+                scores.assign(row.size(), Score{});
+                next.store(0, std::memory_order_relaxed);
+                row_i = i;
+                row_incumbent = outcome.best_score;
+                row_start.arrive_and_wait();
+                score_claimed(); // the main thread pulls its weight too
+                row_finish.arrive_and_wait();
+                if (scoring_error) std::rethrow_exception(scoring_error);
+                for (std::size_t k = 0; k < row.size(); ++k) {
+                    if (scores[k].better_than(outcome.best_score)) {
+                        commit(i, row[k], scores[k]);
+                        improved = true;
+                    }
+                }
+            } else {
+                for (noc::TileId j = i + 1; j < tiles; ++j) {
+                    // Occupancy is checked live: a first-improvement commit
+                    // can move a core onto tile i mid-row, turning later
+                    // (i, empty j) pairs into genuine relocation moves.
+                    if (!placed.is_occupied(i) && !placed.is_occupied(j)) continue;
+                    const Score score =
+                        policy.evaluate_swap(placed, placed_score, outcome.best_score, i, j);
+                    if (score.better_than(outcome.best_score)) {
+                        commit(i, j, score);
+                        improved = true;
+                    }
+                }
+            }
+            // Paper: "assign Bestmapping to Placed" after each outer index.
+            if (!(placed == outcome.best)) {
+                placed = outcome.best;
+                placed_score = outcome.best_score;
+                policy.on_rebase(placed, placed_score);
+            }
+        }
+        ++outcome.sweeps;
+        if (!improved) break;
+    }
+    } catch (...) {
+        shutdown_pool();
+        throw;
+    }
+
+    shutdown_pool();
+    return outcome;
+}
+
+AnnealOutcome anneal(const graph::CoreGraph& graph, const noc::Topology& topo,
+                     const noc::Mapping& initial, const AnnealOptions& options) {
+    AnnealOutcome outcome;
+    IncrementalEvaluator current(graph, topo, initial);
+    outcome.best = current.mapping();
+    outcome.best_cost = current.cost();
+
+    util::Rng rng(options.seed);
+    const auto tiles = topo.tile_count();
+    const std::size_t moves = options.moves_per_temperature
+                                  ? options.moves_per_temperature
+                                  : 8 * tiles * tiles;
+
+    // Calibrate T0 from the average uphill delta of a random-move sample.
+    double uphill_sum = 0.0;
+    std::size_t uphill_count = 0;
+    for (std::size_t i = 0; i < 64; ++i) {
+        const auto a = static_cast<noc::TileId>(rng.next_below(tiles));
+        const auto b = static_cast<noc::TileId>(rng.next_below(tiles));
+        if (a == b) continue;
+        const double delta = current.swap_delta(a, b);
+        if (delta > 0) {
+            uphill_sum += delta;
+            ++uphill_count;
+        }
+    }
+    const double mean_uphill = uphill_count ? uphill_sum / static_cast<double>(uphill_count)
+                                            : graph.total_bandwidth();
+    double temperature = -mean_uphill / std::log(std::min(0.999, options.initial_acceptance));
+    if (!(temperature > 0)) temperature = std::max(1.0, graph.total_bandwidth());
+    const double floor_temperature = temperature * options.stop_fraction;
+
+    while (temperature > floor_temperature) {
+        for (std::size_t move = 0; move < moves; ++move) {
+            const auto a = static_cast<noc::TileId>(rng.next_below(tiles));
+            const auto b = static_cast<noc::TileId>(rng.next_below(tiles));
+            if (a == b) continue;
+            if (!current.mapping().is_occupied(a) && !current.mapping().is_occupied(b))
+                continue;
+            const double delta = current.swap_delta(a, b);
+            ++outcome.evaluations;
+            // Metropolis acceptance: downhill always, uphill with
+            // probability exp(-delta / T).
+            const bool accept =
+                delta <= 0.0 || rng.next_double() < std::exp(-delta / temperature);
+            if (!accept) continue;
+            current.commit_swap(a, b);
+            if (current.cost() < outcome.best_cost) {
+                outcome.best_cost = current.cost();
+                outcome.best = current.mapping();
+            }
+        }
+        temperature *= options.cooling;
+    }
+    return outcome;
+}
+
+} // namespace nocmap::engine

@@ -84,4 +84,21 @@ SinglePathRouting route_single_min_paths(const noc::Topology& topo,
     return result;
 }
 
+SinglePathRouting evaluate_mapping(const graph::CoreGraph& graph, const noc::Topology& topo,
+                                   const noc::Mapping& mapping) {
+    return route_single_min_paths(topo, noc::build_commodities(graph, mapping));
+}
+
+MappingResult scored_result(const graph::CoreGraph& graph, const noc::Topology& topo,
+                            noc::Mapping mapping, std::size_t evaluations) {
+    const SinglePathRouting routed = evaluate_mapping(graph, topo, mapping);
+    MappingResult result;
+    result.mapping = std::move(mapping);
+    result.comm_cost = routed.cost;
+    result.feasible = routed.feasible;
+    result.loads = routed.loads;
+    result.evaluations = evaluations;
+    return result;
+}
+
 } // namespace nocmap::nmap

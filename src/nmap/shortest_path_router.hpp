@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "nmap/result.hpp"
 #include "noc/commodity.hpp"
 #include "noc/evaluation.hpp"
 #include "noc/routing.hpp"
@@ -38,5 +39,16 @@ struct SinglePathRouting {
 /// happens internally in decreasing-value order.
 SinglePathRouting route_single_min_paths(const noc::Topology& topo,
                                          const std::vector<noc::Commodity>& commodities);
+
+/// Full shortestpath() evaluation of a complete mapping: builds the
+/// commodity set and routes it. The scoring path shared by every
+/// single-path mapper (and the sweep policies' feasibility re-check).
+SinglePathRouting evaluate_mapping(const graph::CoreGraph& graph, const noc::Topology& topo,
+                                   const noc::Mapping& mapping);
+
+/// Standard MappingResult for a finished single-path mapper: scores
+/// `mapping` with evaluate_mapping() and fills cost/feasibility/loads.
+MappingResult scored_result(const graph::CoreGraph& graph, const noc::Topology& topo,
+                            noc::Mapping mapping, std::size_t evaluations = 1);
 
 } // namespace nocmap::nmap

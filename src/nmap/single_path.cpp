@@ -1,71 +1,96 @@
 #include "nmap/single_path.hpp"
 
+#include <cmath>
+#include <optional>
+
+#include "engine/incremental_cost.hpp"
+#include "engine/sweep.hpp"
 #include "nmap/initialize.hpp"
 #include "nmap/shortest_path_router.hpp"
-#include "noc/commodity.hpp"
 #include "util/log.hpp"
 
 namespace nocmap::nmap {
 
 namespace {
 
-/// shortestpath() evaluation of one candidate mapping. Infeasible mappings
-/// score kMaxValue but we also record max load so callers can reason about
-/// near-feasible candidates.
-SinglePathRouting evaluate(const graph::CoreGraph& graph, const noc::Topology& topo,
-                           const noc::Mapping& mapping) {
-    const auto commodities = noc::build_commodities(graph, mapping);
-    return route_single_min_paths(topo, commodities);
-}
+/// Sweep policy for the single-minimum-path objective.
+///
+/// Naive mode routes every candidate (the paper's literal loop). Incremental
+/// mode uses Eq.7 deltas from the evaluator (synced to the sweep's `placed`
+/// mapping via on_rebase) to prune candidates that cannot beat the
+/// incumbent, then confirms survivors with a full route — the feasibility
+/// re-check. Both modes accept by the same routed-score comparison, so they
+/// return identical mappings.
+class SinglePathPolicy final : public engine::SweepPolicy {
+public:
+    SinglePathPolicy(const graph::CoreGraph& graph, const noc::Topology& topo, SweepEval eval)
+        : graph_(graph), topo_(topo), eval_(eval) {}
+
+    engine::Score evaluate(const noc::Mapping& mapping) override {
+        count_evaluation();
+        return route(mapping);
+    }
+
+    engine::Score evaluate_swap(const noc::Mapping& base, const engine::Score& base_score,
+                                const engine::Score& incumbent, noc::TileId a,
+                                noc::TileId b) override {
+        count_evaluation();
+        if (eval_ == SweepEval::Incremental && base_score.feasible && incumbent.feasible) {
+            // Eq.7 cost depends only on the mapping (every minimal route
+            // realizes it), so base cost + delta predicts the candidate's
+            // routed cost exactly up to rounding. Candidates that cannot
+            // beat the incumbent are pruned without routing; the guard
+            // absorbs summation-order rounding so no seed-accepted
+            // candidate is ever pruned.
+            const double delta = evaluator_->swap_delta(a, b);
+            const double guard = 1e-9 * (1.0 + std::abs(base_score.primary));
+            if (base_score.primary + delta >= incumbent.primary + guard)
+                return engine::Score::rejected();
+        }
+        noc::Mapping candidate = base;
+        candidate.swap_tiles(a, b);
+        return route(candidate);
+    }
+
+    void on_rebase(const noc::Mapping& placed, const engine::Score&) override {
+        if (eval_ != SweepEval::Incremental) return;
+        if (!evaluator_)
+            evaluator_.emplace(graph_, topo_, placed);
+        else
+            evaluator_->rebase(placed);
+    }
+
+    bool parallel_safe() const override { return true; }
+
+private:
+    engine::Score route(const noc::Mapping& mapping) const {
+        const SinglePathRouting routed = evaluate_mapping(graph_, topo_, mapping);
+        return engine::Score{routed.cost, routed.max_load, routed.feasible};
+    }
+
+    const graph::CoreGraph& graph_;
+    const noc::Topology& topo_;
+    const SweepEval eval_;
+    std::optional<engine::IncrementalEvaluator> evaluator_;
+};
 
 } // namespace
 
 MappingResult map_with_single_path(const graph::CoreGraph& graph, const noc::Topology& topo,
                                    const SinglePathOptions& options) {
-    MappingResult result;
-    result.mapping = initial_mapping(graph, topo);
+    SinglePathPolicy policy(graph, topo, options.eval);
+    engine::SweepOptions sweep;
+    sweep.max_sweeps = options.max_sweeps;
+    sweep.threads = options.threads;
+    engine::SwapSweepDriver driver(sweep);
 
-    SinglePathRouting best = evaluate(graph, topo, result.mapping);
-    ++result.evaluations;
-    noc::Mapping best_mapping = result.mapping;
-
-    const auto tiles = static_cast<std::int32_t>(topo.tile_count());
-    const std::size_t sweeps = std::max<std::size_t>(1, options.max_sweeps);
-    for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
-        bool improved = false;
-        noc::Mapping placed = best_mapping;
-        for (std::int32_t i = 0; i < tiles; ++i) {
-            for (std::int32_t j = i + 1; j < tiles; ++j) {
-                // Swapping two empty tiles is a no-op; skip the evaluation.
-                if (!placed.is_occupied(i) && !placed.is_occupied(j)) continue;
-                noc::Mapping candidate = placed;
-                candidate.swap_tiles(i, j);
-                const SinglePathRouting routed = evaluate(graph, topo, candidate);
-                ++result.evaluations;
-                const bool better =
-                    routed.cost < best.cost ||
-                    // Among infeasible mappings prefer the least violating
-                    // one so the search can escape an infeasible start.
-                    (routed.cost == kMaxValue && best.cost == kMaxValue &&
-                     routed.max_load < best.max_load);
-                if (better) {
-                    best = routed;
-                    best_mapping = std::move(candidate);
-                    improved = true;
-                }
-            }
-            // Paper: "assign Bestmapping to Placed" after each outer index.
-            placed = best_mapping;
-        }
-        if (!improved) break;
-        util::log_debug("nmap") << "sweep " << sweep << " best cost " << best.cost;
-    }
-
-    result.mapping = best_mapping;
-    result.comm_cost = best.cost;
-    result.feasible = best.feasible;
-    result.loads = best.loads;
-    return result;
+    const engine::SweepOutcome outcome = driver.sweep(initial_mapping(graph, topo), policy);
+    util::log_debug("nmap") << "sweeps " << outcome.sweeps << " best cost "
+                            << outcome.best_score.primary;
+    // One final re-route of the winner (its loads are not carried through
+    // the generic Score); deterministic, so identical to the sweep's own
+    // evaluation of that mapping.
+    return scored_result(graph, topo, outcome.best, policy.evaluations());
 }
 
 } // namespace nocmap::nmap

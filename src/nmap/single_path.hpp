@@ -1,7 +1,8 @@
 #pragma once
 // mappingwithsinglepath() (Section 5): NMAP with single minimum-path
 // routing. Three phases: initialize(), shortestpath() evaluation, and
-// iterative improvement by pairwise swapping of mesh positions.
+// iterative improvement by pairwise swapping of mesh positions — the swap
+// loop runs on engine::SwapSweepDriver.
 
 #include "graph/core_graph.hpp"
 #include "nmap/result.hpp"
@@ -9,11 +10,27 @@
 
 namespace nocmap::nmap {
 
+/// How the swap sweep scores candidates.
+enum class SweepEval {
+    /// Full shortestpath() re-route of every candidate (the paper's literal
+    /// pseudocode; kept for benchmarking and as the reference oracle).
+    Naive,
+    /// engine::IncrementalEvaluator Eq.7 deltas; candidates are re-routed
+    /// (feasibility re-check + exact cost) only when the delta says they
+    /// could beat the incumbent. Identical results, O(deg) per candidate.
+    Incremental,
+};
+
 struct SinglePathOptions {
     /// Number of full O(|U|^2) pairwise-swap sweeps. The paper's pseudocode
     /// performs one; additional sweeps keep improving until a fixpoint (we
     /// stop early when a sweep finds nothing).
     std::size_t max_sweeps = 1;
+    SweepEval eval = SweepEval::Incremental;
+    /// Worker threads scoring the candidates of one sweep row (1 = serial,
+    /// 0 = all hardware threads). The reduction is lowest-index-first, so
+    /// any thread count returns the same mapping as the serial sweep.
+    std::size_t threads = 1;
 };
 
 /// Runs NMAP with single minimum-path routing. The returned mapping is the

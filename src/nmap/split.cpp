@@ -1,5 +1,6 @@
 #include "nmap/split.hpp"
 
+#include "engine/sweep.hpp"
 #include "nmap/initialize.hpp"
 #include "noc/commodity.hpp"
 #include "util/log.hpp"
@@ -24,57 +25,125 @@ lp::McfResult run_mcf(const graph::CoreGraph& graph, const noc::Topology& topo,
     return lp::solve_mcf(topo, commodities, mcf);
 }
 
-} // namespace
+/// Two-phase MCF sweep policy (the body of mappingwithsplitting()):
+/// phase 1 minimizes the MCF1 slack until some candidate satisfies the
+/// bandwidth constraints, phase 2 minimizes the MCF2 total flow. Encoded in
+/// engine::Score as primary = MCF2 cost (kMaxValue before feasibility),
+/// secondary = slack, so the driver's standard acceptance rule reproduces
+/// the seed algorithm's decisions exactly. Stateful (the scoring mode flips
+/// mid-row), hence not parallel_safe.
+class SplitPolicy final : public engine::SweepPolicy {
+public:
+    SplitPolicy(const graph::CoreGraph& graph, const noc::Topology& topo,
+                const lp::McfOptions& slack_mcf, const lp::McfOptions& flow_mcf)
+        : graph_(graph), topo_(topo), slack_mcf_(slack_mcf), flow_mcf_(flow_mcf) {}
 
-namespace {
+    engine::Score evaluate(const noc::Mapping& mapping) override {
+        count_evaluation();
+        const lp::McfResult slack = run_mcf(graph_, topo_, mapping, slack_mcf_);
+        if (!slack.feasible) return engine::Score{engine::kMaxValue, slack.objective, false};
+        bw_satisfied_ = true;
+        count_evaluation();
+        const lp::McfResult cost = run_mcf(graph_, topo_, mapping, flow_mcf_);
+        return feasible_score(cost);
+    }
 
-/// Figure-4 variant of the swap search: minimize the min-max link load
-/// (the uniform bandwidth the design would need) under the split mode.
+    engine::Score evaluate_swap(const noc::Mapping& base, const engine::Score&,
+                                const engine::Score&, noc::TileId a, noc::TileId b) override {
+        noc::Mapping candidate = base;
+        candidate.swap_tiles(a, b);
+        if (!bw_satisfied_) {
+            count_evaluation();
+            const lp::McfResult slack = run_mcf(graph_, topo_, candidate, slack_mcf_);
+            if (!slack.feasible)
+                return engine::Score{engine::kMaxValue, slack.objective, false};
+            // First bandwidth-satisfying candidate: switch to the cost
+            // phase. It beats any infeasible incumbent by construction.
+            bw_satisfied_ = true;
+        }
+        count_evaluation();
+        const lp::McfResult cost = run_mcf(graph_, topo_, candidate, flow_mcf_);
+        return feasible_score(cost);
+    }
+
+    bool bw_satisfied() const noexcept { return bw_satisfied_; }
+
+private:
+    static engine::Score feasible_score(const lp::McfResult& cost) {
+        // Bandwidth holds even when the flow LP failed to converge: the
+        // mapping is accepted (secondary -inf outranks every slack) but its
+        // cost stays at maxvalue, exactly as the seed implementation did.
+        if (!cost.feasible)
+            return engine::Score{engine::kMaxValue,
+                                 -std::numeric_limits<double>::infinity(), true};
+        return engine::Score{cost.objective, 0.0, true};
+    }
+
+    const graph::CoreGraph& graph_;
+    const noc::Topology& topo_;
+    const lp::McfOptions slack_mcf_;
+    const lp::McfOptions flow_mcf_;
+    bool bw_satisfied_ = false;
+};
+
+/// Figure-4 variant policy: minimize the min-max link load (the uniform
+/// bandwidth the design would need) under the split mode.
+class BandwidthPolicy final : public engine::SweepPolicy {
+public:
+    BandwidthPolicy(const graph::CoreGraph& graph, const noc::Topology& topo,
+                    const lp::McfOptions& minmax_mcf)
+        : graph_(graph), topo_(topo), minmax_mcf_(minmax_mcf) {}
+
+    engine::Score evaluate(const noc::Mapping& mapping) override {
+        count_evaluation();
+        return engine::Score{run_mcf(graph_, topo_, mapping, minmax_mcf_).objective, 0.0,
+                             true};
+    }
+
+    engine::Score evaluate_swap(const noc::Mapping& base, const engine::Score&,
+                                const engine::Score&, noc::TileId a,
+                                noc::TileId b) override {
+        noc::Mapping candidate = base;
+        candidate.swap_tiles(a, b);
+        return evaluate(candidate);
+    }
+
+private:
+    const graph::CoreGraph& graph_;
+    const noc::Topology& topo_;
+    const lp::McfOptions minmax_mcf_;
+};
+
+engine::SwapSweepDriver make_driver(const SplitOptions& options) {
+    engine::SweepOptions sweep;
+    sweep.max_sweeps = options.max_sweeps;
+    return engine::SwapSweepDriver(sweep);
+}
+
 MappingResult map_minimizing_bandwidth(const graph::CoreGraph& graph,
                                        const noc::Topology& topo,
                                        const SplitOptions& options) {
+    BandwidthPolicy policy(
+        graph, topo,
+        make_mcf_options(options, lp::McfObjective::MinMaxLoad, options.exact_inner_lp));
+    const engine::SweepOutcome outcome =
+        make_driver(options).sweep(initial_mapping(graph, topo), policy);
+
     MappingResult result;
-    const lp::McfOptions inner =
-        make_mcf_options(options, lp::McfObjective::MinMaxLoad, options.exact_inner_lp);
+    result.mapping = outcome.best;
+    result.evaluations = policy.evaluations();
 
-    noc::Mapping placed = initial_mapping(graph, topo);
-    noc::Mapping best_mapping = placed;
-    double best_bw = run_mcf(graph, topo, placed, inner).objective;
-    ++result.evaluations;
-
-    const auto tiles = static_cast<std::int32_t>(topo.tile_count());
-    const std::size_t sweeps = std::max<std::size_t>(1, options.max_sweeps);
-    for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
-        bool improved = false;
-        for (std::int32_t i = 0; i < tiles; ++i) {
-            for (std::int32_t j = i + 1; j < tiles; ++j) {
-                if (!placed.is_occupied(i) && !placed.is_occupied(j)) continue;
-                noc::Mapping candidate = placed;
-                candidate.swap_tiles(i, j);
-                const double bw = run_mcf(graph, topo, candidate, inner).objective;
-                ++result.evaluations;
-                if (bw < best_bw) {
-                    best_bw = bw;
-                    best_mapping = std::move(candidate);
-                    improved = true;
-                }
-            }
-            placed = best_mapping;
-        }
-        if (!improved) break;
-    }
-
-    result.mapping = best_mapping;
+    // Final (exact) scoring of the chosen mapping.
     const bool exact = options.exact_final_polish || options.exact_inner_lp;
     const lp::McfResult final_bw = run_mcf(
-        graph, topo, best_mapping,
+        graph, topo, outcome.best,
         make_mcf_options(options, lp::McfObjective::MinMaxLoad, exact));
     ++result.evaluations;
     result.feasible = final_bw.solved;
     result.loads = final_bw.loads;
     result.flows = final_bw.flows;
     const lp::McfResult final_cost = run_mcf(
-        graph, topo, best_mapping,
+        graph, topo, outcome.best,
         make_mcf_options(options, lp::McfObjective::MinFlow, exact));
     ++result.evaluations;
     result.comm_cost = final_cost.feasible ? final_cost.objective : kMaxValue;
@@ -87,83 +156,32 @@ MappingResult map_with_splitting(const graph::CoreGraph& graph, const noc::Topol
                                  const SplitOptions& options) {
     if (options.optimize_bandwidth) return map_minimizing_bandwidth(graph, topo, options);
 
+    SplitPolicy policy(
+        graph, topo,
+        make_mcf_options(options, lp::McfObjective::MinSlack, options.exact_inner_lp),
+        make_mcf_options(options, lp::McfObjective::MinFlow, options.exact_inner_lp));
+    const engine::SweepOutcome outcome =
+        make_driver(options).sweep(initial_mapping(graph, topo), policy);
+    util::log_debug("nmap.split") << "sweeps " << outcome.sweeps
+                                  << (policy.bw_satisfied() ? " cost " : " slack ")
+                                  << (policy.bw_satisfied() ? outcome.best_score.primary
+                                                            : outcome.best_score.secondary);
+
     MappingResult result;
-
-    const lp::McfOptions mcf1 =
-        make_mcf_options(options, lp::McfObjective::MinSlack, options.exact_inner_lp);
-    const lp::McfOptions mcf2 =
-        make_mcf_options(options, lp::McfObjective::MinFlow, options.exact_inner_lp);
-
-    noc::Mapping placed = initial_mapping(graph, topo);
-    noc::Mapping best_mapping = placed;
-
-    lp::McfResult seed = run_mcf(graph, topo, placed, mcf1);
-    ++result.evaluations;
-    double best_slack = seed.objective;
-    double best_cost = kMaxValue;
-    bool bw_satisfied = seed.feasible;
-    if (bw_satisfied) {
-        const lp::McfResult cost = run_mcf(graph, topo, placed, mcf2);
-        ++result.evaluations;
-        if (cost.feasible) best_cost = cost.objective;
-    }
-
-    const auto tiles = static_cast<std::int32_t>(topo.tile_count());
-    const std::size_t sweeps = std::max<std::size_t>(1, options.max_sweeps);
-    for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
-        bool improved = false;
-        for (std::int32_t i = 0; i < tiles; ++i) {
-            for (std::int32_t j = i + 1; j < tiles; ++j) {
-                if (!placed.is_occupied(i) && !placed.is_occupied(j)) continue;
-                noc::Mapping candidate = placed;
-                candidate.swap_tiles(i, j);
-
-                if (!bw_satisfied) {
-                    const lp::McfResult slack = run_mcf(graph, topo, candidate, mcf1);
-                    ++result.evaluations;
-                    if (slack.feasible) {
-                        // First feasible mapping: switch to the cost phase.
-                        bw_satisfied = true;
-                        best_mapping = candidate;
-                        best_slack = 0.0;
-                        const lp::McfResult cost = run_mcf(graph, topo, candidate, mcf2);
-                        ++result.evaluations;
-                        if (cost.feasible) best_cost = cost.objective;
-                        improved = true;
-                    } else if (slack.objective < best_slack) {
-                        best_slack = slack.objective;
-                        best_mapping = std::move(candidate);
-                        improved = true;
-                    }
-                } else {
-                    const lp::McfResult cost = run_mcf(graph, topo, candidate, mcf2);
-                    ++result.evaluations;
-                    if (cost.feasible && cost.objective < best_cost) {
-                        best_cost = cost.objective;
-                        best_mapping = std::move(candidate);
-                        improved = true;
-                    }
-                }
-            }
-            placed = best_mapping;
-        }
-        if (!improved) break;
-        util::log_debug("nmap.split")
-            << "sweep " << sweep << (bw_satisfied ? " cost " : " slack ")
-            << (bw_satisfied ? best_cost : best_slack);
-    }
-
-    result.mapping = best_mapping;
+    result.mapping = outcome.best;
+    result.evaluations = policy.evaluations();
 
     // Final (exact) scoring of the chosen mapping.
     const bool exact = options.exact_final_polish || options.exact_inner_lp;
-    const lp::McfResult final_slack =
-        run_mcf(graph, topo, best_mapping, make_mcf_options(options, lp::McfObjective::MinSlack, exact));
+    const lp::McfResult final_slack = run_mcf(
+        graph, topo, outcome.best,
+        make_mcf_options(options, lp::McfObjective::MinSlack, exact));
     ++result.evaluations;
     result.feasible = final_slack.feasible;
     if (result.feasible) {
         const lp::McfResult final_cost = run_mcf(
-            graph, topo, best_mapping, make_mcf_options(options, lp::McfObjective::MinFlow, exact));
+            graph, topo, outcome.best,
+            make_mcf_options(options, lp::McfObjective::MinFlow, exact));
         ++result.evaluations;
         if (final_cost.feasible) {
             result.comm_cost = final_cost.objective;

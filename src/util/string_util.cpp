@@ -21,6 +21,15 @@ std::vector<std::string> split(std::string_view text, char delimiter) {
     return parts;
 }
 
+std::string join(const std::vector<std::string>& parts, std::string_view separator) {
+    std::string result;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) result += separator;
+        result += parts[i];
+    }
+    return result;
+}
+
 std::string_view trim(std::string_view text) noexcept {
     std::size_t begin = 0;
     std::size_t end = text.size();

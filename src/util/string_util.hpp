@@ -8,6 +8,8 @@
 namespace nocmap::util {
 
 std::vector<std::string> split(std::string_view text, char delimiter);
+/// Concatenates `parts` with `separator` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view separator);
 std::string_view trim(std::string_view text) noexcept;
 std::string to_lower(std::string_view text);
 bool starts_with(std::string_view text, std::string_view prefix) noexcept;

@@ -1,0 +1,124 @@
+#include "engine/mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "baselines/annealing.hpp"
+#include "baselines/exhaustive.hpp"
+#include "baselines/gmap.hpp"
+#include "baselines/pbb.hpp"
+#include "baselines/pmap.hpp"
+#include "nmap/single_path.hpp"
+#include "nmap/split.hpp"
+
+namespace nocmap::engine {
+namespace {
+
+const char* const kAllNames[] = {"nmap", "nmap-split", "nmap-tm", "pmap",
+                                 "gmap", "pbb",        "sa",      "exhaustive"};
+
+TEST(Registry, AllEightAlgorithmsAreRegistered) {
+    for (const char* name : kAllNames) {
+        EXPECT_TRUE(registry().contains(name)) << name;
+        const auto mapper = registry().create(name);
+        ASSERT_NE(mapper, nullptr) << name;
+        EXPECT_EQ(mapper->info().name, name);
+        EXPECT_FALSE(mapper->info().description.empty()) << name;
+    }
+    EXPECT_EQ(registry().names().size(), std::size(kAllNames));
+}
+
+TEST(Registry, UnknownNameThrowsListingValidNames) {
+    try {
+        registry().create("definitely-not-a-mapper");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string message = e.what();
+        EXPECT_NE(message.find("definitely-not-a-mapper"), std::string::npos);
+        for (const char* name : kAllNames)
+            EXPECT_NE(message.find(name), std::string::npos) << name;
+    }
+}
+
+TEST(Registry, RejectsDuplicateAndEmptyRegistration) {
+    Registry r;
+    r.add({"x", "a mapper"}, [] { return std::unique_ptr<Mapper>(); });
+    EXPECT_THROW(r.add({"x", "again"}, [] { return std::unique_ptr<Mapper>(); }),
+                 std::invalid_argument);
+    EXPECT_THROW(r.add({"", "anonymous"}, [] { return std::unique_ptr<Mapper>(); }),
+                 std::invalid_argument);
+    EXPECT_THROW(r.add({"y", "null factory"}, Registry::Factory{}), std::invalid_argument);
+}
+
+/// Smoke test: every registered algorithm maps the small pip application;
+/// the swap/constructive ones also map vopd. The exhaustive mapper's
+/// search-space guard must refuse vopd (16 cores) instead of hanging.
+TEST(Registry, EveryAlgorithmMapsPip) {
+    const auto g = apps::make_application("pip");
+    const auto topo = noc::Topology::smallest_mesh_for(g.node_count(), 1e9);
+    for (const std::string& name : registry().names()) {
+        const MappingResult result = map_by_name(name, g, topo);
+        EXPECT_TRUE(result.mapping.is_complete()) << name;
+        EXPECT_NO_THROW(result.mapping.validate()) << name;
+        EXPECT_TRUE(result.feasible) << name;
+        EXPECT_GE(result.comm_cost, g.total_bandwidth() - 1e-9) << name;
+    }
+}
+
+TEST(Registry, EveryNonExhaustiveAlgorithmMapsVopd) {
+    const auto g = apps::make_application("vopd");
+    const auto topo = noc::Topology::smallest_mesh_for(g.node_count(), 1e9);
+    for (const std::string& name : registry().names()) {
+        if (name == "exhaustive") {
+            EXPECT_THROW(map_by_name(name, g, topo), std::invalid_argument);
+            continue;
+        }
+        const MappingResult result = map_by_name(name, g, topo);
+        EXPECT_TRUE(result.mapping.is_complete()) << name;
+        EXPECT_TRUE(result.feasible) << name;
+    }
+}
+
+/// Acceptance criterion of the engine refactor: by-name construction yields
+/// the same final communication cost (and mapping) as calling the
+/// algorithm's own entry point, on vopd and mpeg4.
+TEST(Registry, ByNameResultsMatchDirectCallsOnVopdAndMpeg4) {
+    for (const char* app : {"vopd", "mpeg4"}) {
+        const auto g = apps::make_application(app);
+        const auto topo = noc::Topology::smallest_mesh_for(g.node_count(), 1e9);
+
+        const auto check = [&](const char* name, const MappingResult& direct) {
+            const MappingResult via_registry = map_by_name(name, g, topo);
+            EXPECT_EQ(via_registry.mapping, direct.mapping) << app << ' ' << name;
+            EXPECT_DOUBLE_EQ(via_registry.comm_cost, direct.comm_cost)
+                << app << ' ' << name;
+        };
+
+        check("nmap", nmap::map_with_single_path(g, topo));
+        nmap::SplitOptions ta;
+        ta.mode = nmap::SplitMode::AllPaths;
+        check("nmap-split", nmap::map_with_splitting(g, topo, ta));
+        nmap::SplitOptions tm;
+        tm.mode = nmap::SplitMode::MinPaths;
+        check("nmap-tm", nmap::map_with_splitting(g, topo, tm));
+        check("pmap", baselines::pmap_map(g, topo));
+        check("gmap", baselines::gmap_map(g, topo));
+        check("pbb", baselines::pbb_map(g, topo));
+        check("sa", baselines::annealing_map(g, topo));
+    }
+}
+
+TEST(Registry, ExhaustiveMatchesDirectCallOnPip) {
+    const auto g = apps::make_application("pip");
+    const auto topo = noc::Topology::smallest_mesh_for(g.node_count(), 1e9);
+    const auto direct = baselines::exhaustive_map(g, topo);
+    const auto via_registry = map_by_name("exhaustive", g, topo);
+    EXPECT_EQ(via_registry.mapping, direct.mapping);
+    EXPECT_DOUBLE_EQ(via_registry.comm_cost, direct.comm_cost);
+    // The optimum is a lower bound for every other registered algorithm.
+    for (const std::string& name : registry().names())
+        EXPECT_GE(map_by_name(name, g, topo).comm_cost, direct.comm_cost - 1e-9) << name;
+}
+
+} // namespace
+} // namespace nocmap::engine
