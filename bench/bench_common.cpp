@@ -5,11 +5,8 @@
 #include <exception>
 
 #include "apps/registry.hpp"
-#include "baselines/gmap.hpp"
-#include "baselines/pbb.hpp"
-#include "baselines/pmap.hpp"
+#include "engine/mapper.hpp"
 #include "nmap/shortest_path_router.hpp"
-#include "nmap/single_path.hpp"
 #include "nmap/split.hpp"
 #include "noc/commodity.hpp"
 #include "noc/evaluation.hpp"
@@ -59,17 +56,18 @@ double best_split_bandwidth(const graph::CoreGraph& graph, const noc::Topology& 
 }
 
 std::vector<Fig3Row> run_fig3_costs() {
+    // The four algorithms of Figure 3 resolved through engine::registry()
+    // (the registry's pbb entry uses the paper's capped-queue options).
     std::vector<Fig3Row> rows;
     for (const auto& info : apps::video_applications()) {
         const auto g = info.factory();
         const auto topo = ample_mesh_for(g);
         Fig3Row row;
         row.app = info.name;
-        row.pmap = baselines::pmap_map(g, topo).comm_cost;
-        row.gmap = baselines::gmap_map(g, topo).comm_cost;
-        baselines::PbbOptions pbb_opt; // capped queue, as in the paper
-        row.pbb = baselines::pbb_map(g, topo, pbb_opt).comm_cost;
-        row.nmap = nmap::map_with_single_path(g, topo).comm_cost;
+        row.pmap = engine::map_by_name("pmap", g, topo).comm_cost;
+        row.gmap = engine::map_by_name("gmap", g, topo).comm_cost;
+        row.pbb = engine::map_by_name("pbb", g, topo).comm_cost;
+        row.nmap = engine::map_by_name("nmap", g, topo).comm_cost;
         rows.push_back(row);
     }
     return rows;

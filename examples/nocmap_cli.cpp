@@ -6,6 +6,8 @@
 //   nocmap_cli bw     <app|graph-file> [--mesh WxH]
 //   nocmap_cli netlist <app|graph-file> [--mesh WxH] [--bw MBps]
 //   nocmap_cli dot    <app|graph-file>
+//   nocmap_cli portfolio <app|graph-file>... [--topologies specs]
+//                     [--algo <name>] [--bw MBps] [--threads N] [--json path]
 //   nocmap_cli apps
 //   nocmap_cli algos            (also: --list-algos anywhere)
 //
@@ -13,10 +15,18 @@
 // a core-graph text file (graph/node/edge records; see graph/graph_io.hpp).
 // Algorithms are resolved through engine::registry(), so newly registered
 // mappers show up here without CLI changes.
+//
+// Portfolio mode (`portfolio` command, or `--portfolio` on any command)
+// takes several applications and sweeps each across the `--topologies`
+// candidates (default mesh,torus,ring,hypercube; specs accept explicit
+// sizes like torus:4x4) on a shared portfolio::TopologyCache, printing the
+// scalarized fabric ranking and optionally writing JSON with --json.
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/registry.hpp"
@@ -27,6 +37,8 @@
 #include "nmap/single_path.hpp"
 #include "noc/commodity.hpp"
 #include "noc/energy.hpp"
+#include "portfolio/report.hpp"
+#include "portfolio/runner.hpp"
 #include "sim/netlist.hpp"
 #include "sim/simulator.hpp"
 #include "util/string_util.hpp"
@@ -45,8 +57,13 @@ graph::CoreGraph load_graph(const std::string& spec) {
 struct CliOptions {
     std::string command;
     std::string target;
+    std::vector<std::string> targets; ///< portfolio mode: all positionals
     std::string algo = "nmap";
     std::string fabric = "mesh"; // mesh | torus | ring | hypercube
+    std::string topologies = "mesh,torus,ring,hypercube";
+    std::string json_path;  ///< portfolio mode: write JSON here
+    std::size_t threads = 1; ///< portfolio worker threads (0 = hardware)
+    bool portfolio = false;
     std::int32_t width = 0;
     std::int32_t height = 0;
     double bandwidth = 0.0; // 0 = ample
@@ -68,6 +85,9 @@ int usage() {
                  "[--algo "
               << util::join(engine::registry().names(), "|")
               << "]\n"
+                 "       nocmap_cli portfolio <app|graph-file>... "
+                 "[--topologies mesh,torus:4x4,ring,hypercube] [--algo name] "
+                 "[--bw MBps] [--threads N] [--json path]\n"
                  "       nocmap_cli apps | algos\n";
     return 2;
 }
@@ -154,6 +174,41 @@ int cmd_bw(const CliOptions& opt, const graph::CoreGraph& g) {
     return 0;
 }
 
+int cmd_portfolio(const CliOptions& opt) {
+    const double capacity = opt.bandwidth > 0 ? opt.bandwidth : 1e9;
+    const auto specs = portfolio::parse_topology_list(opt.topologies, capacity);
+    std::vector<std::pair<std::string, std::shared_ptr<const graph::CoreGraph>>> apps;
+    for (const std::string& target : opt.targets)
+        apps.emplace_back(target,
+                          std::make_shared<const graph::CoreGraph>(load_graph(target)));
+
+    portfolio::PortfolioOptions options;
+    options.threads = opt.threads;
+    portfolio::PortfolioRunner runner(options);
+    const auto grid = portfolio::make_grid(apps, specs, opt.algo);
+    const auto results = runner.run(grid);
+    const auto fabric_ranking = portfolio::PortfolioRunner::rank_topologies(results);
+
+    portfolio::print_report(std::cout, results, fabric_ranking);
+    std::cout << "cache: " << runner.cache().size() << " fabrics built, "
+              << runner.cache().hits() << " hits / " << runner.cache().misses()
+              << " misses\n";
+    if (!opt.json_path.empty()) {
+        std::ofstream out(opt.json_path);
+        if (!out) {
+            std::cerr << "error: cannot write " << opt.json_path << '\n';
+            return 1;
+        }
+        portfolio::write_json(out, results, fabric_ranking, &runner.cache());
+        std::cout << "wrote " << opt.json_path << '\n';
+    }
+    // Success when every scenario at least ran (infeasible fabrics are a
+    // finding, not a failure; mapper exceptions are failures).
+    for (const auto& r : results)
+        if (!r.ok) return 1;
+    return 0;
+}
+
 int cmd_netlist(const CliOptions& opt, const graph::CoreGraph& g) {
     const auto topo = make_topology(opt, g);
     const auto result = nmap::map_with_single_path(g, topo);
@@ -193,14 +248,28 @@ int main(int argc, char** argv) {
             opt.algo = util::to_lower(args[++i]);
         } else if (args[i] == "--fabric" && i + 1 < args.size()) {
             opt.fabric = util::to_lower(args[++i]);
+        } else if (args[i] == "--topologies" && i + 1 < args.size()) {
+            opt.topologies = util::to_lower(args[++i]);
+        } else if (args[i] == "--json" && i + 1 < args.size()) {
+            opt.json_path = args[++i];
+        } else if (args[i] == "--threads" && i + 1 < args.size()) {
+            if (!util::parse_size(args[++i], opt.threads)) return usage();
+        } else if (args[i] == "--portfolio") {
+            opt.portfolio = true;
         } else {
             positional.push_back(args[i]);
         }
     }
-    if (positional.size() != 1) return usage();
-    opt.target = positional[0];
+    if (opt.command == "portfolio") opt.portfolio = true;
 
     try {
+        if (opt.portfolio) {
+            if (positional.empty()) return usage();
+            opt.targets = positional;
+            return cmd_portfolio(opt);
+        }
+        if (positional.size() != 1) return usage();
+        opt.target = positional[0];
         const auto g = load_graph(opt.target);
         if (opt.command == "map") return cmd_map(opt, g);
         if (opt.command == "bw") return cmd_bw(opt, g);

@@ -1,74 +1,62 @@
-// Topology exploration: map one application onto meshes and tori of
-// different aspect ratios and compare cost / bandwidth needs — the "fast
-// design space exploration for NoC topology selection" use-case of the
-// paper's conclusion.
+// Topology exploration: map one application onto candidate fabrics of
+// different shapes and rank them — the "fast design space exploration for
+// NoC topology selection" use-case of the paper's conclusion.
 //
-//   $ ./topology_explore [app]        (default vopd)
+// A thin driver over the portfolio layer: the candidate list (every mesh
+// and torus aspect ratio that fits, a ring, the smallest hypercube) is
+// expressed as TopologySpec values, one PortfolioRunner evaluates the grid
+// on a shared TopologyCache, and the report prints the scalarized
+// cost/energy/area ranking.
+//
+//   $ ./topology_explore [app] [mapper]     (default vopd nmap)
 
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/registry.hpp"
-#include "lp/mcf.hpp"
-#include "nmap/single_path.hpp"
-#include "noc/commodity.hpp"
-#include "util/table.hpp"
+#include "portfolio/report.hpp"
+#include "portfolio/runner.hpp"
 
 int main(int argc, char** argv) {
     using namespace nocmap;
 
     const std::string app_name = argc > 1 ? argv[1] : "vopd";
-    graph::CoreGraph app;
+    const std::string mapper = argc > 2 ? argv[2] : "nmap";
+    std::shared_ptr<const graph::CoreGraph> app;
     try {
-        app = apps::make_application(app_name);
+        app = std::make_shared<const graph::CoreGraph>(apps::make_application(app_name));
     } catch (const std::exception& e) {
         std::cerr << e.what() << '\n';
         return 1;
     }
-    const auto cores = app.node_count();
+    const auto cores = app->node_count();
 
-    struct Candidate {
-        std::string name;
-        noc::Topology topo;
-    };
-    std::vector<Candidate> candidates;
+    // Candidate fabrics: every mesh aspect ratio that fits (mirrored shapes
+    // are equivalent), the tori among them, a ring of exactly `cores`
+    // tiles, and the smallest hypercube that fits.
+    std::vector<portfolio::TopologySpec> candidates;
     for (std::int32_t h = 1; h <= static_cast<std::int32_t>(cores); ++h) {
         const auto w = static_cast<std::int32_t>((cores + static_cast<std::size_t>(h) - 1) /
                                                  static_cast<std::size_t>(h));
-        if (w < h) break; // mirrored shapes are equivalent
-        candidates.push_back({"mesh " + std::to_string(w) + "x" + std::to_string(h),
-                              noc::Topology::mesh(w, h, 1e9)});
+        if (w < h) break;
+        candidates.push_back(
+            portfolio::TopologySpec::parse("mesh:" + std::to_string(w) + "x" + std::to_string(h)));
         if (w >= 3 && h >= 3)
-            candidates.push_back({"torus " + std::to_string(w) + "x" + std::to_string(h),
-                                  noc::Topology::torus(w, h, 1e9)});
+            candidates.push_back(portfolio::TopologySpec::parse(
+                "torus:" + std::to_string(w) + "x" + std::to_string(h)));
     }
-    // Non-grid fabrics (custom-topology support): a ring of exactly
-    // `cores` tiles and the smallest hypercube that fits.
-    if (cores >= 3)
-        candidates.push_back({"ring " + std::to_string(cores),
-                              noc::Topology::ring(cores, 1e9)});
-    std::size_t dim = 1;
-    while ((std::size_t{1} << dim) < cores) ++dim;
-    if (dim <= 10)
-        candidates.push_back({"hypercube d" + std::to_string(dim),
-                              noc::Topology::hypercube(dim, 1e9)});
+    if (cores >= 3) candidates.push_back(portfolio::TopologySpec::parse("ring"));
+    candidates.push_back(portfolio::TopologySpec::parse("hypercube"));
 
-    util::Table table("Topology exploration for '" + app_name + "' (" +
-                      std::to_string(cores) + " cores)");
-    table.set_header({"fabric", "tiles", "links", "cost (hops*MB/s)", "split BW (MB/s)"});
-    for (const auto& c : candidates) {
-        const auto result = nmap::map_with_single_path(app, c.topo);
-        const auto d = noc::build_commodities(app, result.mapping);
-        lp::McfOptions ta;
-        ta.objective = lp::McfObjective::MinMaxLoad;
-        const double split_bw = lp::solve_mcf(c.topo, d, ta).objective;
-        table.add_row({c.name, util::Table::num(static_cast<long long>(c.topo.tile_count())),
-                       util::Table::num(static_cast<long long>(c.topo.link_count())),
-                       util::Table::num(result.comm_cost, 0),
-                       util::Table::num(split_bw, 0)});
-    }
-    table.print(std::cout);
-    std::cout << "Lower cost favours compact fabrics; lower split BW favours richer\n"
-                 "connectivity (tori) — the trade-off the paper's conclusion points at.\n";
+    const auto grid = portfolio::make_grid({{app_name, app}}, candidates, mapper);
+    portfolio::PortfolioRunner runner;
+    const auto results = runner.run(grid);
+    portfolio::print_report(std::cout, results,
+                            portfolio::PortfolioRunner::rank_topologies(results));
+    std::cout << "Lower cost favours compact fabrics; richer connectivity (tori,\n"
+                 "hypercubes) buys bandwidth headroom at higher area — the trade-off\n"
+                 "the paper's conclusion points at.\n";
     return 0;
 }

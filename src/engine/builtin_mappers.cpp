@@ -20,24 +20,33 @@ namespace nocmap::engine {
 namespace {
 
 using MapFn = MappingResult (*)(const graph::CoreGraph&, const noc::Topology&);
+using CtxMapFn = MappingResult (*)(const graph::CoreGraph&, const noc::EvalContext&);
 
 class FunctionMapper final : public Mapper {
 public:
-    FunctionMapper(MapperInfo info, MapFn fn) : info_(std::move(info)), fn_(fn) {}
+    FunctionMapper(MapperInfo info, MapFn fn, CtxMapFn ctx_fn)
+        : info_(std::move(info)), fn_(fn), ctx_fn_(ctx_fn) {}
     const MapperInfo& info() const override { return info_; }
     MappingResult map(const graph::CoreGraph& graph, const noc::Topology& topo) const override {
         return fn_(graph, topo);
+    }
+    MappingResult map(const graph::CoreGraph& graph,
+                      const noc::EvalContext& ctx) const override {
+        if (ctx_fn_) return ctx_fn_(graph, ctx);
+        return fn_(graph, ctx.topology());
     }
 
 private:
     MapperInfo info_;
     MapFn fn_;
+    CtxMapFn ctx_fn_; ///< null = algorithm has no context-threaded entry yet
 };
 
-void add(Registry& registry, const char* name, const char* description, MapFn fn) {
+void add(Registry& registry, const char* name, const char* description, MapFn fn,
+         CtxMapFn ctx_fn = nullptr) {
     registry.add(MapperInfo{name, description},
-                 [info = MapperInfo{name, description}, fn] {
-                     return std::make_unique<FunctionMapper>(info, fn);
+                 [info = MapperInfo{name, description}, fn, ctx_fn] {
+                     return std::make_unique<FunctionMapper>(info, fn, ctx_fn);
                  });
 }
 
@@ -56,6 +65,9 @@ void register_builtin_mappers(Registry& registry) {
     add(registry, "nmap", "NMAP, single minimum-path routing (Section 5)",
         [](const graph::CoreGraph& g, const noc::Topology& t) {
             return nmap::map_with_single_path(g, t);
+        },
+        [](const graph::CoreGraph& g, const noc::EvalContext& ctx) {
+            return nmap::map_with_single_path(g, ctx);
         });
     add(registry, "nmap-split", "NMAP with traffic splitting over all paths (NMAPTA)",
         [](const graph::CoreGraph& g, const noc::Topology& t) {

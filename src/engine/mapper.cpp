@@ -62,4 +62,9 @@ MappingResult map_by_name(std::string_view name, const graph::CoreGraph& graph,
     return registry().create(name)->map(graph, topo);
 }
 
+MappingResult map_by_name(std::string_view name, const graph::CoreGraph& graph,
+                          const noc::EvalContext& ctx) {
+    return registry().create(name)->map(graph, ctx);
+}
+
 } // namespace nocmap::engine

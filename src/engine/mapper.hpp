@@ -15,6 +15,7 @@
 
 #include "engine/mapping_result.hpp"
 #include "graph/core_graph.hpp"
+#include "noc/eval_context.hpp"
 #include "noc/topology.hpp"
 
 namespace nocmap::engine {
@@ -33,6 +34,15 @@ public:
     /// exhaustive mapper's search-space guard).
     virtual MappingResult map(const graph::CoreGraph& graph,
                               const noc::Topology& topo) const = 0;
+
+    /// Context-threaded run over a shared evaluation context (the portfolio
+    /// layer's entry point). Context-aware mappers override this to read
+    /// the precomputed tables; the default forwards to the plain overload —
+    /// a shim that keeps every registered mapper usable in portfolio runs.
+    virtual MappingResult map(const graph::CoreGraph& graph,
+                              const noc::EvalContext& ctx) const {
+        return map(graph, ctx.topology());
+    }
 };
 
 class Registry {
@@ -72,6 +82,8 @@ Registry& registry();
 /// Convenience: construct and run a registered mapper in one call.
 MappingResult map_by_name(std::string_view name, const graph::CoreGraph& graph,
                           const noc::Topology& topo);
+MappingResult map_by_name(std::string_view name, const graph::CoreGraph& graph,
+                          const noc::EvalContext& ctx);
 
 namespace detail {
 /// Defined in builtin_mappers.cpp — the one translation unit that wires the

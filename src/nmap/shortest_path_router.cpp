@@ -10,11 +10,29 @@ namespace nocmap::nmap {
 
 namespace {
 
+/// Distance/quadrant queries of the router's inner loop: the context's flat
+/// table when a shared EvalContext is threaded through, the topology's own
+/// arithmetic otherwise. Both agree exactly (EvalContext::in_quadrant is
+/// equivalent to Topology::in_quadrant for every kind), so the two paths
+/// pick identical routes.
+struct DistanceOracle {
+    const noc::Topology& topo;
+    const noc::EvalContext* ctx = nullptr;
+
+    std::int32_t distance(noc::TileId a, noc::TileId b) const {
+        return ctx ? ctx->distance(a, b) : topo.distance(a, b);
+    }
+    bool in_quadrant(noc::TileId t, noc::TileId a, noc::TileId b) const {
+        return ctx ? ctx->in_quadrant(t, a, b) : topo.in_quadrant(t, a, b);
+    }
+};
+
 /// Dijkstra restricted to the quadrant of (src, dst), edge weight = current
 /// load. Returns the tile sequence of the least-congested minimal path.
-std::vector<noc::TileId> quadrant_min_path(const noc::Topology& topo,
+std::vector<noc::TileId> quadrant_min_path(const DistanceOracle& oracle,
                                            const noc::LinkLoads& loads, noc::TileId src,
                                            noc::TileId dst) {
+    const noc::Topology& topo = oracle.topo;
     const std::size_t n = topo.tile_count();
     std::vector<double> dist(n, std::numeric_limits<double>::infinity());
     std::vector<noc::TileId> prev(n, noc::kInvalidTile);
@@ -30,10 +48,10 @@ std::vector<noc::TileId> quadrant_min_path(const noc::Topology& topo,
         for (const noc::LinkId l : topo.out_links(u)) {
             const noc::Link& link = topo.link(l);
             // Stay inside the quadrant: both endpoints on a minimal path.
-            if (!topo.in_quadrant(link.dst, src, dst)) continue;
+            if (!oracle.in_quadrant(link.dst, src, dst)) continue;
             // Only move *toward* the destination (monotone progress keeps
             // the path minimal even inside the quadrant).
-            if (topo.distance(link.dst, dst) >= topo.distance(u, dst)) continue;
+            if (oracle.distance(link.dst, dst) >= oracle.distance(u, dst)) continue;
             const double nd = d + loads[static_cast<std::size_t>(l)];
             if (nd < dist[static_cast<std::size_t>(link.dst)]) {
                 dist[static_cast<std::size_t>(link.dst)] = nd;
@@ -51,10 +69,9 @@ std::vector<noc::TileId> quadrant_min_path(const noc::Topology& topo,
     return path;
 }
 
-} // namespace
-
-SinglePathRouting route_single_min_paths(const noc::Topology& topo,
-                                         const std::vector<noc::Commodity>& commodities) {
+SinglePathRouting route_with_oracle(const DistanceOracle& oracle,
+                                    const std::vector<noc::Commodity>& commodities) {
+    const noc::Topology& topo = oracle.topo;
     SinglePathRouting result;
     result.routes.assign(commodities.size(), {});
     result.loads.assign(topo.link_count(), 0.0);
@@ -71,7 +88,7 @@ SinglePathRouting route_single_min_paths(const noc::Topology& topo,
 
     for (const std::size_t slot : order) {
         const noc::Commodity& c = commodities[slot];
-        const auto tiles = quadrant_min_path(topo, result.loads, c.src_tile, c.dst_tile);
+        const auto tiles = quadrant_min_path(oracle, result.loads, c.src_tile, c.dst_tile);
         noc::Route route = noc::route_along(topo, tiles);
         for (const noc::LinkId l : route)
             result.loads[static_cast<std::size_t>(l)] += c.value;
@@ -80,8 +97,24 @@ SinglePathRouting route_single_min_paths(const noc::Topology& topo,
 
     result.max_load = noc::max_load(result.loads);
     result.feasible = noc::satisfies_bandwidth(topo, result.loads);
-    result.cost = result.feasible ? noc::communication_cost(topo, commodities) : kMaxValue;
+    if (!result.feasible)
+        result.cost = kMaxValue;
+    else
+        result.cost = oracle.ctx ? noc::communication_cost(*oracle.ctx, commodities)
+                                 : noc::communication_cost(topo, commodities);
     return result;
+}
+
+} // namespace
+
+SinglePathRouting route_single_min_paths(const noc::Topology& topo,
+                                         const std::vector<noc::Commodity>& commodities) {
+    return route_with_oracle(DistanceOracle{topo, nullptr}, commodities);
+}
+
+SinglePathRouting route_single_min_paths(const noc::EvalContext& ctx,
+                                         const std::vector<noc::Commodity>& commodities) {
+    return route_with_oracle(DistanceOracle{ctx.topology(), &ctx}, commodities);
 }
 
 SinglePathRouting evaluate_mapping(const graph::CoreGraph& graph, const noc::Topology& topo,
@@ -89,16 +122,36 @@ SinglePathRouting evaluate_mapping(const graph::CoreGraph& graph, const noc::Top
     return route_single_min_paths(topo, noc::build_commodities(graph, mapping));
 }
 
-MappingResult scored_result(const graph::CoreGraph& graph, const noc::Topology& topo,
-                            noc::Mapping mapping, std::size_t evaluations) {
-    const SinglePathRouting routed = evaluate_mapping(graph, topo, mapping);
+SinglePathRouting evaluate_mapping(const graph::CoreGraph& graph, const noc::EvalContext& ctx,
+                                   const noc::Mapping& mapping) {
+    return route_single_min_paths(ctx, noc::build_commodities(graph, mapping));
+}
+
+namespace {
+
+MappingResult result_from_routing(SinglePathRouting routed, noc::Mapping mapping,
+                                  std::size_t evaluations) {
     MappingResult result;
     result.mapping = std::move(mapping);
     result.comm_cost = routed.cost;
     result.feasible = routed.feasible;
-    result.loads = routed.loads;
+    result.loads = std::move(routed.loads);
     result.evaluations = evaluations;
     return result;
+}
+
+} // namespace
+
+MappingResult scored_result(const graph::CoreGraph& graph, const noc::Topology& topo,
+                            noc::Mapping mapping, std::size_t evaluations) {
+    SinglePathRouting routed = evaluate_mapping(graph, topo, mapping);
+    return result_from_routing(std::move(routed), std::move(mapping), evaluations);
+}
+
+MappingResult scored_result(const graph::CoreGraph& graph, const noc::EvalContext& ctx,
+                            noc::Mapping mapping, std::size_t evaluations) {
+    SinglePathRouting routed = evaluate_mapping(graph, ctx, mapping);
+    return result_from_routing(std::move(routed), std::move(mapping), evaluations);
 }
 
 } // namespace nocmap::nmap

@@ -23,8 +23,9 @@ namespace {
 /// return identical mappings.
 class SinglePathPolicy final : public engine::SweepPolicy {
 public:
-    SinglePathPolicy(const graph::CoreGraph& graph, const noc::Topology& topo, SweepEval eval)
-        : graph_(graph), topo_(topo), eval_(eval) {}
+    SinglePathPolicy(const graph::CoreGraph& graph, const noc::Topology& topo, SweepEval eval,
+                     const noc::EvalContext* ctx = nullptr)
+        : graph_(graph), topo_(topo), ctx_(ctx), eval_(eval) {}
 
     engine::Score evaluate(const noc::Mapping& mapping) override {
         count_evaluation();
@@ -54,31 +55,35 @@ public:
 
     void on_rebase(const noc::Mapping& placed, const engine::Score&) override {
         if (eval_ != SweepEval::Incremental) return;
-        if (!evaluator_)
-            evaluator_.emplace(graph_, topo_, placed);
-        else
+        if (!evaluator_) {
+            if (ctx_)
+                evaluator_.emplace(graph_, *ctx_, placed);
+            else
+                evaluator_.emplace(graph_, topo_, placed);
+        } else {
             evaluator_->rebase(placed);
+        }
     }
 
     bool parallel_safe() const override { return true; }
 
 private:
     engine::Score route(const noc::Mapping& mapping) const {
-        const SinglePathRouting routed = evaluate_mapping(graph_, topo_, mapping);
+        const SinglePathRouting routed = ctx_ ? evaluate_mapping(graph_, *ctx_, mapping)
+                                              : evaluate_mapping(graph_, topo_, mapping);
         return engine::Score{routed.cost, routed.max_load, routed.feasible};
     }
 
     const graph::CoreGraph& graph_;
     const noc::Topology& topo_;
+    const noc::EvalContext* ctx_;
     const SweepEval eval_;
     std::optional<engine::IncrementalEvaluator> evaluator_;
 };
 
-} // namespace
-
-MappingResult map_with_single_path(const graph::CoreGraph& graph, const noc::Topology& topo,
-                                   const SinglePathOptions& options) {
-    SinglePathPolicy policy(graph, topo, options.eval);
+MappingResult run_single_path(const graph::CoreGraph& graph, const noc::Topology& topo,
+                              const noc::EvalContext* ctx, const SinglePathOptions& options) {
+    SinglePathPolicy policy(graph, topo, options.eval, ctx);
     engine::SweepOptions sweep;
     sweep.max_sweeps = options.max_sweeps;
     sweep.threads = options.threads;
@@ -90,7 +95,20 @@ MappingResult map_with_single_path(const graph::CoreGraph& graph, const noc::Top
     // One final re-route of the winner (its loads are not carried through
     // the generic Score); deterministic, so identical to the sweep's own
     // evaluation of that mapping.
+    if (ctx) return scored_result(graph, *ctx, outcome.best, policy.evaluations());
     return scored_result(graph, topo, outcome.best, policy.evaluations());
+}
+
+} // namespace
+
+MappingResult map_with_single_path(const graph::CoreGraph& graph, const noc::Topology& topo,
+                                   const SinglePathOptions& options) {
+    return run_single_path(graph, topo, nullptr, options);
+}
+
+MappingResult map_with_single_path(const graph::CoreGraph& graph, const noc::EvalContext& ctx,
+                                   const SinglePathOptions& options) {
+    return run_single_path(graph, ctx.topology(), &ctx, options);
 }
 
 } // namespace nocmap::nmap

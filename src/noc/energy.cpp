@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "noc/eval_context.hpp"
+
 namespace nocmap::noc {
 
 namespace {
@@ -15,6 +17,15 @@ double mapping_energy_mw(const Topology& topo, const std::vector<Commodity>& com
     for (const Commodity& c : commodities) {
         const auto hops = static_cast<std::size_t>(topo.distance(c.src_tile, c.dst_tile));
         total += c.value * model.bit_energy(hops);
+    }
+    return total * kMbpsPjToMw;
+}
+
+double mapping_energy_mw(const EvalContext& ctx, const std::vector<Commodity>& commodities) {
+    double total = 0.0;
+    for (const Commodity& c : commodities) {
+        const auto hops = static_cast<std::size_t>(ctx.distance(c.src_tile, c.dst_tile));
+        total += c.value * ctx.bit_energy(hops);
     }
     return total * kMbpsPjToMw;
 }

@@ -22,6 +22,8 @@
 
 namespace nocmap::noc {
 
+class EvalContext; // eval_context.hpp
+
 struct EnergyModel {
     /// Energy to move one bit through one switch (pJ/bit). Default values
     /// follow the 0.18um figures used in the ASP-DAC 2003 study.
@@ -41,6 +43,11 @@ struct EnergyModel {
 /// Depends only on tile distances, like Equation 7.
 double mapping_energy_mw(const Topology& topo, const std::vector<Commodity>& commodities,
                          const EnergyModel& model = {});
+
+/// Same figure against a shared evaluation context: distances and per-hop
+/// bit energies come from the context's precomputed tables, and the model
+/// is the one the context was built with.
+double mapping_energy_mw(const EvalContext& ctx, const std::vector<Commodity>& commodities);
 
 /// Communication energy of explicit single-path routes (exact hop counts).
 double routed_energy_mw(const std::vector<Commodity>& commodities,

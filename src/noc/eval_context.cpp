@@ -1,0 +1,39 @@
+#include "noc/eval_context.hpp"
+
+#include <stdexcept>
+
+namespace nocmap::noc {
+
+EvalContext::EvalContext(std::shared_ptr<const Topology> topo, EnergyModel model)
+    : topo_(std::move(topo)), model_(model) {
+    if (!topo_) throw std::invalid_argument("EvalContext: null topology");
+    build_tables();
+}
+
+EvalContext::EvalContext(Topology topo, EnergyModel model)
+    : EvalContext(std::make_shared<const Topology>(std::move(topo)), model) {}
+
+EvalContext EvalContext::borrow(const Topology& topo, EnergyModel model) {
+    // Aliasing shared_ptr with no control block: dereferences to `topo`,
+    // never deletes. The caller guarantees the lifetime.
+    return EvalContext(std::shared_ptr<const Topology>(std::shared_ptr<void>(), &topo),
+                       model);
+}
+
+void EvalContext::build_tables() {
+    n_ = topo_->tile_count();
+    dist_.resize(n_ * n_);
+    diameter_ = 0;
+    for (std::size_t a = 0; a < n_; ++a)
+        for (std::size_t b = 0; b < n_; ++b) {
+            const std::int32_t d =
+                topo_->distance(static_cast<TileId>(a), static_cast<TileId>(b));
+            dist_[a * n_ + b] = d;
+            if (d > diameter_) diameter_ = d;
+        }
+    bit_energy_.resize(static_cast<std::size_t>(diameter_) + 1);
+    for (std::size_t hops = 0; hops < bit_energy_.size(); ++hops)
+        bit_energy_[hops] = model_.bit_energy(hops);
+}
+
+} // namespace nocmap::noc

@@ -1,0 +1,88 @@
+#pragma once
+// noc::EvalContext — the shared, immutable evaluation context of one
+// topology.
+//
+// Every mapping run needs the same topology-derived state: all-pairs hop
+// distances (Equation 7, quadrant membership, energy hops), the network
+// diameter, and the per-hop bit-energy figures of the energy model. Before
+// the portfolio layer, each run recomputed these internally — coordinate
+// arithmetic per distance() call on grids, a fresh all-pairs BFS per custom
+// Topology, bit_energy() re-derived per commodity. An EvalContext hoists
+// all of it into one const object built once per topology:
+//
+//   * a flat |U|² hop-distance table (one load per lookup, every kind);
+//   * in_quadrant() via the table (t lies on some minimal a→b path);
+//   * the EnergyModel plus a bit-energy-per-hop-count table up to the
+//     network diameter.
+//
+// Contexts are immutable after construction and safe to share across
+// threads; the portfolio::TopologyCache hands the same shared_ptr'd context
+// to every scenario on the same fabric. Ownership rule: an EvalContext
+// keeps its Topology alive through a shared_ptr — the borrow() constructor
+// is the exception for stack-local topologies and makes the caller
+// responsible for the topology outliving the context.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "noc/energy.hpp"
+#include "noc/topology.hpp"
+
+namespace nocmap::noc {
+
+class EvalContext {
+public:
+    /// Builds the context for `topo` (shared ownership).
+    explicit EvalContext(std::shared_ptr<const Topology> topo, EnergyModel model = {});
+
+    /// Convenience: takes ownership of a topology by value.
+    explicit EvalContext(Topology topo, EnergyModel model = {});
+
+    /// Non-owning context over a caller-owned topology. The caller must
+    /// keep `topo` alive for the lifetime of the context.
+    static EvalContext borrow(const Topology& topo, EnergyModel model = {});
+
+    const Topology& topology() const noexcept { return *topo_; }
+
+    std::size_t tile_count() const noexcept { return n_; }
+
+    /// Minimum hop count between tiles — one table load, any topology kind.
+    /// Tile ids are not range-checked (hot path); callers index with valid
+    /// tiles exactly like Topology::distance does after its checks.
+    std::int32_t distance(TileId a, TileId b) const noexcept {
+        return dist_[static_cast<std::size_t>(a) * n_ + static_cast<std::size_t>(b)];
+    }
+
+    /// Largest pairwise hop distance of the fabric.
+    std::int32_t diameter() const noexcept { return diameter_; }
+
+    /// True if `t` lies on some minimal a→b path. Equivalent to
+    /// Topology::in_quadrant for every kind (on grids the Manhattan metric
+    /// separates by axis, so per-axis minimality equals path minimality).
+    bool in_quadrant(TileId t, TileId a, TileId b) const noexcept {
+        return distance(a, t) + distance(t, b) == distance(a, b);
+    }
+
+    const EnergyModel& energy_model() const noexcept { return model_; }
+
+    /// EnergyModel::bit_energy(hops) from the precomputed table (hops is at
+    /// most the diameter for minimal routing; larger values fall back to
+    /// the model formula).
+    double bit_energy(std::size_t hops) const noexcept {
+        if (hops < bit_energy_.size()) return bit_energy_[hops];
+        return model_.bit_energy(hops);
+    }
+
+private:
+    void build_tables();
+
+    std::shared_ptr<const Topology> topo_;
+    std::size_t n_ = 0;
+    std::vector<std::int32_t> dist_; ///< row-major |U| × |U| hop distances
+    std::int32_t diameter_ = 0;
+    EnergyModel model_;
+    std::vector<double> bit_energy_; ///< bit_energy(hops), hops in [0, diameter]
+};
+
+} // namespace nocmap::noc

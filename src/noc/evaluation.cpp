@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "noc/eval_context.hpp"
+
 namespace nocmap::noc {
 
 LinkLoads accumulate_loads(const Topology& topo, const std::vector<Commodity>& commodities,
@@ -58,6 +60,13 @@ double communication_cost(const Topology& topo, const std::vector<Commodity>& co
     return cost;
 }
 
+double communication_cost(const EvalContext& ctx, const std::vector<Commodity>& commodities) {
+    double cost = 0.0;
+    for (const Commodity& c : commodities)
+        cost += c.value * static_cast<double>(ctx.distance(c.src_tile, c.dst_tile));
+    return cost;
+}
+
 double total_flow(const LinkLoads& loads) {
     double sum = 0.0;
     for (const double load : loads) sum += load;
@@ -69,6 +78,13 @@ double average_weighted_hops(const Topology& topo, const std::vector<Commodity>&
     for (const Commodity& c : commodities) demand += c.value;
     if (demand <= 0.0) return 0.0;
     return communication_cost(topo, commodities) / demand;
+}
+
+double average_weighted_hops(const EvalContext& ctx, const std::vector<Commodity>& commodities) {
+    double demand = 0.0;
+    for (const Commodity& c : commodities) demand += c.value;
+    if (demand <= 0.0) return 0.0;
+    return communication_cost(ctx, commodities) / demand;
 }
 
 } // namespace nocmap::noc

@@ -11,6 +11,8 @@
 
 namespace nocmap::noc {
 
+class EvalContext; // eval_context.hpp
+
 /// Aggregate traffic per link, indexed by LinkId; MB/s.
 using LinkLoads = std::vector<double>;
 
@@ -36,6 +38,10 @@ double total_violation(const Topology& topo, const LinkLoads& loads);
 /// the mapping (every minimal route realizes it); units: hops · MB/s.
 double communication_cost(const Topology& topo, const std::vector<Commodity>& commodities);
 
+/// Equation 7 against a shared evaluation context: identical value, one
+/// table load per commodity instead of per-call coordinate arithmetic.
+double communication_cost(const EvalContext& ctx, const std::vector<Commodity>& commodities);
+
 /// Σ over links of routed flow — the MCF2 objective. For single-path minimal
 /// routing this equals communication_cost().
 double total_flow(const LinkLoads& loads);
@@ -47,5 +53,6 @@ inline double min_uniform_bandwidth(const LinkLoads& loads) { return max_load(lo
 /// Average hops per unit of traffic (commcost / total demand); a secondary
 /// delay proxy used in reports.
 double average_weighted_hops(const Topology& topo, const std::vector<Commodity>& commodities);
+double average_weighted_hops(const EvalContext& ctx, const std::vector<Commodity>& commodities);
 
 } // namespace nocmap::noc

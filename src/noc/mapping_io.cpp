@@ -8,21 +8,10 @@
 
 namespace nocmap::noc {
 
-namespace {
-const char* kind_name(TopologyKind kind) {
-    switch (kind) {
-    case TopologyKind::Mesh: return "mesh";
-    case TopologyKind::Torus: return "torus";
-    case TopologyKind::Custom: return "custom";
-    }
-    return "?";
-}
-} // namespace
-
 void write_mapping(std::ostream& os, const graph::CoreGraph& graph, const Topology& topo,
                    const Mapping& mapping) {
     os << "mapping " << (graph.name().empty() ? "unnamed" : graph.name()) << ' '
-       << kind_name(topo.kind()) << ' ' << topo.width() << 'x' << topo.height() << '\n';
+       << topo.variant() << ' ' << topo.width() << 'x' << topo.height() << '\n';
     for (std::size_t core = 0; core < mapping.core_count(); ++core) {
         const auto node = static_cast<graph::NodeId>(core);
         if (!mapping.is_placed(node)) continue;
@@ -63,8 +52,13 @@ Mapping read_mapping(std::istream& is, const graph::CoreGraph& graph, const Topo
         if (keyword == "mapping") {
             std::string name, kind, dims;
             tokens >> name >> kind >> dims;
-            const std::string expected_kind = kind_name(topo.kind());
-            if (kind != expected_kind) fail("fabric kind mismatch (expected " + expected_kind + ")");
+            // The header names the builder variant ("ring", "hypercube",
+            // ...); plain "custom" is accepted for any Custom-kind fabric
+            // so files written before the variant existed still load.
+            const std::string& expected_kind = topo.variant();
+            const bool generic_custom = kind == "custom" && topo.kind() == TopologyKind::Custom;
+            if (kind != expected_kind && !generic_custom)
+                fail("fabric kind mismatch (expected " + expected_kind + ")");
             const std::string expected_dims =
                 std::to_string(topo.width()) + "x" + std::to_string(topo.height());
             if (dims != expected_dims)

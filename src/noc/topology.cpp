@@ -8,8 +8,19 @@
 
 namespace nocmap::noc {
 
+namespace {
+const char* default_variant(TopologyKind kind) {
+    switch (kind) {
+    case TopologyKind::Mesh: return "mesh";
+    case TopologyKind::Torus: return "torus";
+    case TopologyKind::Custom: return "custom";
+    }
+    return "?";
+}
+} // namespace
+
 Topology::Topology(TopologyKind kind, std::int32_t width, std::int32_t height)
-    : kind_(kind), width_(width), height_(height) {
+    : kind_(kind), variant_(default_variant(kind)), width_(width), height_(height) {
     if (width <= 0 || height <= 0)
         throw std::invalid_argument("Topology: dimensions must be positive");
     out_.resize(tile_count());
@@ -81,7 +92,9 @@ Topology Topology::ring(std::size_t tile_count, double capacity) {
         links.push_back(Link{here, next, capacity});
         links.push_back(Link{next, here, capacity});
     }
-    return custom(tile_count, std::move(links));
+    Topology topo = custom(tile_count, std::move(links));
+    topo.variant_ = "ring";
+    return topo;
 }
 
 Topology Topology::hypercube(std::size_t dimension, double capacity) {
@@ -95,7 +108,9 @@ Topology Topology::hypercube(std::size_t dimension, double capacity) {
             links.push_back(Link{static_cast<TileId>(t), static_cast<TileId>(peer),
                                  capacity});
         }
-    return custom(tiles, std::move(links));
+    Topology topo = custom(tiles, std::move(links));
+    topo.variant_ = "hypercube";
+    return topo;
 }
 
 Topology Topology::smallest_mesh_for(std::size_t core_count, double capacity) {

@@ -75,6 +75,11 @@ public:
     static Topology hypercube(std::size_t dimension, double capacity);
 
     TopologyKind kind() const noexcept { return kind_; }
+    /// Builder name: "mesh", "torus", "custom", "ring" or "hypercube".
+    /// Ring/hypercube fabrics are Custom-kind (BFS distances, no grid) but
+    /// keep their builder identity here — mapping files and portfolio
+    /// topology keys name fabrics by variant.
+    const std::string& variant() const noexcept { return variant_; }
     std::int32_t width() const noexcept { return width_; }
     std::int32_t height() const noexcept { return height_; }
     std::size_t tile_count() const noexcept {
@@ -133,6 +138,7 @@ private:
     TileId checked(TileId t) const;
 
     TopologyKind kind_ = TopologyKind::Mesh;
+    std::string variant_ = "mesh";
     std::int32_t width_ = 0;
     std::int32_t height_ = 0;
     std::vector<Link> links_;

@@ -1,0 +1,129 @@
+#include "portfolio/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace nocmap::portfolio {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/// JSON number, or null for the infinities scalar scores use.
+std::string json_number(double value) {
+    if (!std::isfinite(value)) return "null";
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.6g", value);
+    return buffer;
+}
+
+std::string quoted(const std::string& text) { return "\"" + json_escape(text) + "\""; }
+
+} // namespace
+
+void write_json(std::ostream& os, const std::vector<ScenarioResult>& results,
+                const std::vector<TopologyRanking>& topology_ranking,
+                const TopologyCache* cache) {
+    os << "{\n  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ScenarioResult& r = results[i];
+        os << "    {\"index\": " << r.index << ", \"name\": " << quoted(r.name)
+           << ", \"app\": " << quoted(r.app) << ", \"topology\": " << quoted(r.topology)
+           << ", \"fabric\": " << quoted(r.fabric) << ", \"mapper\": " << quoted(r.mapper)
+           << ", \"ok\": " << (r.ok ? "true" : "false")
+           << ", \"feasible\": " << (r.ok && r.result.feasible ? "true" : "false")
+           << ", \"tiles\": " << r.tiles << ", \"links\": " << r.links
+           << ", \"comm_cost\": " << json_number(r.result.comm_cost)
+           << ", \"energy_mw\": " << json_number(r.energy_mw)
+           << ", \"area_mm2\": " << json_number(r.area_mm2)
+           << ", \"avg_hops\": " << json_number(r.avg_hops)
+           << ", \"scalar_score\": " << json_number(r.scalar_score)
+           << ", \"elapsed_ms\": " << json_number(r.elapsed_ms)
+           << ", \"error\": " << (r.error.empty() ? "null" : quoted(r.error)) << "}"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"ranking\": [";
+    const auto order = PortfolioRunner::ranking(results);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        os << order[i] << (i + 1 < order.size() ? ", " : "");
+    os << "],\n  \"topology_ranking\": [\n";
+    for (std::size_t i = 0; i < topology_ranking.size(); ++i) {
+        const TopologyRanking& t = topology_ranking[i];
+        os << "    {\"topology\": " << quoted(t.topology) << ", \"scenarios\": " << t.scenarios
+           << ", \"feasible\": " << t.feasible
+           << ", \"mean_score\": " << json_number(t.mean_score) << "}"
+           << (i + 1 < topology_ranking.size() ? "," : "") << "\n";
+    }
+    os << "  ]";
+    if (cache)
+        os << ",\n  \"cache\": {\"fabrics\": " << cache->size() << ", \"hits\": " << cache->hits()
+           << ", \"misses\": " << cache->misses() << "}";
+    os << "\n}\n";
+}
+
+std::string to_json(const std::vector<ScenarioResult>& results,
+                    const std::vector<TopologyRanking>& topology_ranking,
+                    const TopologyCache* cache) {
+    std::ostringstream os;
+    write_json(os, results, topology_ranking, cache);
+    return os.str();
+}
+
+void print_report(std::ostream& os, const std::vector<ScenarioResult>& results,
+                  const std::vector<TopologyRanking>& topology_ranking) {
+    util::Table scenarios("Portfolio scenarios (best first)");
+    scenarios.set_header({"scenario", "fabric", "tiles", "feasible", "cost (hops*MB/s)",
+                          "energy (mW)", "area (mm2)", "score", "ms"});
+    for (const std::size_t i : PortfolioRunner::ranking(results)) {
+        const ScenarioResult& r = results[i];
+        const bool feasible = r.ok && r.result.feasible;
+        scenarios.add_row({r.name, r.fabric.empty() ? r.topology : r.fabric,
+                           util::Table::num(static_cast<long long>(r.tiles)),
+                           r.ok ? (feasible ? "yes" : "no") : "error: " + r.error,
+                           std::isfinite(r.result.comm_cost)
+                               ? util::Table::num(r.result.comm_cost, 0)
+                               : "-",
+                           util::Table::num(r.energy_mw, 1), util::Table::num(r.area_mm2, 1),
+                           std::isfinite(r.scalar_score) ? util::Table::num(r.scalar_score, 3)
+                                                         : "-",
+                           util::Table::num(r.elapsed_ms, 1)});
+    }
+    scenarios.print(os);
+
+    util::Table fabrics("Topology portfolio ranking (weighted cost/energy/area, per-app "
+                        "normalized; lower is better)");
+    fabrics.set_header({"topology", "apps feasible", "mean score"});
+    for (const TopologyRanking& t : topology_ranking)
+        fabrics.add_row({t.topology,
+                         util::Table::num(static_cast<long long>(t.feasible)) + "/" +
+                             util::Table::num(static_cast<long long>(t.scenarios)),
+                         std::isfinite(t.mean_score) ? util::Table::num(t.mean_score, 3) : "-"});
+    fabrics.print(os);
+}
+
+} // namespace nocmap::portfolio

@@ -1,0 +1,29 @@
+#pragma once
+// portfolio::report — render a finished portfolio run as a machine-readable
+// JSON document (CI artifact) or a human-readable table.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "portfolio/runner.hpp"
+
+namespace nocmap::portfolio {
+
+/// Writes the full run as JSON: scenario records (grid order), the
+/// best-first scenario ranking, the per-fabric ranking, and the cache's
+/// hit/miss counters when provided. Non-finite numbers (infeasible scores)
+/// are emitted as null.
+void write_json(std::ostream& os, const std::vector<ScenarioResult>& results,
+                const std::vector<TopologyRanking>& topology_ranking,
+                const TopologyCache* cache = nullptr);
+
+std::string to_json(const std::vector<ScenarioResult>& results,
+                    const std::vector<TopologyRanking>& topology_ranking,
+                    const TopologyCache* cache = nullptr);
+
+/// Prints the scenario table (best-first) and the fabric ranking.
+void print_report(std::ostream& os, const std::vector<ScenarioResult>& results,
+                  const std::vector<TopologyRanking>& topology_ranking);
+
+} // namespace nocmap::portfolio

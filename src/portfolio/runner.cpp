@@ -1,0 +1,159 @@
+#include "portfolio/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <map>
+#include <thread>
+
+#include "engine/mapper.hpp"
+#include "noc/commodity.hpp"
+#include "noc/evaluation.hpp"
+#include "sim/area_model.hpp"
+
+namespace nocmap::portfolio {
+
+PortfolioRunner::PortfolioRunner(PortfolioOptions options)
+    : options_(options), cache_(options.energy_model) {}
+
+ScenarioResult PortfolioRunner::run_one(const Scenario& scenario, std::size_t index) {
+    ScenarioResult r;
+    r.index = index;
+    r.name = scenario.display_name();
+    r.app = scenario.app;
+    r.topology = scenario.topology.display_name();
+    r.mapper = scenario.mapper;
+    try {
+        const std::size_t cores = scenario.graph->node_count();
+        r.fabric = scenario.topology.cache_key(cores);
+        const auto ctx = cache_.get(scenario.topology, cores);
+        r.tiles = ctx->topology().tile_count();
+        r.links = ctx->topology().link_count();
+
+        const auto start = std::chrono::steady_clock::now();
+        r.result = engine::map_by_name(scenario.mapper, *scenario.graph, *ctx);
+        r.elapsed_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+
+        // Energy/hops need a complete placement; infeasible results still
+        // carry the best mapping found, failed searches may not.
+        if (r.result.mapping.core_count() == cores && r.result.mapping.is_complete()) {
+            const auto commodities = noc::build_commodities(*scenario.graph, r.result.mapping);
+            r.energy_mw = noc::mapping_energy_mw(*ctx, commodities);
+            r.avg_hops = noc::average_weighted_hops(*ctx, commodities);
+        }
+        r.area_mm2 = sim::fabric_area_mm2(ctx->topology(), cores);
+    } catch (const std::exception& e) {
+        r.ok = false;
+        r.error = e.what();
+    }
+    return r;
+}
+
+void PortfolioRunner::scalarize(std::vector<ScenarioResult>& results) const {
+    // Per-application feasible minima of each metric.
+    struct Minima {
+        double cost = std::numeric_limits<double>::infinity();
+        double energy = std::numeric_limits<double>::infinity();
+        double area = std::numeric_limits<double>::infinity();
+    };
+    std::map<std::string, Minima> minima;
+    for (const ScenarioResult& r : results) {
+        if (!r.ok || !r.result.feasible) continue;
+        Minima& m = minima[r.app];
+        m.cost = std::min(m.cost, r.result.comm_cost);
+        m.energy = std::min(m.energy, r.energy_mw);
+        m.area = std::min(m.area, r.area_mm2);
+    }
+    // A zero minimum (e.g. a single-core app with no traffic) makes the
+    // ratio meaningless; such terms contribute their weight exactly (every
+    // fabric ties at the optimum).
+    const auto term = [](double value, double minimum) {
+        return minimum > 0.0 ? value / minimum : 1.0;
+    };
+    const ScalarizationWeights& w = options_.weights;
+    for (ScenarioResult& r : results) {
+        if (!r.ok || !r.result.feasible) continue;
+        const Minima& m = minima[r.app];
+        r.scalar_score = w.cost * term(r.result.comm_cost, m.cost) +
+                         w.energy * term(r.energy_mw, m.energy) +
+                         w.area * term(r.area_mm2, m.area);
+    }
+}
+
+std::vector<ScenarioResult> PortfolioRunner::run(const std::vector<Scenario>& grid) {
+    std::vector<ScenarioResult> results(grid.size());
+    std::size_t workers = options_.threads == 0
+                              ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                              : options_.threads;
+    workers = std::min(workers, grid.size());
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < grid.size(); ++i) results[i] = run_one(grid[i], i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        auto drain = [&] {
+            for (std::size_t i = next.fetch_add(1); i < grid.size(); i = next.fetch_add(1))
+                results[i] = run_one(grid[i], i);
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(workers - 1);
+        for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(drain);
+        drain();
+        for (std::thread& t : pool) t.join();
+    }
+
+    scalarize(results);
+    return results;
+}
+
+std::vector<std::size_t> PortfolioRunner::ranking(const std::vector<ScenarioResult>& results) {
+    std::vector<std::size_t> order(results.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (results[a].scalar_score != results[b].scalar_score)
+            return results[a].scalar_score < results[b].scalar_score;
+        return results[a].index < results[b].index;
+    });
+    return order;
+}
+
+std::vector<TopologyRanking> PortfolioRunner::rank_topologies(
+    const std::vector<ScenarioResult>& results) {
+    // std::map keys the aggregation deterministically by topology name.
+    struct Accumulator {
+        std::size_t scenarios = 0;
+        std::size_t feasible = 0;
+        double score_sum = 0.0;
+    };
+    std::map<std::string, Accumulator> groups;
+    for (const ScenarioResult& r : results) {
+        Accumulator& acc = groups[r.topology];
+        ++acc.scenarios;
+        if (r.ok && r.result.feasible) {
+            ++acc.feasible;
+            acc.score_sum += r.scalar_score;
+        }
+    }
+    std::vector<TopologyRanking> ranking;
+    ranking.reserve(groups.size());
+    for (const auto& [name, acc] : groups) {
+        TopologyRanking row;
+        row.topology = name;
+        row.scenarios = acc.scenarios;
+        row.feasible = acc.feasible;
+        if (acc.feasible > 0) row.mean_score = acc.score_sum / static_cast<double>(acc.feasible);
+        ranking.push_back(std::move(row));
+    }
+    std::stable_sort(ranking.begin(), ranking.end(),
+                     [](const TopologyRanking& a, const TopologyRanking& b) {
+                         if (a.feasible != b.feasible) return a.feasible > b.feasible;
+                         if (a.mean_score != b.mean_score) return a.mean_score < b.mean_score;
+                         return a.topology < b.topology;
+                     });
+    return ranking;
+}
+
+} // namespace nocmap::portfolio

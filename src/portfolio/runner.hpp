@@ -1,0 +1,106 @@
+#pragma once
+// portfolio::PortfolioRunner — executes a scenario grid over a shared
+// TopologyCache and scalarizes cost/energy/area into a fabric ranking.
+//
+// Determinism contract: results are returned in grid order (workers write
+// result slot i for scenario i; no order-dependent state is shared beyond
+// the immutable contexts), every registered mapper is deterministic for a
+// fixed input, and scalarization is a pure post-pass over the finished
+// results — so any thread count produces the identical result vector and
+// ranking.
+//
+// Scalarization: within each application, every feasible scenario's
+// communication cost, energy and fabric area are divided by the per-app
+// feasible minimum of that metric (each term is >= 1, dimensionless, 1 =
+// best fabric for that metric), then combined with the configured weights.
+// Infeasible or failed scenarios score infinity. Fabrics are ranked by
+// mean score over the applications they feasibly serve.
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "engine/mapping_result.hpp"
+#include "noc/energy.hpp"
+#include "portfolio/scenario.hpp"
+#include "portfolio/topology_cache.hpp"
+
+namespace nocmap::portfolio {
+
+struct ScalarizationWeights {
+    double cost = 1.0;   ///< Equation-7 communication cost
+    double energy = 1.0; ///< bit-energy model, mW
+    double area = 1.0;   ///< fabric silicon area, mm²
+};
+
+struct PortfolioOptions {
+    /// Worker threads over scenarios (1 = serial, 0 = all hardware
+    /// threads). Any value returns identical results.
+    std::size_t threads = 1;
+    ScalarizationWeights weights;
+    noc::EnergyModel energy_model;
+};
+
+struct ScenarioResult {
+    std::size_t index = 0; ///< position in the input grid
+    std::string name;      ///< Scenario::display_name()
+    std::string app;
+    std::string topology;  ///< TopologySpec::display_name() (ranking group)
+    std::string fabric;    ///< resolved cache key (exact fabric identity)
+    std::string mapper;
+
+    bool ok = true;        ///< false when the mapper threw
+    std::string error;     ///< exception text when !ok
+
+    engine::MappingResult result;
+    std::size_t tiles = 0;
+    std::size_t links = 0;
+    double energy_mw = 0.0;
+    double area_mm2 = 0.0;
+    double avg_hops = 0.0;
+    /// Weighted normalized score; infinity when infeasible or failed.
+    double scalar_score = std::numeric_limits<double>::infinity();
+    double elapsed_ms = 0.0;
+};
+
+/// Aggregate standing of one fabric across the portfolio's applications.
+struct TopologyRanking {
+    std::string topology; ///< TopologySpec::display_name()
+    std::size_t scenarios = 0;
+    std::size_t feasible = 0;
+    /// Mean scalar score over feasible scenarios; infinity when none.
+    double mean_score = std::numeric_limits<double>::infinity();
+};
+
+class PortfolioRunner {
+public:
+    explicit PortfolioRunner(PortfolioOptions options = {});
+
+    const PortfolioOptions& options() const noexcept { return options_; }
+    /// The shared cache — inspectable (hit/miss counters) and reusable
+    /// across run() calls, so successive grids keep amortizing.
+    TopologyCache& cache() noexcept { return cache_; }
+
+    /// Runs every scenario; results come back in grid order with scalar
+    /// scores filled in. Per-scenario failures are captured in
+    /// ScenarioResult::error, never thrown.
+    std::vector<ScenarioResult> run(const std::vector<Scenario>& grid);
+
+    /// Indices of `results` sorted best-first (score, then grid index).
+    static std::vector<std::size_t> ranking(const std::vector<ScenarioResult>& results);
+
+    /// Per-fabric aggregation, best-first: most apps feasibly served, then
+    /// lowest mean score, then name.
+    static std::vector<TopologyRanking> rank_topologies(
+        const std::vector<ScenarioResult>& results);
+
+private:
+    ScenarioResult run_one(const Scenario& scenario, std::size_t index);
+    void scalarize(std::vector<ScenarioResult>& results) const;
+
+    PortfolioOptions options_;
+    TopologyCache cache_;
+};
+
+} // namespace nocmap::portfolio

@@ -1,0 +1,132 @@
+#include "portfolio/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace nocmap::portfolio {
+
+namespace {
+
+std::string format_capacity(double capacity) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%g", capacity);
+    return buffer;
+}
+
+[[noreturn]] void bad_spec(std::string_view text) {
+    throw std::invalid_argument(
+        "TopologySpec: cannot parse '" + std::string(text) +
+        "' (expected mesh[:WxH], torus[:WxH], ring[:N] or hypercube[:D])");
+}
+
+} // namespace
+
+TopologySpec TopologySpec::parse(std::string_view text, double capacity) {
+    TopologySpec spec;
+    spec.capacity = capacity;
+    const std::string lowered = util::to_lower(util::trim(text));
+    const auto colon = lowered.find(':');
+    spec.variant = lowered.substr(0, colon);
+    const std::string size = colon == std::string::npos ? "" : lowered.substr(colon + 1);
+
+    if (spec.variant == "mesh" || spec.variant == "torus") {
+        if (!size.empty()) {
+            const auto parts = util::split(size, 'x');
+            std::size_t w = 0, h = 0;
+            if (parts.size() != 2 || !util::parse_size(parts[0], w) ||
+                !util::parse_size(parts[1], h) || w == 0 || h == 0)
+                bad_spec(text);
+            spec.width = static_cast<std::int32_t>(w);
+            spec.height = static_cast<std::int32_t>(h);
+        }
+    } else if (spec.variant == "ring") {
+        if (!size.empty() && (!util::parse_size(size, spec.tiles) || spec.tiles == 0))
+            bad_spec(text);
+    } else if (spec.variant == "hypercube") {
+        if (!size.empty() && (!util::parse_size(size, spec.dimension) || spec.dimension == 0))
+            bad_spec(text);
+    } else {
+        bad_spec(text);
+    }
+    return spec;
+}
+
+std::string TopologySpec::display_name() const {
+    if ((variant == "mesh" || variant == "torus") && width > 0)
+        return variant + ":" + std::to_string(width) + "x" + std::to_string(height);
+    if (variant == "ring" && tiles > 0) return variant + ":" + std::to_string(tiles);
+    if (variant == "hypercube" && dimension > 0)
+        return variant + ":" + std::to_string(dimension);
+    return variant;
+}
+
+TopologySpec TopologySpec::resolve(std::size_t core_count) const {
+    TopologySpec r = *this;
+    if ((r.variant == "mesh" || r.variant == "torus") && r.width == 0) {
+        const auto mesh = noc::Topology::smallest_mesh_for(core_count, r.capacity);
+        r.width = mesh.width();
+        r.height = mesh.height();
+        if (r.variant == "torus") {
+            r.width = std::max(r.width, 3);
+            r.height = std::max(r.height, 3);
+        }
+    } else if (r.variant == "ring" && r.tiles == 0) {
+        r.tiles = std::max<std::size_t>(3, core_count);
+    } else if (r.variant == "hypercube" && r.dimension == 0) {
+        r.dimension = 1;
+        while ((std::size_t{1} << r.dimension) < core_count) ++r.dimension;
+    }
+    return r;
+}
+
+std::string TopologySpec::cache_key(std::size_t core_count) const {
+    return resolve(core_count).display_name() + "@" + format_capacity(capacity);
+}
+
+noc::Topology TopologySpec::build(std::size_t core_count) const {
+    const TopologySpec r = resolve(core_count);
+    if (r.variant == "mesh") return noc::Topology::mesh(r.width, r.height, r.capacity);
+    if (r.variant == "torus") return noc::Topology::torus(r.width, r.height, r.capacity);
+    if (r.variant == "ring") return noc::Topology::ring(r.tiles, r.capacity);
+    if (r.variant == "hypercube") return noc::Topology::hypercube(r.dimension, r.capacity);
+    throw std::invalid_argument("TopologySpec: unknown variant '" + r.variant + "'");
+}
+
+std::vector<TopologySpec> parse_topology_list(std::string_view csv, double capacity) {
+    std::vector<TopologySpec> specs;
+    for (const std::string& token : util::split(csv, ','))
+        if (!util::trim(token).empty()) specs.push_back(TopologySpec::parse(token, capacity));
+    if (specs.empty())
+        throw std::invalid_argument("parse_topology_list: no topology specs in '" +
+                                    std::string(csv) + "'");
+    return specs;
+}
+
+std::string Scenario::display_name() const {
+    if (!name.empty()) return name;
+    return app + "/" + topology.display_name() + "/" + mapper;
+}
+
+std::vector<Scenario> make_grid(
+    const std::vector<std::pair<std::string, std::shared_ptr<const graph::CoreGraph>>>& apps,
+    const std::vector<TopologySpec>& topologies, const std::string& mapper) {
+    std::vector<Scenario> grid;
+    grid.reserve(apps.size() * topologies.size());
+    for (const auto& [app_name, app_graph] : apps) {
+        if (!app_graph) throw std::invalid_argument("make_grid: null graph for " + app_name);
+        for (const TopologySpec& spec : topologies) {
+            Scenario s;
+            s.app = app_name;
+            s.graph = app_graph;
+            s.topology = spec;
+            s.mapper = mapper;
+            grid.push_back(std::move(s));
+        }
+    }
+    return grid;
+}
+
+} // namespace nocmap::portfolio

@@ -1,0 +1,77 @@
+#pragma once
+// portfolio::Scenario — one cell of a portfolio grid: an application graph
+// × a candidate topology × a mapper key. TopologySpec is the declarative
+// topology description ("torus:4x4", "hypercube", ...) that the
+// TopologyCache resolves to a shared EvalContext; auto-sized specs (no
+// explicit dimensions) resolve against the application's core count the
+// same way the CLI's single-run path does.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/core_graph.hpp"
+#include "noc/topology.hpp"
+
+namespace nocmap::portfolio {
+
+/// Declarative topology candidate. Parsed from CLI values like "mesh",
+/// "mesh:4x3", "torus:4x4", "ring:12", "hypercube:4"; a spec without
+/// explicit size is auto-sized per application (smallest fabric that fits
+/// the core count — the same rule the single-run CLI applies).
+struct TopologySpec {
+    std::string variant = "mesh"; ///< mesh | torus | ring | hypercube
+    std::int32_t width = 0;       ///< mesh/torus; 0 = auto
+    std::int32_t height = 0;
+    std::size_t tiles = 0;        ///< ring; 0 = auto
+    std::size_t dimension = 0;    ///< hypercube; 0 = auto
+    double capacity = 1e9;        ///< uniform link bandwidth, MB/s
+
+    /// Parses one spec token; throws std::invalid_argument on unknown
+    /// variants or malformed sizes.
+    static TopologySpec parse(std::string_view text, double capacity = 1e9);
+
+    /// Human-readable name before resolution ("torus:4x4", "ring").
+    std::string display_name() const;
+
+    /// The spec with every auto size made explicit for `core_count` cores
+    /// (meshes via Topology::smallest_mesh_for, tori clamped to >= 3 per
+    /// axis, rings >= 3 tiles, hypercubes the smallest fitting dimension).
+    /// cache_key() and build() both derive from this, so the key always
+    /// names exactly the fabric that gets built.
+    TopologySpec resolve(std::size_t core_count) const;
+
+    /// Canonical key of the *resolved* fabric for `core_count` cores —
+    /// equal keys mean identical fabrics, so the TopologyCache shares one
+    /// EvalContext across all scenarios mapping onto it.
+    std::string cache_key(std::size_t core_count) const;
+
+    /// Builds the resolved topology. Throws like the Topology builders
+    /// (e.g. torus dimensions < 3) or when the fabric cannot fit the cores.
+    noc::Topology build(std::size_t core_count) const;
+};
+
+/// Parses a comma-separated list of topology specs ("mesh,torus:4x4,ring").
+std::vector<TopologySpec> parse_topology_list(std::string_view csv, double capacity = 1e9);
+
+/// One scenario of the grid.
+struct Scenario {
+    std::string name; ///< display label; empty = "<app>/<topology>/<mapper>"
+    std::string app;  ///< application name (graphs may be shared)
+    std::shared_ptr<const graph::CoreGraph> graph;
+    TopologySpec topology;
+    std::string mapper = "nmap";
+
+    std::string display_name() const;
+};
+
+/// Cross product apps × topologies with one mapper — the standard portfolio
+/// grid (scenario order: app-major, matching the apps vector).
+std::vector<Scenario> make_grid(
+    const std::vector<std::pair<std::string, std::shared_ptr<const graph::CoreGraph>>>& apps,
+    const std::vector<TopologySpec>& topologies, const std::string& mapper = "nmap");
+
+} // namespace nocmap::portfolio

@@ -1,0 +1,54 @@
+#include "portfolio/topology_cache.hpp"
+
+namespace nocmap::portfolio {
+
+std::shared_ptr<const noc::EvalContext> TopologyCache::get(const TopologySpec& spec,
+                                                           std::size_t core_count) {
+    const std::string key = spec.cache_key(core_count);
+    std::promise<std::shared_ptr<const noc::EvalContext>> promise;
+    ContextFuture future;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto [it, inserted] = entries_.try_emplace(key);
+        if (inserted) {
+            it->second = promise.get_future().share();
+            builder = true;
+            ++misses_;
+        } else {
+            ++hits_;
+        }
+        future = it->second;
+    }
+    if (builder) {
+        try {
+            promise.set_value(
+                std::make_shared<const noc::EvalContext>(spec.build(core_count), model_));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            // Don't cache the failure: a later request may carry a valid
+            // spec resolving to the same key (not currently possible, but
+            // a poisoned entry would also distort size()).
+            std::lock_guard<std::mutex> lock(mutex_);
+            entries_.erase(key);
+        }
+    }
+    return future.get(); // rethrows the builder's exception for waiters
+}
+
+std::size_t TopologyCache::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::size_t TopologyCache::hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::size_t TopologyCache::misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+} // namespace nocmap::portfolio

@@ -1,0 +1,53 @@
+#pragma once
+// portfolio::TopologyCache — shared, thread-safe store of evaluation
+// contexts keyed by resolved topology.
+//
+// A portfolio grid typically maps many applications onto the same handful
+// of fabrics; the cache builds each fabric's Topology and EvalContext
+// (all-pairs distance table, energy tables) once and hands every scenario
+// the same immutable shared_ptr. Contexts are immutable, so sharing across
+// the runner's worker threads is safe. The mutex only guards the map —
+// each entry is a shared_future whose value the first requester produces
+// outside the lock, so distinct fabrics build concurrently while
+// same-fabric requesters block only on that fabric's own build.
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "noc/energy.hpp"
+#include "noc/eval_context.hpp"
+#include "portfolio/scenario.hpp"
+
+namespace nocmap::portfolio {
+
+class TopologyCache {
+public:
+    explicit TopologyCache(noc::EnergyModel model = {}) : model_(model) {}
+
+    /// The context for `spec` resolved against `core_count` cores; builds
+    /// and stores it on first use. Specs resolving to the same fabric (same
+    /// cache_key) share one context regardless of the requesting app.
+    /// Rethrows the builder's exception (e.g. an invalid fabric) without
+    /// caching it, so a later request may retry.
+    std::shared_ptr<const noc::EvalContext> get(const TopologySpec& spec,
+                                                std::size_t core_count);
+
+    std::size_t size() const;
+    std::size_t hits() const;
+    std::size_t misses() const;
+
+private:
+    using ContextFuture = std::shared_future<std::shared_ptr<const noc::EvalContext>>;
+
+    noc::EnergyModel model_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, ContextFuture> entries_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+};
+
+} // namespace nocmap::portfolio

@@ -77,5 +77,41 @@ TEST(MappingIo, CommentsAndBlanksIgnored) {
     EXPECT_EQ(parsed.tile_of(f.graph.find_node("arm").value()), f.topo.tile_at(2, 1));
 }
 
+TEST(MappingIo, RingRoundtripKeepsVariant) {
+    const auto graph = apps::make_application("dsp");
+    const auto ring = Topology::ring(graph.node_count(), 1e9);
+    const auto mapping = nmap::initial_mapping(graph, ring);
+    const auto text = mapping_to_string(graph, ring, mapping);
+    // The header names the builder variant, not the generic kind.
+    EXPECT_NE(text.find("ring"), std::string::npos);
+    EXPECT_EQ(mapping_from_string(text, graph, ring), mapping);
+}
+
+TEST(MappingIo, HypercubeRoundtripKeepsVariant) {
+    const auto graph = apps::make_application("dsp");
+    const auto cube = Topology::hypercube(3, 1e9);
+    const auto mapping = nmap::initial_mapping(graph, cube);
+    const auto text = mapping_to_string(graph, cube, mapping);
+    EXPECT_NE(text.find("hypercube"), std::string::npos);
+    EXPECT_EQ(mapping_from_string(text, graph, cube), mapping);
+}
+
+TEST(MappingIo, GenericCustomHeaderStillAccepted) {
+    // Files written before ring/hypercube variants existed say "custom";
+    // they must keep loading against the matching ring fabric.
+    const auto graph = apps::make_application("dsp");
+    const auto ring = Topology::ring(graph.node_count(), 1e9);
+    const auto mapping = nmap::initial_mapping(graph, ring);
+    std::string text = mapping_to_string(graph, ring, mapping);
+    const auto pos = text.find("ring");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 4, "custom");
+    EXPECT_EQ(mapping_from_string(text, graph, ring), mapping);
+    // A mesh header never matches a ring fabric.
+    std::string wrong = mapping_to_string(graph, ring, mapping);
+    wrong.replace(wrong.find("ring"), 4, "mesh");
+    EXPECT_THROW(mapping_from_string(wrong, graph, ring), std::runtime_error);
+}
+
 } // namespace
 } // namespace nocmap::noc
