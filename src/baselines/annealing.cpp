@@ -6,18 +6,33 @@
 
 namespace nocmap::baselines {
 
-nmap::MappingResult annealing_map(const graph::CoreGraph& graph, const noc::Topology& topo,
-                                  const AnnealingOptions& options) {
+namespace {
+
+engine::AnnealOptions engine_options(const AnnealingOptions& options) {
     engine::AnnealOptions anneal;
     anneal.seed = options.seed;
     anneal.moves_per_temperature = options.moves_per_temperature;
     anneal.cooling = options.cooling;
     anneal.initial_acceptance = options.initial_acceptance;
     anneal.stop_fraction = options.stop_fraction;
+    anneal.bandwidth_aware = options.bandwidth_aware;
+    return anneal;
+}
 
-    const engine::AnnealOutcome outcome =
-        engine::anneal(graph, topo, nmap::initial_mapping(graph, topo), anneal);
+} // namespace
+
+nmap::MappingResult annealing_map(const graph::CoreGraph& graph, const noc::Topology& topo,
+                                  const AnnealingOptions& options) {
+    const engine::AnnealOutcome outcome = engine::anneal(
+        graph, topo, nmap::initial_mapping(graph, topo), engine_options(options));
     return nmap::scored_result(graph, topo, outcome.best, outcome.evaluations);
+}
+
+nmap::MappingResult annealing_map(const graph::CoreGraph& graph, const noc::EvalContext& ctx,
+                                  const AnnealingOptions& options) {
+    const engine::AnnealOutcome outcome = engine::anneal(
+        graph, ctx, nmap::initial_mapping(graph, ctx.topology()), engine_options(options));
+    return nmap::scored_result(graph, ctx, outcome.best, outcome.evaluations);
 }
 
 } // namespace nocmap::baselines

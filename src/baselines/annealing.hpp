@@ -11,6 +11,7 @@
 
 #include "graph/core_graph.hpp"
 #include "nmap/result.hpp"
+#include "noc/eval_context.hpp"
 #include "noc/topology.hpp"
 
 namespace nocmap::baselines {
@@ -25,12 +26,22 @@ struct AnnealingOptions {
     double initial_acceptance = 0.5;
     /// Stop when temperature falls below this fraction of T0.
     double stop_fraction = 1e-3;
+    /// Route every accepted move through engine::IncrementalRouter (Fast
+    /// mode) and refuse to leave the feasible region; `best` then tracks
+    /// the best *feasible* mapping. Default off: the classic walk ignores
+    /// capacities until the final scoring.
+    bool bandwidth_aware = false;
 };
 
 /// Minimizes the Equation-7 cost by annealed tile swaps starting from
 /// NMAP's initialize() placement; scores the final mapping with the
 /// single-minimum-path router (same reporting as the other algorithms).
 nmap::MappingResult annealing_map(const graph::CoreGraph& graph, const noc::Topology& topo,
+                                  const AnnealingOptions& options = {});
+
+/// Context-threaded run (portfolio entry point): the walk's evaluator,
+/// router and final scoring read the shared flat tables. Bit-identical.
+nmap::MappingResult annealing_map(const graph::CoreGraph& graph, const noc::EvalContext& ctx,
                                   const AnnealingOptions& options = {});
 
 } // namespace nocmap::baselines

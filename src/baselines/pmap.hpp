@@ -22,11 +22,17 @@
 
 #include "graph/core_graph.hpp"
 #include "nmap/result.hpp"
+#include "noc/eval_context.hpp"
 #include "noc/topology.hpp"
 
 namespace nocmap::baselines {
 
 nmap::MappingResult pmap_map(const graph::CoreGraph& graph, const noc::Topology& topo);
 noc::Mapping pmap_placement(const graph::CoreGraph& graph, const noc::Topology& topo);
+
+/// Context-threaded run/placement: distances and the scoring re-route read
+/// the shared flat tables. Bit-identical results.
+nmap::MappingResult pmap_map(const graph::CoreGraph& graph, const noc::EvalContext& ctx);
+noc::Mapping pmap_placement(const graph::CoreGraph& graph, const noc::EvalContext& ctx);
 
 } // namespace nocmap::baselines

@@ -80,18 +80,30 @@ void register_builtin_mappers(Registry& registry) {
     add(registry, "pmap", "PMAP multiprocessor placement baseline",
         [](const graph::CoreGraph& g, const noc::Topology& t) {
             return baselines::pmap_map(g, t);
+        },
+        [](const graph::CoreGraph& g, const noc::EvalContext& ctx) {
+            return baselines::pmap_map(g, ctx);
         });
     add(registry, "gmap", "Greedy constructive placement baseline",
         [](const graph::CoreGraph& g, const noc::Topology& t) {
             return baselines::gmap_map(g, t);
+        },
+        [](const graph::CoreGraph& g, const noc::EvalContext& ctx) {
+            return baselines::gmap_map(g, ctx);
         });
     add(registry, "pbb", "Partial branch-and-bound (Hu & Marculescu)",
         [](const graph::CoreGraph& g, const noc::Topology& t) {
             return baselines::pbb_map(g, t);
+        },
+        [](const graph::CoreGraph& g, const noc::EvalContext& ctx) {
+            return baselines::pbb_map(g, ctx);
         });
     add(registry, "sa", "Simulated annealing on the Eq.7 objective",
         [](const graph::CoreGraph& g, const noc::Topology& t) {
             return baselines::annealing_map(g, t);
+        },
+        [](const graph::CoreGraph& g, const noc::EvalContext& ctx) {
+            return baselines::annealing_map(g, ctx);
         });
     add(registry, "exhaustive", "Exhaustive optimum (tiny instances only)",
         [](const graph::CoreGraph& g, const noc::Topology& t) {

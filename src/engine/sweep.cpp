@@ -5,6 +5,7 @@
 #include <cmath>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -174,12 +175,32 @@ SweepOutcome SwapSweepDriver::sweep(const noc::Mapping& initial, SweepPolicy& po
     return outcome;
 }
 
-AnnealOutcome anneal(const graph::CoreGraph& graph, const noc::Topology& topo,
-                     const noc::Mapping& initial, const AnnealOptions& options) {
+namespace {
+
+AnnealOutcome anneal_impl(const graph::CoreGraph& graph, const noc::Topology& topo,
+                          const noc::EvalContext* ctx, const noc::Mapping& initial,
+                          const AnnealOptions& options) {
     AnnealOutcome outcome;
-    IncrementalEvaluator current(graph, topo, initial);
+    IncrementalEvaluator current = ctx ? IncrementalEvaluator(graph, *ctx, initial)
+                                       : IncrementalEvaluator(graph, topo, initial);
+    // Bandwidth-aware walks route alongside the Eq.7 bookkeeping: the
+    // router's O(deg) rip-up-and-reroute keeps per-move feasibility checks
+    // affordable where a full shortestpath() re-route per move would not be.
+    std::optional<IncrementalRouter> router;
+    if (options.bandwidth_aware) {
+        RerouteOptions reroute = options.reroute;
+        // The walk only acts on the feasible->infeasible boundary, so a
+        // full-re-route confirm per quick infeasible verdict would make
+        // every move in the infeasible region cost a full re-route.
+        reroute.confirm_infeasible = false;
+        if (ctx)
+            router.emplace(graph, *ctx, initial, reroute);
+        else
+            router.emplace(graph, topo, initial, reroute);
+    }
     outcome.best = current.mapping();
     outcome.best_cost = current.cost();
+    outcome.best_feasible = !router || router->feasible();
 
     util::Rng rng(options.seed);
     const auto tiles = topo.tile_count();
@@ -220,15 +241,43 @@ AnnealOutcome anneal(const graph::CoreGraph& graph, const noc::Topology& topo,
             const bool accept =
                 delta <= 0.0 || rng.next_double() < std::exp(-delta / temperature);
             if (!accept) continue;
+            if (router) {
+                const bool was_feasible = router->feasible();
+                const RerouteEval eval = router->reroute_swap(a, b);
+                if (was_feasible && !eval.feasible) {
+                    // Never walk out of the feasible region (moves are still
+                    // free while infeasible, so the walk can reach it).
+                    router->rollback();
+                    continue;
+                }
+                router->commit();
+            }
             current.commit_swap(a, b);
-            if (current.cost() < outcome.best_cost) {
+            const bool feasible_now = !router || router->feasible();
+            const bool better = outcome.best_feasible
+                                    ? feasible_now && current.cost() < outcome.best_cost
+                                    : feasible_now || current.cost() < outcome.best_cost;
+            if (better) {
                 outcome.best_cost = current.cost();
                 outcome.best = current.mapping();
+                outcome.best_feasible = feasible_now;
             }
         }
         temperature *= options.cooling;
     }
     return outcome;
+}
+
+} // namespace
+
+AnnealOutcome anneal(const graph::CoreGraph& graph, const noc::Topology& topo,
+                     const noc::Mapping& initial, const AnnealOptions& options) {
+    return anneal_impl(graph, topo, nullptr, initial, options);
+}
+
+AnnealOutcome anneal(const graph::CoreGraph& graph, const noc::EvalContext& ctx,
+                     const noc::Mapping& initial, const AnnealOptions& options) {
+    return anneal_impl(graph, ctx.topology(), &ctx, initial, options);
 }
 
 } // namespace nocmap::engine

@@ -30,7 +30,9 @@
 #include <cstdint>
 #include <limits>
 
+#include "engine/incremental_router.hpp"
 #include "engine/mapping_result.hpp"
+#include "noc/eval_context.hpp"
 #include "noc/mapping.hpp"
 
 namespace nocmap::engine {
@@ -140,12 +142,28 @@ struct AnnealOptions {
     double initial_acceptance = 0.5;
     /// Stop when temperature falls below this fraction of T0.
     double stop_fraction = 1e-3;
+    /// When set, the walk keeps an IncrementalRouter (Fast mode by default)
+    /// alongside the Eq.7 evaluator: moves that would break Inequality-3
+    /// feasibility of a currently feasible routing are rejected, and `best`
+    /// only tracks feasible states. Off by default — the plain walk ignores
+    /// capacities until the final scoring, exactly as before.
+    bool bandwidth_aware = false;
+    /// Router configuration for the bandwidth-aware walk. `mode` and
+    /// cadence are honoured; `confirm_infeasible` is always forced off —
+    /// the walk only acts on the feasible->infeasible boundary, and a full
+    /// re-route confirm per quick infeasible verdict would cost exactly
+    /// what the router exists to avoid. Verdicts are therefore the
+    /// router's own (possibly conservative at the boundary).
+    RerouteOptions reroute{RerouteMode::Fast};
 };
 
 struct AnnealOutcome {
     noc::Mapping best;
     /// Eq.7 cost of `best` (tracked incrementally during the walk).
     double best_cost = 0.0;
+    /// Bandwidth-aware walks: whether `best` was routing-feasible (always
+    /// true for the plain walk, which does not track feasibility).
+    bool best_feasible = true;
     std::size_t evaluations = 0;
 };
 
@@ -171,6 +189,11 @@ private:
 /// A free function: it shares the engine's IncrementalEvaluator but none of
 /// the sweep driver's options.
 AnnealOutcome anneal(const graph::CoreGraph& graph, const noc::Topology& topo,
+                     const noc::Mapping& initial, const AnnealOptions& options);
+
+/// Context-threaded walk: the evaluator (and the bandwidth-aware router,
+/// when enabled) read the shared flat tables. Bit-identical outcome.
+AnnealOutcome anneal(const graph::CoreGraph& graph, const noc::EvalContext& ctx,
                      const noc::Mapping& initial, const AnnealOptions& options);
 
 } // namespace nocmap::engine

@@ -1,75 +1,15 @@
 #include "nmap/shortest_path_router.hpp"
 
 #include <algorithm>
-#include <limits>
-#include <queue>
 
 #include "nmap/result.hpp"
+#include "noc/min_path.hpp"
 
 namespace nocmap::nmap {
 
 namespace {
 
-/// Distance/quadrant queries of the router's inner loop: the context's flat
-/// table when a shared EvalContext is threaded through, the topology's own
-/// arithmetic otherwise. Both agree exactly (EvalContext::in_quadrant is
-/// equivalent to Topology::in_quadrant for every kind), so the two paths
-/// pick identical routes.
-struct DistanceOracle {
-    const noc::Topology& topo;
-    const noc::EvalContext* ctx = nullptr;
-
-    std::int32_t distance(noc::TileId a, noc::TileId b) const {
-        return ctx ? ctx->distance(a, b) : topo.distance(a, b);
-    }
-    bool in_quadrant(noc::TileId t, noc::TileId a, noc::TileId b) const {
-        return ctx ? ctx->in_quadrant(t, a, b) : topo.in_quadrant(t, a, b);
-    }
-};
-
-/// Dijkstra restricted to the quadrant of (src, dst), edge weight = current
-/// load. Returns the tile sequence of the least-congested minimal path.
-std::vector<noc::TileId> quadrant_min_path(const DistanceOracle& oracle,
-                                           const noc::LinkLoads& loads, noc::TileId src,
-                                           noc::TileId dst) {
-    const noc::Topology& topo = oracle.topo;
-    const std::size_t n = topo.tile_count();
-    std::vector<double> dist(n, std::numeric_limits<double>::infinity());
-    std::vector<noc::TileId> prev(n, noc::kInvalidTile);
-    using Entry = std::pair<double, noc::TileId>;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-    dist[static_cast<std::size_t>(src)] = 0.0;
-    heap.emplace(0.0, src);
-    while (!heap.empty()) {
-        const auto [d, u] = heap.top();
-        heap.pop();
-        if (d > dist[static_cast<std::size_t>(u)]) continue;
-        if (u == dst) break;
-        for (const noc::LinkId l : topo.out_links(u)) {
-            const noc::Link& link = topo.link(l);
-            // Stay inside the quadrant: both endpoints on a minimal path.
-            if (!oracle.in_quadrant(link.dst, src, dst)) continue;
-            // Only move *toward* the destination (monotone progress keeps
-            // the path minimal even inside the quadrant).
-            if (oracle.distance(link.dst, dst) >= oracle.distance(u, dst)) continue;
-            const double nd = d + loads[static_cast<std::size_t>(l)];
-            if (nd < dist[static_cast<std::size_t>(link.dst)]) {
-                dist[static_cast<std::size_t>(link.dst)] = nd;
-                prev[static_cast<std::size_t>(link.dst)] = u;
-                heap.emplace(nd, link.dst);
-            }
-        }
-    }
-    std::vector<noc::TileId> path;
-    for (noc::TileId v = dst; v != noc::kInvalidTile; v = prev[static_cast<std::size_t>(v)]) {
-        path.push_back(v);
-        if (v == src) break;
-    }
-    std::reverse(path.begin(), path.end());
-    return path;
-}
-
-SinglePathRouting route_with_oracle(const DistanceOracle& oracle,
+SinglePathRouting route_with_oracle(const noc::DistanceOracle& oracle,
                                     const std::vector<noc::Commodity>& commodities) {
     const noc::Topology& topo = oracle.topo;
     SinglePathRouting result;
@@ -78,18 +18,13 @@ SinglePathRouting route_with_oracle(const DistanceOracle& oracle,
 
     // Route in decreasing-value order (paper: "sort commodities in D with
     // decreasing comm costs"); remember original slots.
-    std::vector<std::size_t> order(commodities.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        if (commodities[a].value != commodities[b].value)
-            return commodities[a].value > commodities[b].value;
-        return commodities[a].id < commodities[b].id;
-    });
-
-    for (const std::size_t slot : order) {
+    noc::MinPathScratch scratch;
+    for (const std::size_t slot : noc::routing_order(commodities)) {
         const noc::Commodity& c = commodities[slot];
-        const auto tiles = quadrant_min_path(oracle, result.loads, c.src_tile, c.dst_tile);
-        noc::Route route = noc::route_along(topo, tiles);
+        noc::Route route = noc::least_congested_min_path(
+            oracle, c.src_tile, c.dst_tile,
+            [&](noc::LinkId l) { return result.loads[static_cast<std::size_t>(l)]; },
+            scratch);
         for (const noc::LinkId l : route)
             result.loads[static_cast<std::size_t>(l)] += c.value;
         result.routes[slot] = std::move(route);
@@ -109,12 +44,12 @@ SinglePathRouting route_with_oracle(const DistanceOracle& oracle,
 
 SinglePathRouting route_single_min_paths(const noc::Topology& topo,
                                          const std::vector<noc::Commodity>& commodities) {
-    return route_with_oracle(DistanceOracle{topo, nullptr}, commodities);
+    return route_with_oracle(noc::DistanceOracle{topo, nullptr}, commodities);
 }
 
 SinglePathRouting route_single_min_paths(const noc::EvalContext& ctx,
                                          const std::vector<noc::Commodity>& commodities) {
-    return route_with_oracle(DistanceOracle{ctx.topology(), &ctx}, commodities);
+    return route_with_oracle(noc::DistanceOracle{ctx.topology(), &ctx}, commodities);
 }
 
 SinglePathRouting evaluate_mapping(const graph::CoreGraph& graph, const noc::Topology& topo,

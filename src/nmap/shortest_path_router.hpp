@@ -37,7 +37,7 @@ struct SinglePathRouting {
 };
 
 /// Routes all commodities; `commodities` keeps the caller's order, routing
-/// happens internally in decreasing-value order.
+/// happens internally in decreasing-value order (noc::routing_order).
 SinglePathRouting route_single_min_paths(const noc::Topology& topo,
                                          const std::vector<noc::Commodity>& commodities);
 

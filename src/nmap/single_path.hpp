@@ -4,6 +4,7 @@
 // iterative improvement by pairwise swapping of mesh positions — the swap
 // loop runs on engine::SwapSweepDriver.
 
+#include "engine/incremental_router.hpp"
 #include "graph/core_graph.hpp"
 #include "nmap/result.hpp"
 #include "noc/eval_context.hpp"
@@ -17,9 +18,19 @@ enum class SweepEval {
     /// pseudocode; kept for benchmarking and as the reference oracle).
     Naive,
     /// engine::IncrementalEvaluator Eq.7 deltas; candidates are re-routed
-    /// (feasibility re-check + exact cost) only when the delta says they
-    /// could beat the incumbent. Identical results, O(deg) per candidate.
+    /// from scratch (feasibility re-check + exact cost) only when the delta
+    /// says they could beat the incumbent. Identical results; kept as the
+    /// pre-ledger baseline for benchmarking.
     Incremental,
+    /// Eq.7 delta pruning plus engine::IncrementalRouter in Exact mode:
+    /// surviving candidates are scored by the persistent link-load ledger
+    /// in O(deg) Dijkstras instead of a full re-route. Bit-identical
+    /// mappings, costs and loads to the two modes above. The default.
+    LedgerExact,
+    /// Delta pruning plus the router's Fast rip-up-and-reroute mode: the
+    /// cheapest feasibility re-check, but a different (valid) heuristic —
+    /// results may differ from the sequential-routing modes.
+    LedgerFast,
 };
 
 struct SinglePathOptions {
@@ -27,11 +38,14 @@ struct SinglePathOptions {
     /// performs one; additional sweeps keep improving until a fixpoint (we
     /// stop early when a sweep finds nothing).
     std::size_t max_sweeps = 1;
-    SweepEval eval = SweepEval::Incremental;
+    SweepEval eval = SweepEval::LedgerExact;
     /// Worker threads scoring the candidates of one sweep row (1 = serial,
     /// 0 = all hardware threads). The reduction is lowest-index-first, so
-    /// any thread count returns the same mapping as the serial sweep.
+    /// any thread count returns the same mapping as the serial sweep. The
+    /// ledger modes give every scoring thread its own router clone.
     std::size_t threads = 1;
+    /// Resync cadence / audit flag of the ledger modes (ignored otherwise).
+    engine::RerouteOptions reroute{};
 };
 
 /// Runs NMAP with single minimum-path routing. The returned mapping is the

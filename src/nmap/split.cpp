@@ -1,5 +1,8 @@
 #include "nmap/split.hpp"
 
+#include <optional>
+
+#include "engine/incremental_router.hpp"
 #include "engine/sweep.hpp"
 #include "nmap/initialize.hpp"
 #include "noc/commodity.hpp"
@@ -35,14 +38,21 @@ lp::McfResult run_mcf(const graph::CoreGraph& graph, const noc::Topology& topo,
 class SplitPolicy final : public engine::SweepPolicy {
 public:
     SplitPolicy(const graph::CoreGraph& graph, const noc::Topology& topo,
-                const lp::McfOptions& slack_mcf, const lp::McfOptions& flow_mcf)
-        : graph_(graph), topo_(topo), slack_mcf_(slack_mcf), flow_mcf_(flow_mcf) {}
+                const lp::McfOptions& slack_mcf, const lp::McfOptions& flow_mcf,
+                bool routing_prefilter)
+        : graph_(graph), topo_(topo), slack_mcf_(slack_mcf), flow_mcf_(flow_mcf),
+          routing_prefilter_(routing_prefilter) {}
 
     engine::Score evaluate(const noc::Mapping& mapping) override {
         count_evaluation();
-        const lp::McfResult slack = run_mcf(graph_, topo_, mapping, slack_mcf_);
-        if (!slack.feasible) return engine::Score{engine::kMaxValue, slack.objective, false};
-        bw_satisfied_ = true;
+        if (!bw_satisfied_ && routed_feasible(mapping, noc::kInvalidTile, noc::kInvalidTile))
+            bw_satisfied_ = true;
+        if (!bw_satisfied_) {
+            const lp::McfResult slack = run_mcf(graph_, topo_, mapping, slack_mcf_);
+            if (!slack.feasible)
+                return engine::Score{engine::kMaxValue, slack.objective, false};
+            bw_satisfied_ = true;
+        }
         count_evaluation();
         const lp::McfResult cost = run_mcf(graph_, topo_, mapping, flow_mcf_);
         return feasible_score(cost);
@@ -53,22 +63,49 @@ public:
         noc::Mapping candidate = base;
         candidate.swap_tiles(a, b);
         if (!bw_satisfied_) {
-            count_evaluation();
-            const lp::McfResult slack = run_mcf(graph_, topo_, candidate, slack_mcf_);
-            if (!slack.feasible)
-                return engine::Score{engine::kMaxValue, slack.objective, false};
-            // First bandwidth-satisfying candidate: switch to the cost
-            // phase. It beats any infeasible incumbent by construction.
-            bw_satisfied_ = true;
+            if (routed_feasible(base, a, b)) {
+                // The O(deg) single-path re-route already satisfies the
+                // bandwidth constraints — a fortiori so does the best
+                // split-traffic flow; skip the MCF1 solve.
+                bw_satisfied_ = true;
+            } else {
+                count_evaluation();
+                const lp::McfResult slack = run_mcf(graph_, topo_, candidate, slack_mcf_);
+                if (!slack.feasible)
+                    return engine::Score{engine::kMaxValue, slack.objective, false};
+                // First bandwidth-satisfying candidate: switch to the cost
+                // phase. It beats any infeasible incumbent by construction.
+                bw_satisfied_ = true;
+            }
         }
         count_evaluation();
         const lp::McfResult cost = run_mcf(graph_, topo_, candidate, flow_mcf_);
         return feasible_score(cost);
     }
 
+    void on_rebase(const noc::Mapping& placed, const engine::Score&) override {
+        if (!routing_prefilter_ || bw_satisfied_) return;
+        if (!router_)
+            router_.emplace(graph_, topo_, placed);
+        else
+            router_->rebase(placed);
+    }
+
     bool bw_satisfied() const noexcept { return bw_satisfied_; }
 
 private:
+    /// Prefilter check: true when single-path routing of `base` (or of
+    /// `base` with a, b swapped) satisfies the bandwidth constraints.
+    bool routed_feasible(const noc::Mapping& base, noc::TileId a, noc::TileId b) {
+        if (!routing_prefilter_) return false;
+        if (!router_)
+            router_.emplace(graph_, topo_, base);
+        if (a == noc::kInvalidTile) return router_->feasible();
+        const bool feasible = router_->reroute_swap(a, b).feasible;
+        router_->rollback();
+        return feasible;
+    }
+
     static engine::Score feasible_score(const lp::McfResult& cost) {
         // Bandwidth holds even when the flow LP failed to converge: the
         // mapping is accepted (secondary -inf outranks every slack) but its
@@ -83,6 +120,8 @@ private:
     const noc::Topology& topo_;
     const lp::McfOptions slack_mcf_;
     const lp::McfOptions flow_mcf_;
+    const bool routing_prefilter_;
+    std::optional<engine::IncrementalRouter> router_;
     bool bw_satisfied_ = false;
 };
 
@@ -159,7 +198,8 @@ MappingResult map_with_splitting(const graph::CoreGraph& graph, const noc::Topol
     SplitPolicy policy(
         graph, topo,
         make_mcf_options(options, lp::McfObjective::MinSlack, options.exact_inner_lp),
-        make_mcf_options(options, lp::McfObjective::MinFlow, options.exact_inner_lp));
+        make_mcf_options(options, lp::McfObjective::MinFlow, options.exact_inner_lp),
+        options.routing_prefilter);
     const engine::SweepOutcome outcome =
         make_driver(options).sweep(initial_mapping(graph, topo), policy);
     util::log_debug("nmap.split") << "sweeps " << outcome.sweeps

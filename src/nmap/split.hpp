@@ -42,6 +42,15 @@ struct SplitOptions {
     /// program, so MappingResult::min_bandwidth() is the Figure-4 number;
     /// comm_cost still reports the MCF2 flow of the final mapping.
     bool optimize_bandwidth = false;
+    /// Phase-1 shortcut: keep an engine::IncrementalRouter (Exact mode) on
+    /// the sweep's base mapping and skip a candidate's MCF1 slack solve
+    /// when the O(deg) single-path re-route already proves the bandwidth
+    /// constraints hold (a single-path routing is an MCF-feasible flow for
+    /// both split modes, so the shortcut is sound). Default off: the
+    /// approximate MCF1 engine may fail to certify a feasible candidate
+    /// that the router certifies, so the sweep's phase-1 decisions — and
+    /// with them the final mapping — can legitimately differ.
+    bool routing_prefilter = false;
 };
 
 /// Runs NMAP with split-traffic routing. `comm_cost` is the MCF2 objective

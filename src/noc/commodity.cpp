@@ -23,11 +23,22 @@ std::vector<Commodity> build_commodities(const graph::CoreGraph& graph,
 }
 
 void sort_by_decreasing_value(std::vector<Commodity>& commodities) {
-    std::stable_sort(commodities.begin(), commodities.end(),
-                     [](const Commodity& a, const Commodity& b) {
-                         if (a.value != b.value) return a.value > b.value;
-                         return a.id < b.id;
-                     });
+    // One comparator for the routing order, defined once in routing_order().
+    std::vector<Commodity> sorted;
+    sorted.reserve(commodities.size());
+    for (const std::size_t slot : routing_order(commodities)) sorted.push_back(commodities[slot]);
+    commodities = std::move(sorted);
+}
+
+std::vector<std::size_t> routing_order(const std::vector<Commodity>& commodities) {
+    std::vector<std::size_t> order(commodities.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (commodities[a].value != commodities[b].value)
+            return commodities[a].value > commodities[b].value;
+        return commodities[a].id < commodities[b].id;
+    });
+    return order;
 }
 
 double total_value(const std::vector<Commodity>& commodities) {

@@ -28,6 +28,12 @@ std::vector<Commodity> build_commodities(const graph::CoreGraph& graph,
 /// broken by id so results are deterministic.
 void sort_by_decreasing_value(std::vector<Commodity>& commodities);
 
+/// The routing order as slot indices: positions sorted by decreasing value,
+/// ties by id, leaving `commodities` untouched. The shortestpath() router
+/// and the engine's IncrementalRouter both route in exactly this order —
+/// the incremental exactness guarantee depends on the shared definition.
+std::vector<std::size_t> routing_order(const std::vector<Commodity>& commodities);
+
 /// Total demand Σ vl(d_k).
 double total_value(const std::vector<Commodity>& commodities);
 

@@ -1,0 +1,59 @@
+// EvalContext threading through the baselines (gmap/pmap/pbb/sa): the
+// context-threaded overloads must return bit-identical results to the plain
+// Topology paths — the flat distance table is an exact cache, not an
+// approximation — both called directly and through the engine registry.
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "baselines/annealing.hpp"
+#include "baselines/gmap.hpp"
+#include "baselines/pbb.hpp"
+#include "baselines/pmap.hpp"
+#include "engine/mapper.hpp"
+#include "noc/eval_context.hpp"
+
+namespace nocmap::baselines {
+namespace {
+
+void expect_identical(const nmap::MappingResult& plain, const nmap::MappingResult& threaded,
+                      const std::string& what) {
+    EXPECT_EQ(plain.mapping, threaded.mapping) << what;
+    EXPECT_EQ(plain.comm_cost, threaded.comm_cost) << what;
+    EXPECT_EQ(plain.feasible, threaded.feasible) << what;
+    EXPECT_EQ(plain.loads, threaded.loads) << what;
+    EXPECT_EQ(plain.evaluations, threaded.evaluations) << what;
+}
+
+TEST(BaselineCtxParity, DirectOverloadsMatchPlainPaths) {
+    for (const char* app : {"vopd", "pip"}) {
+        const auto g = apps::make_application(app);
+        const auto topo = noc::Topology::smallest_mesh_for(g.node_count(), 1e9);
+        const noc::EvalContext ctx(topo);
+        expect_identical(gmap_map(g, topo), gmap_map(g, ctx), std::string(app) + " gmap");
+        expect_identical(pmap_map(g, topo), pmap_map(g, ctx), std::string(app) + " pmap");
+
+        PbbStats plain_stats;
+        PbbStats ctx_stats;
+        expect_identical(pbb_map(g, topo, {}, &plain_stats), pbb_map(g, ctx, {}, &ctx_stats),
+                         std::string(app) + " pbb");
+        EXPECT_EQ(plain_stats.expansions, ctx_stats.expansions) << app;
+        EXPECT_EQ(plain_stats.pruned_by_bound, ctx_stats.pruned_by_bound) << app;
+
+        expect_identical(annealing_map(g, topo), annealing_map(g, ctx),
+                         std::string(app) + " sa");
+    }
+}
+
+TEST(BaselineCtxParity, RegistryContextRunsMatchPlainRuns) {
+    const auto g = apps::make_application("pip");
+    const auto topo = noc::Topology::smallest_mesh_for(g.node_count(), 1e9);
+    const noc::EvalContext ctx(topo);
+    for (const char* name : {"gmap", "pmap", "pbb", "sa"}) {
+        expect_identical(engine::map_by_name(name, g, topo), engine::map_by_name(name, g, ctx),
+                         name);
+    }
+}
+
+} // namespace
+} // namespace nocmap::baselines
