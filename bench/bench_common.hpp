@@ -5,6 +5,7 @@
 // deterministic computation) and then hands over to google-benchmark for
 // timing of the underlying algorithms.
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -61,5 +62,12 @@ std::vector<Fig3Row> run_fig3_costs();
 /// reported to stderr but never abort a bench.
 void try_write_csv(const std::string& path, const std::vector<std::string>& header,
                    const std::vector<std::vector<std::string>>& rows);
+
+/// Milliseconds elapsed since `start` on the steady clock.
+inline double ms_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                     start)
+        .count();
+}
 
 } // namespace nocmap::bench

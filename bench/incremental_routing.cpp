@@ -43,11 +43,8 @@
 namespace {
 
 using namespace nocmap;
+using bench::ms_since;
 using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point start) {
-    return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
-}
 
 struct Workload {
     std::string name;

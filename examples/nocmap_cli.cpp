@@ -8,6 +8,9 @@
 //   nocmap_cli dot    <app|graph-file>
 //   nocmap_cli portfolio <app|graph-file>... [--topologies specs]
 //                     [--algo <name>] [--bw MBps] [--threads N] [--json path]
+//                     [--json-stable]
+//   nocmap_cli serve  [--socket PORT] [--cache-topologies N] [--threads N]
+//                     [--topologies specs] [--algo <name>] [--bw MBps]
 //   nocmap_cli apps
 //   nocmap_cli algos            (also: --list-algos anywhere)
 //
@@ -21,7 +24,16 @@
 // candidates (default mesh,torus,ring,hypercube; specs accept explicit
 // sizes like torus:4x4) on a shared portfolio::TopologyCache, printing the
 // scalarized fabric ranking and optionally writing JSON with --json.
+// Any failed scenario is reported on stderr and flips the exit code to 1
+// (the JSON artifact is still written), so CI gates cannot silently pass.
+//
+// Serve mode runs the long-lived mapping daemon: line-delimited JSON
+// requests on stdin (responses on stdout) or, with --socket, over TCP.
+// --cache-topologies bounds the persistent fabric cache (LRU eviction);
+// --topologies/--algo/--bw set the per-request defaults. See
+// src/service/protocol.hpp for the request/response schema.
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -39,6 +51,7 @@
 #include "noc/energy.hpp"
 #include "portfolio/report.hpp"
 #include "portfolio/runner.hpp"
+#include "service/service.hpp"
 #include "sim/netlist.hpp"
 #include "sim/simulator.hpp"
 #include "util/string_util.hpp"
@@ -49,9 +62,7 @@ namespace {
 using namespace nocmap;
 
 graph::CoreGraph load_graph(const std::string& spec) {
-    std::ifstream file(spec);
-    if (file) return graph::read_core_graph(file);
-    return apps::make_application(spec);
+    return apps::load_graph_or_application(spec);
 }
 
 struct CliOptions {
@@ -63,6 +74,10 @@ struct CliOptions {
     std::string topologies = "mesh,torus,ring,hypercube";
     std::string json_path;  ///< portfolio mode: write JSON here
     std::size_t threads = 1; ///< portfolio worker threads (0 = hardware)
+    std::size_t cache_topologies = 0; ///< serve: fabric cache bound (0 = unbounded)
+    std::size_t socket_port = 0;      ///< serve: TCP port (0 = stdin/stdout)
+    bool socket_mode = false;
+    bool json_stable = false; ///< portfolio JSON: deterministic document
     bool portfolio = false;
     std::int32_t width = 0;
     std::int32_t height = 0;
@@ -87,7 +102,9 @@ int usage() {
               << "]\n"
                  "       nocmap_cli portfolio <app|graph-file>... "
                  "[--topologies mesh,torus:4x4,ring,hypercube] [--algo name] "
-                 "[--bw MBps] [--threads N] [--json path]\n"
+                 "[--bw MBps] [--threads N] [--json path] [--json-stable]\n"
+                 "       nocmap_cli serve [--socket PORT] [--cache-topologies N] "
+                 "[--threads N] [--topologies specs] [--algo name] [--bw MBps]\n"
                  "       nocmap_cli apps | algos\n";
     return 2;
 }
@@ -199,14 +216,60 @@ int cmd_portfolio(const CliOptions& opt) {
             std::cerr << "error: cannot write " << opt.json_path << '\n';
             return 1;
         }
-        portfolio::write_json(out, results, fabric_ranking, &runner.cache());
+        // --json-stable writes the deterministic document (no cache
+        // counters, no timings): byte-comparable against a serve daemon's
+        // "report" for the same scenarios.
+        portfolio::JsonOptions json;
+        if (opt.json_stable) {
+            json.timings = false;
+        } else {
+            json.cache = &runner.cache();
+        }
+        portfolio::write_json(out, results, fabric_ranking, json);
         std::cout << "wrote " << opt.json_path << '\n';
     }
     // Success when every scenario at least ran (infeasible fabrics are a
-    // finding, not a failure; mapper exceptions are failures).
-    for (const auto& r : results)
-        if (!r.ok) return 1;
+    // finding, not a failure; mapper exceptions are failures). Failures go
+    // to stderr — a JSON artifact alone must not let CI gates pass quietly.
+    std::size_t failed = 0;
+    for (const auto& r : results) {
+        if (r.ok) continue;
+        ++failed;
+        std::cerr << "error: scenario " << r.name << ": " << r.error << '\n';
+    }
+    if (failed > 0) {
+        std::cerr << "error: " << failed << " of " << results.size()
+                  << " scenarios failed\n";
+        return 1;
+    }
     return 0;
+}
+
+int cmd_serve(const CliOptions& opt) {
+    service::ServiceOptions options;
+    options.threads = opt.threads;
+    options.cache_topologies = opt.cache_topologies;
+    options.default_topologies = opt.topologies;
+    options.default_mapper = opt.algo;
+    options.default_bandwidth = opt.bandwidth;
+    service::Service daemon(options);
+    if (!opt.socket_mode) {
+        // Unsynced streams give std::cin a real buffer, so the session
+        // loop's in_avail() drain can see queued requests and batch them.
+        std::ios::sync_with_stdio(false);
+        return daemon.serve(std::cin, std::cout);
+    }
+    if (opt.socket_port > 65535) {
+        std::cerr << "error: --socket port must be 0..65535\n";
+        return 2;
+    }
+    const int rc = daemon.serve_socket(
+        static_cast<std::uint16_t>(opt.socket_port), [](std::uint16_t port) {
+            // stderr so protocol responses keep stdout to themselves.
+            std::cerr << "serve: listening on TCP port " << port << '\n';
+        });
+    if (rc != 0) std::cerr << "error: cannot listen on port " << opt.socket_port << '\n';
+    return rc;
 }
 
 int cmd_netlist(const CliOptions& opt, const graph::CoreGraph& g) {
@@ -254,6 +317,13 @@ int main(int argc, char** argv) {
             opt.json_path = args[++i];
         } else if (args[i] == "--threads" && i + 1 < args.size()) {
             if (!util::parse_size(args[++i], opt.threads)) return usage();
+        } else if (args[i] == "--cache-topologies" && i + 1 < args.size()) {
+            if (!util::parse_size(args[++i], opt.cache_topologies)) return usage();
+        } else if (args[i] == "--socket" && i + 1 < args.size()) {
+            if (!util::parse_size(args[++i], opt.socket_port)) return usage();
+            opt.socket_mode = true;
+        } else if (args[i] == "--json-stable") {
+            opt.json_stable = true;
         } else if (args[i] == "--portfolio") {
             opt.portfolio = true;
         } else {
@@ -263,6 +333,10 @@ int main(int argc, char** argv) {
     if (opt.command == "portfolio") opt.portfolio = true;
 
     try {
+        if (opt.command == "serve") {
+            if (!positional.empty()) return usage();
+            return cmd_serve(opt);
+        }
         if (opt.portfolio) {
             if (positional.empty()) return usage();
             opt.targets = positional;

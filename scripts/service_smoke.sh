@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Service smoke: start `nocmap_cli serve`, replay a scripted request batch,
+# and assert every map response's embedded report is byte-identical to the
+# equivalent one-shot `portfolio --json --json-stable` run. The daemon runs
+# under the strictest determinism setting the acceptance criteria name:
+# maximum eviction pressure (--cache-topologies 1) and parallel workers.
+#
+# Usage: scripts/service_smoke.sh [path/to/nocmap_cli] [transcript-dir]
+set -euo pipefail
+
+CLI=${1:-./build/nocmap_cli}
+OUT=${2:-service-smoke}
+mkdir -p "$OUT"
+
+cat > "$OUT/requests.jsonl" <<'EOF'
+{"id": "batch-a", "method": "map", "apps": ["vopd", "mpeg4"], "topologies": "mesh,torus,hypercube"}
+{"id": "batch-b", "method": "map", "apps": ["vopd"], "topologies": "mesh,ring"}
+{"id": "batch-c", "method": "map", "apps": ["pip"], "topologies": "mesh", "mapper": "gmap"}
+{"id": "stats", "method": "stats"}
+{"id": "bye", "method": "shutdown"}
+EOF
+
+"$CLI" serve --cache-topologies 1 --threads 2 \
+    < "$OUT/requests.jsonl" > "$OUT/responses.jsonl"
+
+"$CLI" portfolio vopd mpeg4 --topologies mesh,torus,hypercube \
+    --json "$OUT/oneshot-batch-a.json" --json-stable > /dev/null
+"$CLI" portfolio vopd --topologies mesh,ring \
+    --json "$OUT/oneshot-batch-b.json" --json-stable > /dev/null
+"$CLI" portfolio pip --topologies mesh --algo gmap \
+    --json "$OUT/oneshot-batch-c.json" --json-stable > /dev/null
+
+python3 - "$OUT" <<'EOF'
+import json, pathlib, sys
+
+out = pathlib.Path(sys.argv[1])
+responses = {}
+for line in (out / "responses.jsonl").read_text().splitlines():
+    doc = json.loads(line)
+    responses[doc["id"]] = doc
+
+failures = 0
+for rid in ("batch-a", "batch-b", "batch-c"):
+    if responses[rid]["status"] != "ok":
+        print(f"{rid}: status {responses[rid]['status']}: "
+              f"{responses[rid].get('error')}")
+        failures += 1
+        continue
+    expected = (out / f"oneshot-{rid}.json").read_text()
+    if responses[rid]["report"] == expected:
+        print(f"{rid}: report byte-identical to the one-shot run")
+    else:
+        mismatch = out / f"mismatch-{rid}.json"
+        mismatch.write_text(responses[rid]["report"])
+        print(f"{rid}: MISMATCH (service bytes written to {mismatch})")
+        failures += 1
+
+assert responses["bye"]["status"] == "ok", "shutdown not acknowledged"
+print("daemon cache:", json.dumps(responses["stats"]["cache"]))
+sys.exit(1 if failures else 0)
+EOF
+
+echo "service smoke OK (transcript in $OUT/)"

@@ -1,7 +1,10 @@
 #include "apps/registry.hpp"
 
 #include <array>
+#include <fstream>
 #include <stdexcept>
+
+#include "graph/graph_io.hpp"
 
 #include "apps/dsd.hpp"
 #include "apps/dsp_filter.hpp"
@@ -40,6 +43,12 @@ graph::CoreGraph make_application(std::string_view name) {
         if (app.name == lowered) return app.factory();
     throw std::invalid_argument("unknown application '" + std::string(name) +
                                 "' (known: " + util::join(application_names(), ", ") + ")");
+}
+
+graph::CoreGraph load_graph_or_application(const std::string& spec) {
+    std::ifstream file(spec);
+    if (file) return graph::read_core_graph(file);
+    return make_application(spec);
 }
 
 std::vector<std::string> application_names() {

@@ -28,6 +28,10 @@ std::span<const AppInfo> all_applications();
 /// std::invalid_argument listing the known names when unknown.
 graph::CoreGraph make_application(std::string_view name);
 
+/// The target rule the CLI and serve daemon share: `spec` names either a
+/// core-graph text file (read when it opens) or a built-in application.
+graph::CoreGraph load_graph_or_application(const std::string& spec);
+
 std::vector<std::string> application_names();
 
 } // namespace nocmap::apps

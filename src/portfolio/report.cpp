@@ -1,54 +1,26 @@
 #include "portfolio/report.hpp"
 
 #include <cmath>
-#include <cstdio>
 #include <ostream>
 #include <sstream>
 
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace nocmap::portfolio {
 
 namespace {
 
-std::string json_escape(const std::string& text) {
-    std::string out;
-    out.reserve(text.size() + 2);
-    for (const char c : text) {
-        switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\r': out += "\\r"; break;
-        case '\t': out += "\\t"; break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buffer[8];
-                std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
-                out += buffer;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-/// JSON number, or null for the infinities scalar scores use.
-std::string json_number(double value) {
-    if (!std::isfinite(value)) return "null";
-    char buffer[32];
-    std::snprintf(buffer, sizeof buffer, "%.6g", value);
-    return buffer;
-}
-
-std::string quoted(const std::string& text) { return "\"" + json_escape(text) + "\""; }
+// JSON string literal / number ("null" for the infinities scalar scores
+// use) formatting shared with the service protocol.
+using util::json::quoted;
+const auto json_number = util::json::number;
 
 } // namespace
 
 void write_json(std::ostream& os, const std::vector<ScenarioResult>& results,
                 const std::vector<TopologyRanking>& topology_ranking,
-                const TopologyCache* cache) {
+                const JsonOptions& options) {
     os << "{\n  \"scenarios\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const ScenarioResult& r = results[i];
@@ -62,9 +34,9 @@ void write_json(std::ostream& os, const std::vector<ScenarioResult>& results,
            << ", \"energy_mw\": " << json_number(r.energy_mw)
            << ", \"area_mm2\": " << json_number(r.area_mm2)
            << ", \"avg_hops\": " << json_number(r.avg_hops)
-           << ", \"scalar_score\": " << json_number(r.scalar_score)
-           << ", \"elapsed_ms\": " << json_number(r.elapsed_ms)
-           << ", \"error\": " << (r.error.empty() ? "null" : quoted(r.error)) << "}"
+           << ", \"scalar_score\": " << json_number(r.scalar_score);
+        if (options.timings) os << ", \"elapsed_ms\": " << json_number(r.elapsed_ms);
+        os << ", \"error\": " << (r.error.empty() ? "null" : quoted(r.error)) << "}"
            << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os << "  ],\n  \"ranking\": [";
@@ -80,18 +52,31 @@ void write_json(std::ostream& os, const std::vector<ScenarioResult>& results,
            << (i + 1 < topology_ranking.size() ? "," : "") << "\n";
     }
     os << "  ]";
-    if (cache)
-        os << ",\n  \"cache\": {\"fabrics\": " << cache->size() << ", \"hits\": " << cache->hits()
-           << ", \"misses\": " << cache->misses() << "}";
+    if (options.cache)
+        os << ",\n  \"cache\": {\"fabrics\": " << options.cache->size()
+           << ", \"hits\": " << options.cache->hits()
+           << ", \"misses\": " << options.cache->misses() << "}";
     os << "\n}\n";
 }
 
 std::string to_json(const std::vector<ScenarioResult>& results,
                     const std::vector<TopologyRanking>& topology_ranking,
-                    const TopologyCache* cache) {
+                    const JsonOptions& options) {
     std::ostringstream os;
-    write_json(os, results, topology_ranking, cache);
+    write_json(os, results, topology_ranking, options);
     return os.str();
+}
+
+void write_json(std::ostream& os, const std::vector<ScenarioResult>& results,
+                const std::vector<TopologyRanking>& topology_ranking,
+                const TopologyCache* cache) {
+    write_json(os, results, topology_ranking, JsonOptions{cache, true});
+}
+
+std::string to_json(const std::vector<ScenarioResult>& results,
+                    const std::vector<TopologyRanking>& topology_ranking,
+                    const TopologyCache* cache) {
+    return to_json(results, topology_ranking, JsonOptions{cache, true});
 }
 
 void print_report(std::ostream& os, const std::vector<ScenarioResult>& results,

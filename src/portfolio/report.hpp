@@ -10,17 +10,35 @@
 
 namespace nocmap::portfolio {
 
+struct JsonOptions {
+    /// Append the cache's counters when given.
+    const TopologyCache* cache = nullptr;
+    /// Per-scenario elapsed_ms fields. Off = the deterministic document:
+    /// equal inputs produce equal bytes (what the serve daemon returns and
+    /// `--json-stable` writes, so CI can diff the two).
+    bool timings = true;
+};
+
 /// Writes the full run as JSON: scenario records (grid order), the
-/// best-first scenario ranking, the per-fabric ranking, and the cache's
-/// hit/miss counters when provided. Non-finite numbers (infeasible scores)
-/// are emitted as null.
+/// best-first scenario ranking, the per-fabric ranking, and — per
+/// `options` — cache counters and per-scenario timings. Non-finite
+/// numbers (infeasible scores) are emitted as null.
 void write_json(std::ostream& os, const std::vector<ScenarioResult>& results,
                 const std::vector<TopologyRanking>& topology_ranking,
-                const TopologyCache* cache = nullptr);
+                const JsonOptions& options = {});
 
 std::string to_json(const std::vector<ScenarioResult>& results,
                     const std::vector<TopologyRanking>& topology_ranking,
-                    const TopologyCache* cache = nullptr);
+                    const JsonOptions& options = {});
+
+/// Compatibility shims: cache pointer only, timings on.
+void write_json(std::ostream& os, const std::vector<ScenarioResult>& results,
+                const std::vector<TopologyRanking>& topology_ranking,
+                const TopologyCache* cache);
+
+std::string to_json(const std::vector<ScenarioResult>& results,
+                    const std::vector<TopologyRanking>& topology_ranking,
+                    const TopologyCache* cache);
 
 /// Prints the scenario table (best-first) and the fabric ranking.
 void print_report(std::ostream& os, const std::vector<ScenarioResult>& results,

@@ -15,7 +15,7 @@
 namespace nocmap::portfolio {
 
 PortfolioRunner::PortfolioRunner(PortfolioOptions options)
-    : options_(options), cache_(options.energy_model) {}
+    : options_(options), cache_(options.energy_model, options.cache_topologies) {}
 
 ScenarioResult PortfolioRunner::run_one(const Scenario& scenario, std::size_t index) {
     ScenarioResult r;
@@ -24,6 +24,11 @@ ScenarioResult PortfolioRunner::run_one(const Scenario& scenario, std::size_t in
     r.app = scenario.app;
     r.topology = scenario.topology.display_name();
     r.mapper = scenario.mapper;
+    if (!scenario.graph) {
+        r.ok = false;
+        r.error = "scenario has no application graph";
+        return r;
+    }
     try {
         const std::size_t cores = scenario.graph->node_count();
         r.fabric = scenario.topology.cache_key(cores);
@@ -83,20 +88,55 @@ void PortfolioRunner::scalarize(std::vector<ScenarioResult>& results) const {
     }
 }
 
-std::vector<ScenarioResult> PortfolioRunner::run(const std::vector<Scenario>& grid) {
-    std::vector<ScenarioResult> results(grid.size());
+void PortfolioRunner::map_grids(const std::vector<const std::vector<Scenario>*>& grids,
+                                std::vector<std::vector<ScenarioResult>>& out) {
+    // Flatten every grid into one work list, scheduled grouped by resolved
+    // fabric: same-fabric scenarios run back to back, so a bounded cache
+    // builds each context once per batch instead of thrashing on
+    // interleaved fabrics. The stable sort keeps (grid, index) order within
+    // a fabric; results land in their own slots, so scheduling order never
+    // shows in the output.
+    struct WorkItem {
+        std::size_t grid = 0;
+        std::size_t index = 0;
+        std::string fabric;
+    };
+    std::vector<WorkItem> work;
+    out.resize(grids.size());
+    for (std::size_t g = 0; g < grids.size(); ++g) {
+        const std::vector<Scenario>& grid = *grids[g];
+        out[g].assign(grid.size(), ScenarioResult{});
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            WorkItem item{g, i, {}};
+            if (grid[i].graph) {
+                try {
+                    item.fabric = grid[i].topology.cache_key(grid[i].graph->node_count());
+                } catch (...) {
+                    // Unresolvable specs keep an empty key; run_one
+                    // captures the error in its result.
+                }
+            }
+            work.push_back(std::move(item));
+        }
+    }
+    std::stable_sort(work.begin(), work.end(),
+                     [](const WorkItem& a, const WorkItem& b) { return a.fabric < b.fabric; });
+
     std::size_t workers = options_.threads == 0
                               ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
                               : options_.threads;
-    workers = std::min(workers, grid.size());
+    workers = std::min(workers, work.size());
 
+    auto run_item = [&](const WorkItem& item) {
+        out[item.grid][item.index] = run_one((*grids[item.grid])[item.index], item.index);
+    };
     if (workers <= 1) {
-        for (std::size_t i = 0; i < grid.size(); ++i) results[i] = run_one(grid[i], i);
+        for (const WorkItem& item : work) run_item(item);
     } else {
         std::atomic<std::size_t> next{0};
         auto drain = [&] {
-            for (std::size_t i = next.fetch_add(1); i < grid.size(); i = next.fetch_add(1))
-                results[i] = run_one(grid[i], i);
+            for (std::size_t i = next.fetch_add(1); i < work.size(); i = next.fetch_add(1))
+                run_item(work[i]);
         };
         std::vector<std::thread> pool;
         pool.reserve(workers - 1);
@@ -104,9 +144,24 @@ std::vector<ScenarioResult> PortfolioRunner::run(const std::vector<Scenario>& gr
         drain();
         for (std::thread& t : pool) t.join();
     }
+}
 
-    scalarize(results);
-    return results;
+std::vector<ScenarioResult> PortfolioRunner::run(const std::vector<Scenario>& grid) {
+    std::vector<std::vector<ScenarioResult>> out;
+    map_grids({&grid}, out);
+    scalarize(out[0]);
+    return std::move(out[0]);
+}
+
+std::vector<std::vector<ScenarioResult>> PortfolioRunner::run_batch(
+    const std::vector<std::vector<Scenario>>& grids) {
+    std::vector<const std::vector<Scenario>*> refs;
+    refs.reserve(grids.size());
+    for (const std::vector<Scenario>& grid : grids) refs.push_back(&grid);
+    std::vector<std::vector<ScenarioResult>> out;
+    map_grids(refs, out);
+    for (std::vector<ScenarioResult>& results : out) scalarize(results);
+    return out;
 }
 
 std::vector<std::size_t> PortfolioRunner::ranking(const std::vector<ScenarioResult>& results) {

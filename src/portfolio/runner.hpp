@@ -38,6 +38,9 @@ struct PortfolioOptions {
     /// Worker threads over scenarios (1 = serial, 0 = all hardware
     /// threads). Any value returns identical results.
     std::size_t threads = 1;
+    /// TopologyCache bound (fabrics kept; 0 = unbounded). Eviction changes
+    /// which contexts get rebuilt, never any result.
+    std::size_t cache_topologies = 0;
     ScalarizationWeights weights;
     noc::EnergyModel energy_model;
 };
@@ -81,11 +84,24 @@ public:
     /// The shared cache — inspectable (hit/miss counters) and reusable
     /// across run() calls, so successive grids keep amortizing.
     TopologyCache& cache() noexcept { return cache_; }
+    const TopologyCache& cache() const noexcept { return cache_; }
 
     /// Runs every scenario; results come back in grid order with scalar
     /// scores filled in. Per-scenario failures are captured in
     /// ScenarioResult::error, never thrown.
     std::vector<ScenarioResult> run(const std::vector<Scenario>& grid);
+
+    /// Batch entry point (the service's request coalescing): maps several
+    /// independent grids in one pass, scheduling all scenarios grouped by
+    /// resolved fabric so a bounded cache is not thrashed by interleaved
+    /// fabrics — with serial execution each EvalContext is built exactly
+    /// once per batch; with worker threads a rare claim/insert interleave
+    /// can still rebuild a fabric (and skew the hit/miss counters), never
+    /// a result. Scalarization stays per grid, so slot i of the returned
+    /// vector is identical — mappings, scores, ranking — to run(grids[i])
+    /// on its own, for any thread count and any batching.
+    std::vector<std::vector<ScenarioResult>> run_batch(
+        const std::vector<std::vector<Scenario>>& grids);
 
     /// Indices of `results` sorted best-first (score, then grid index).
     static std::vector<std::size_t> ranking(const std::vector<ScenarioResult>& results);
@@ -97,6 +113,9 @@ public:
 
 private:
     ScenarioResult run_one(const Scenario& scenario, std::size_t index);
+    /// Fills `out[r][i]` for every grid; scalarization is the caller's.
+    void map_grids(const std::vector<const std::vector<Scenario>*>& grids,
+                   std::vector<std::vector<ScenarioResult>>& out);
     void scalarize(std::vector<ScenarioResult>& results) const;
 
     PortfolioOptions options_;

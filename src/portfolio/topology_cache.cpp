@@ -2,23 +2,44 @@
 
 namespace nocmap::portfolio {
 
+void TopologyCache::touch_locked(std::unordered_map<std::string, Entry>::iterator it) {
+    recency_.splice(recency_.begin(), recency_, it->second.lru);
+}
+
+void TopologyCache::evict_locked() {
+    while (capacity_ > 0 && entries_.size() > capacity_) {
+        entries_.erase(recency_.back());
+        recency_.pop_back();
+        ++evictions_;
+    }
+}
+
 std::shared_ptr<const noc::EvalContext> TopologyCache::get(const TopologySpec& spec,
                                                            std::size_t core_count) {
     const std::string key = spec.cache_key(core_count);
     std::promise<std::shared_ptr<const noc::EvalContext>> promise;
     ContextFuture future;
     bool builder = false;
+    std::uint64_t generation = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto [it, inserted] = entries_.try_emplace(key);
         if (inserted) {
-            it->second = promise.get_future().share();
+            it->second.future = promise.get_future().share();
+            it->second.generation = generation = ++next_generation_;
+            recency_.push_front(key);
+            it->second.lru = recency_.begin();
             builder = true;
             ++misses_;
+            // A fresh insertion may push the cache past capacity; the new
+            // entry is at the recency front, so it survives its own insert
+            // even at capacity 1.
+            evict_locked();
         } else {
             ++hits_;
+            touch_locked(it);
         }
-        future = it->second;
+        future = it->second.future;
     }
     if (builder) {
         try {
@@ -26,11 +47,16 @@ std::shared_ptr<const noc::EvalContext> TopologyCache::get(const TopologySpec& s
                 std::make_shared<const noc::EvalContext>(spec.build(core_count), model_));
         } catch (...) {
             promise.set_exception(std::current_exception());
-            // Don't cache the failure: a later request may carry a valid
-            // spec resolving to the same key (not currently possible, but
-            // a poisoned entry would also distort size()).
+            // Don't cache the failure: a later request may retry. Only this
+            // build's own entry may be dropped — eviction may already have
+            // removed it and a concurrent get() re-inserted a fresh entry
+            // under the same key, which must survive.
             std::lock_guard<std::mutex> lock(mutex_);
-            entries_.erase(key);
+            const auto it = entries_.find(key);
+            if (it != entries_.end() && it->second.generation == generation) {
+                recency_.erase(it->second.lru);
+                entries_.erase(it);
+            }
         }
     }
     return future.get(); // rethrows the builder's exception for waiters
@@ -49,6 +75,16 @@ std::size_t TopologyCache::hits() const {
 std::size_t TopologyCache::misses() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return misses_;
+}
+
+std::size_t TopologyCache::evictions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+TopologyCacheStats TopologyCache::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {entries_.size(), capacity_, hits_, misses_, evictions_};
 }
 
 } // namespace nocmap::portfolio

@@ -1,6 +1,6 @@
 #pragma once
 // portfolio::TopologyCache — shared, thread-safe store of evaluation
-// contexts keyed by resolved topology.
+// contexts keyed by resolved topology, with optional bounded LRU eviction.
 //
 // A portfolio grid typically maps many applications onto the same handful
 // of fabrics; the cache builds each fabric's Topology and EvalContext
@@ -10,9 +10,19 @@
 // each entry is a shared_future whose value the first requester produces
 // outside the lock, so distinct fabrics build concurrently while
 // same-fabric requesters block only on that fabric's own build.
+//
+// Long-lived use (the `serve` daemon) bounds the cache with `capacity`:
+// every get() marks the entry most-recently used, and an insertion that
+// grows the cache past capacity evicts least-recently-used entries.
+// Eviction only drops the cache's reference — scenarios already holding
+// the shared_ptr (or blocked on the entry's future, which they copied
+// under the lock) keep the context alive until they finish, so a bounded
+// cache changes which builds recur, never any result.
 
 #include <cstddef>
+#include <cstdint>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -24,9 +34,21 @@
 
 namespace nocmap::portfolio {
 
+/// Point-in-time counter snapshot (what the service surfaces per response).
+struct TopologyCacheStats {
+    std::size_t entries = 0;
+    std::size_t capacity = 0; ///< 0 = unbounded
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+};
+
 class TopologyCache {
 public:
-    explicit TopologyCache(noc::EnergyModel model = {}) : model_(model) {}
+    /// `capacity` bounds the number of cached fabrics; 0 keeps every entry
+    /// (the one-shot portfolio default).
+    explicit TopologyCache(noc::EnergyModel model = {}, std::size_t capacity = 0)
+        : model_(model), capacity_(capacity) {}
 
     /// The context for `spec` resolved against `core_count` cores; builds
     /// and stores it on first use. Specs resolving to the same fabric (same
@@ -37,17 +59,35 @@ public:
                                                 std::size_t core_count);
 
     std::size_t size() const;
+    std::size_t capacity() const noexcept { return capacity_; }
     std::size_t hits() const;
     std::size_t misses() const;
+    std::size_t evictions() const;
+    TopologyCacheStats stats() const;
 
 private:
     using ContextFuture = std::shared_future<std::shared_ptr<const noc::EvalContext>>;
 
+    struct Entry {
+        ContextFuture future;
+        std::uint64_t generation = 0;       ///< identifies THIS insertion
+        std::list<std::string>::iterator lru; ///< position in recency_
+    };
+
+    /// Marks `it` most-recently used (callers hold mutex_).
+    void touch_locked(std::unordered_map<std::string, Entry>::iterator it);
+    /// Evicts LRU entries until size() <= capacity_ (callers hold mutex_).
+    void evict_locked();
+
     noc::EnergyModel model_;
+    std::size_t capacity_ = 0;
     mutable std::mutex mutex_;
-    std::unordered_map<std::string, ContextFuture> entries_;
+    std::unordered_map<std::string, Entry> entries_;
+    std::list<std::string> recency_; ///< front = most recent
+    std::uint64_t next_generation_ = 0;
     std::size_t hits_ = 0;
     std::size_t misses_ = 0;
+    std::size_t evictions_ = 0;
 };
 
 } // namespace nocmap::portfolio

@@ -1,0 +1,109 @@
+#include "service/protocol.hpp"
+
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace nocmap::service {
+
+namespace {
+
+using util::json::quoted;
+using util::json::Value;
+
+std::string get_string(const Value& request, const char* key, const std::string& fallback) {
+    const Value* v = request.find(key);
+    if (!v || v->is_null()) return fallback;
+    if (!v->is_string())
+        throw std::invalid_argument(std::string("field '") + key + "' must be a string");
+    return v->as_string();
+}
+
+double get_number(const Value& request, const char* key, double fallback) {
+    const Value* v = request.find(key);
+    if (!v || v->is_null()) return fallback;
+    if (!v->is_number())
+        throw std::invalid_argument(std::string("field '") + key + "' must be a number");
+    return v->as_number();
+}
+
+std::string cache_json(const portfolio::TopologyCacheStats& cache) {
+    return "{\"fabrics\": " + std::to_string(cache.entries) +
+           ", \"capacity\": " + std::to_string(cache.capacity) +
+           ", \"hits\": " + std::to_string(cache.hits) +
+           ", \"misses\": " + std::to_string(cache.misses) +
+           ", \"evictions\": " + std::to_string(cache.evictions) + "}";
+}
+
+std::string response_head(const std::string& id, const char* status) {
+    return "{\"id\": " + quoted(id) + ", \"status\": \"" + status + "\"";
+}
+
+} // namespace
+
+Request parse_request(const std::string& line) {
+    Value doc;
+    try {
+        doc = util::json::parse(line);
+    } catch (const std::exception& e) {
+        throw std::invalid_argument(std::string("malformed request: ") + e.what());
+    }
+    if (!doc.is_object()) throw std::invalid_argument("request must be a JSON object");
+
+    Request request;
+    request.id = get_string(doc, "id", "");
+    const std::string method = get_string(doc, "method", "");
+    if (method == "map") {
+        request.kind = Request::Kind::Map;
+        const Value* apps = doc.find("apps");
+        if (!apps || !apps->is_array() || apps->as_array().empty())
+            throw std::invalid_argument("map request needs a non-empty 'apps' array");
+        for (const Value& app : apps->as_array()) {
+            if (!app.is_string())
+                throw std::invalid_argument("'apps' entries must be strings");
+            request.map.apps.push_back(app.as_string());
+        }
+        request.map.topologies = get_string(doc, "topologies", "");
+        request.map.mapper = get_string(doc, "mapper", "");
+        request.map.bandwidth = get_number(doc, "bandwidth", 0.0);
+        if (request.map.bandwidth < 0.0)
+            throw std::invalid_argument("'bandwidth' must be >= 0");
+    } else if (method == "stats") {
+        request.kind = Request::Kind::Stats;
+    } else if (method == "ping") {
+        request.kind = Request::Kind::Ping;
+    } else if (method == "shutdown") {
+        request.kind = Request::Kind::Shutdown;
+    } else if (method.empty()) {
+        throw std::invalid_argument("request needs a 'method' (map|stats|ping|shutdown)");
+    } else {
+        throw std::invalid_argument("unknown method '" + method +
+                                    "' (expected map|stats|ping|shutdown)");
+    }
+    return request;
+}
+
+std::string error_response(const std::string& id, const std::string& message) {
+    return response_head(id, "error") + ", \"error\": " + quoted(message) + "}";
+}
+
+std::string map_response(const std::string& id, const std::string& report_json,
+                         const portfolio::TopologyCacheStats& cache) {
+    return response_head(id, "ok") + ", \"report\": " + quoted(report_json) +
+           ", \"cache\": " + cache_json(cache) + "}";
+}
+
+std::string stats_response(const std::string& id,
+                           const portfolio::TopologyCacheStats& cache) {
+    return response_head(id, "ok") + ", \"cache\": " + cache_json(cache) + "}";
+}
+
+std::string ping_response(const std::string& id) {
+    return response_head(id, "ok") + ", \"pong\": true}";
+}
+
+std::string shutdown_response(const std::string& id) {
+    return response_head(id, "ok") + ", \"shutdown\": true}";
+}
+
+} // namespace nocmap::service

@@ -1,0 +1,56 @@
+#pragma once
+// service::protocol — the serve daemon's line-delimited JSON wire format.
+//
+// One request per line, one response line per request, in request order.
+//
+//   {"id":"r1","method":"map","apps":["vopd","mpeg4"],
+//    "topologies":"mesh,torus:4x4","mapper":"nmap","bandwidth":1000}
+//   {"id":"s1","method":"stats"}
+//   {"id":"p1","method":"ping"}
+//   {"id":"q1","method":"shutdown"}
+//
+// Every response is a single line echoing the request id with a "status"
+// of "ok" or "error". A map response carries the complete one-shot
+// portfolio JSON document (portfolio::to_json, no cache section) as the
+// escaped string field "report" — byte-identical to what
+// `nocmap_cli portfolio ... --json --json-stable` writes for the same
+// scenarios — plus the service cache's counters, which reflect the
+// daemon's whole lifetime and are NOT part of the determinism contract.
+
+#include <string>
+#include <vector>
+
+#include "portfolio/topology_cache.hpp"
+
+namespace nocmap::service {
+
+/// One "map" request: a scenario grid of apps × topology specs.
+struct MapRequest {
+    std::vector<std::string> apps; ///< app names or graph-file paths
+    std::string topologies;        ///< csv of TopologySpec; empty = server default
+    std::string mapper;            ///< registry key; empty = server default
+    double bandwidth = 0.0;        ///< uniform link MB/s; 0 = server default
+};
+
+struct Request {
+    enum class Kind { Map, Stats, Ping, Shutdown };
+    Kind kind = Kind::Ping;
+    std::string id; ///< echoed verbatim in the response ("" when absent)
+    MapRequest map; ///< populated when kind == Kind::Map
+};
+
+/// Parses one request line. Throws std::invalid_argument on malformed
+/// JSON, a missing/unknown method, or ill-typed fields; the message is
+/// what error_response() should carry back.
+Request parse_request(const std::string& line);
+
+/// Response serializers — each returns one line without the trailing '\n'.
+std::string error_response(const std::string& id, const std::string& message);
+std::string map_response(const std::string& id, const std::string& report_json,
+                         const portfolio::TopologyCacheStats& cache);
+std::string stats_response(const std::string& id,
+                           const portfolio::TopologyCacheStats& cache);
+std::string ping_response(const std::string& id);
+std::string shutdown_response(const std::string& id);
+
+} // namespace nocmap::service

@@ -1,0 +1,327 @@
+#include "service/service.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/ioctl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "apps/registry.hpp"
+#include "portfolio/report.hpp"
+#include "portfolio/scenario.hpp"
+#include "util/json.hpp"
+
+namespace nocmap::service {
+
+namespace {
+
+/// iostream over a connected socket: read/write with EINTR retry, and
+/// showmanyc via FIONREAD so the session loop's batching drain sees bytes
+/// the peer has already sent (in_avail() > 0) without blocking.
+class FdStreamBuf : public std::streambuf {
+public:
+    explicit FdStreamBuf(int fd) : fd_(fd) { setp(obuf_, obuf_ + sizeof obuf_); }
+    ~FdStreamBuf() override { sync(); }
+
+protected:
+    int_type underflow() override {
+        if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+        ssize_t n;
+        do {
+            n = ::read(fd_, ibuf_, sizeof ibuf_);
+        } while (n < 0 && errno == EINTR);
+        if (n <= 0) return traits_type::eof();
+        setg(ibuf_, ibuf_, ibuf_ + n);
+        return traits_type::to_int_type(*gptr());
+    }
+
+    std::streamsize showmanyc() override {
+        int pending = 0;
+        if (::ioctl(fd_, FIONREAD, &pending) < 0) return 0;
+        return pending;
+    }
+
+    int_type overflow(int_type ch) override {
+        if (flush_buffer() < 0) return traits_type::eof();
+        if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+            *pptr() = traits_type::to_char_type(ch);
+            pbump(1);
+        }
+        return traits_type::not_eof(ch);
+    }
+
+    int sync() override { return flush_buffer(); }
+
+private:
+    int flush_buffer() {
+        const char* data = pbase();
+        std::size_t left = static_cast<std::size_t>(pptr() - pbase());
+        while (left > 0) {
+            ssize_t n;
+            do {
+                // MSG_NOSIGNAL: a client that disconnects mid-response
+                // yields EPIPE here instead of killing the daemon.
+                n = ::send(fd_, data, left, MSG_NOSIGNAL);
+            } while (n < 0 && errno == EINTR);
+            if (n <= 0) return -1;
+            data += n;
+            left -= static_cast<std::size_t>(n);
+        }
+        setp(obuf_, obuf_ + sizeof obuf_);
+        return 0;
+    }
+
+    int fd_;
+    char ibuf_[8192];
+    char obuf_[8192];
+};
+
+/// Best-effort id for an error response when parse_request threw after
+/// (or before) reading it: whatever string "id" the line carries.
+std::string recover_id(const std::string& line) {
+    try {
+        const auto doc = util::json::parse(line);
+        const auto* id = doc.find("id");
+        if (id && id->is_string()) return id->as_string();
+    } catch (...) {
+        // Not parseable at all — no id to echo.
+    }
+    return "";
+}
+
+} // namespace
+
+Service::Service(ServiceOptions options) : options_(std::move(options)), runner_([&] {
+    portfolio::PortfolioOptions po;
+    po.threads = options_.threads;
+    po.cache_topologies = options_.cache_topologies;
+    return po;
+}()) {}
+
+std::shared_ptr<const graph::CoreGraph> Service::graph_for(const std::string& target) {
+    {
+        std::lock_guard<std::mutex> lock(graphs_mutex_);
+        const auto it = graphs_.find(target);
+        if (it != graphs_.end()) return it->second;
+    }
+    // Load outside the lock: a slow or hung file target must only stall
+    // its own request, never the daemon. Two sessions racing the same
+    // new target may both parse it; the first insertion wins and graphs
+    // are immutable, so the duplicate work is the whole cost.
+    auto loaded = std::make_shared<const graph::CoreGraph>(
+        apps::load_graph_or_application(target));
+    std::lock_guard<std::mutex> lock(graphs_mutex_);
+    auto& slot = graphs_[target];
+    if (!slot) slot = std::move(loaded);
+    return slot;
+}
+
+std::string Service::handle_line(const std::string& line) {
+    return handle_batch({line}).front();
+}
+
+std::vector<std::string> Service::handle_batch(const std::vector<std::string>& lines) {
+    // Parse and resolve every line first; only fully valid map requests
+    // join the coalesced mapping pass, everything else answers directly.
+    struct Pending {
+        bool is_map = false;
+        bool is_stats = false;
+        std::size_t grid = 0;     ///< index into `grids` when is_map
+        std::string response;     ///< final response when !is_map && !is_stats
+        std::string id;
+    };
+    std::vector<Pending> pending(lines.size());
+    std::vector<std::vector<portfolio::Scenario>> grids;
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        Pending& p = pending[i];
+        Request request;
+        try {
+            request = parse_request(lines[i]);
+        } catch (const std::exception& e) {
+            p.response = error_response(recover_id(lines[i]), e.what());
+            continue;
+        }
+        p.id = request.id;
+        try {
+            switch (request.kind) {
+            case Request::Kind::Map: {
+                const MapRequest& m = request.map;
+                const double bw =
+                    m.bandwidth > 0.0 ? m.bandwidth : options_.default_bandwidth;
+                const auto specs = portfolio::parse_topology_list(
+                    m.topologies.empty() ? options_.default_topologies : m.topologies,
+                    bw > 0.0 ? bw : 1e9);
+                std::vector<std::pair<std::string,
+                                      std::shared_ptr<const graph::CoreGraph>>>
+                    apps;
+                for (const std::string& target : m.apps)
+                    apps.emplace_back(target, graph_for(target));
+                const std::string mapper =
+                    m.mapper.empty() ? options_.default_mapper : m.mapper;
+                p.is_map = true;
+                p.grid = grids.size();
+                grids.push_back(portfolio::make_grid(apps, specs, mapper));
+                break;
+            }
+            case Request::Kind::Stats:
+                p.is_stats = true; // rendered after the batch's map work
+                break;
+            case Request::Kind::Ping:
+                p.response = ping_response(request.id);
+                break;
+            case Request::Kind::Shutdown:
+                shutdown_ = true;
+                p.response = shutdown_response(request.id);
+                break;
+            }
+        } catch (const std::exception& e) {
+            p.response = error_response(request.id, e.what());
+        }
+    }
+
+    // One fabric-grouped pass over every coalesced grid; per-request
+    // reports match one-shot runs of the same scenarios byte for byte.
+    std::vector<std::vector<portfolio::ScenarioResult>> batch_results;
+    if (!grids.empty()) batch_results = runner_.run_batch(grids);
+    // Responses leave only after the whole batch finished, so every cache
+    // counter in this batch's responses reflects its completed map work.
+    const auto cache_stats = runner_.cache().stats();
+
+    std::vector<std::string> responses;
+    responses.reserve(lines.size());
+    for (const Pending& p : pending) {
+        if (p.is_map) {
+            const auto& results = batch_results[p.grid];
+            const auto ranking = portfolio::PortfolioRunner::rank_topologies(results);
+            // The deterministic document (no timings): equal requests get
+            // byte-equal reports, matching `portfolio --json --json-stable`.
+            portfolio::JsonOptions json;
+            json.timings = false;
+            responses.push_back(
+                map_response(p.id, portfolio::to_json(results, ranking, json), cache_stats));
+        } else if (p.is_stats) {
+            responses.push_back(stats_response(p.id, cache_stats));
+        } else {
+            responses.push_back(p.response);
+        }
+    }
+    return responses;
+}
+
+int Service::serve(std::istream& in, std::ostream& out) {
+    std::string line;
+    while (!shutdown_ && std::getline(in, line)) {
+        std::vector<std::string> batch;
+        batch.push_back(line);
+        // The batching drain: pull every further request the client has
+        // already delivered (in_avail() counts buffered bytes, FIONREAD
+        // bytes for sockets). A client that pauses mid-line delays this
+        // batch's dispatch, never its correctness.
+        while (in.rdbuf()->in_avail() > 0 && std::getline(in, line))
+            batch.push_back(line);
+        for (const std::string& response : handle_batch(batch)) out << response << '\n';
+        out.flush();
+    }
+    return 0;
+}
+
+int Service::serve_socket(std::uint16_t port,
+                          const std::function<void(std::uint16_t)>& on_listening) {
+    const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listener < 0) return 1;
+    const int reuse = 1;
+    ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof reuse);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    // Loopback only: the protocol is an unauthenticated control channel
+    // (shutdown, file-path targets), so it must not face the network.
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+        ::listen(listener, 16) < 0) {
+        ::close(listener);
+        return 1;
+    }
+    if (on_listening) {
+        socklen_t len = sizeof addr;
+        ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
+        on_listening(ntohs(addr.sin_port));
+    }
+    // One detached thread per connection against the shared runner/cache.
+    // Each session closes its own fd when the client disconnects, so a
+    // long-lived daemon's descriptors don't accumulate; the registry below
+    // only tracks the still-open ones for the shutdown kick.
+    struct Registry {
+        std::mutex mutex;
+        std::condition_variable drained;
+        std::unordered_set<int> fds;
+        std::size_t active = 0;
+    } registry;
+
+    while (!shutdown_) {
+        const int fd = ::accept(listener, nullptr, nullptr);
+        if (fd < 0) {
+            if (shutdown_) break;
+            if (errno == EINTR || errno == ECONNABORTED) continue;
+            // Resource pressure (fd limit, kernel buffers) must not kill
+            // the daemon — but it also fails instantly, so back off
+            // instead of spinning until a session frees its descriptor.
+            if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+                errno == ENOMEM) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(50));
+                continue;
+            }
+            break;
+        }
+        {
+            std::lock_guard<std::mutex> lock(registry.mutex);
+            registry.fds.insert(fd);
+            ++registry.active;
+        }
+        std::thread([this, fd, listener, &registry] {
+            {
+                FdStreamBuf buf(fd);
+                std::istream in(&buf);
+                std::ostream out(&buf);
+                serve(in, out);
+            }
+            // First session to observe shutdown unblocks the accept loop.
+            if (shutdown_) ::shutdown(listener, SHUT_RDWR);
+            {
+                // notify while holding the lock: the drain wait below may
+                // destroy `registry` the moment active hits 0, so this
+                // thread must be done with it before the lock releases.
+                std::lock_guard<std::mutex> lock(registry.mutex);
+                registry.fds.erase(fd);
+                --registry.active;
+                registry.drained.notify_all();
+            }
+            ::close(fd);
+        }).detach();
+    }
+    const bool clean = shutdown_;
+    {
+        // Kick every open session out of its blocking read (read side
+        // only — in-flight responses still drain), then wait for all of
+        // them to finish (they reference `registry`).
+        std::unique_lock<std::mutex> lock(registry.mutex);
+        for (const int fd : registry.fds) ::shutdown(fd, SHUT_RD);
+        registry.drained.wait(lock, [&] { return registry.active == 0; });
+    }
+    ::close(listener);
+    return clean ? 0 : 1;
+}
+
+} // namespace nocmap::service

@@ -1,0 +1,96 @@
+#pragma once
+// service::Service — the long-lived portfolio mapping daemon behind
+// `nocmap_cli serve`.
+//
+// The daemon answers the protocol of service/protocol.hpp over stdin/
+// stdout (`serve`) or a TCP socket (`serve_socket`), layered on one
+// persistent portfolio::PortfolioRunner whose TopologyCache survives
+// across requests (bounded by ServiceOptions::cache_topologies, LRU).
+//
+// Request batching: the session loop drains every request line that is
+// already buffered before dispatching, and hands the whole batch to
+// PortfolioRunner::run_batch, which schedules all scenarios grouped by
+// resolved fabric — so a fabric shared by several queued requests pays
+// EvalContext construction once per batch even under eviction pressure
+// (exactly once serially; a rare worker-thread interleave can rebuild a
+// fabric without affecting any result).
+// Each request is scalarized against only its own grid, so its response
+// (the embedded "report" document) is byte-identical to a one-shot
+// `portfolio --json --json-stable` run of the same scenarios, for any
+// thread count and regardless of how requests were coalesced. Responses
+// are always written in request order. The cache counters in responses
+// are daemon-lifetime values and deliberately outside that contract.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "portfolio/runner.hpp"
+#include "service/protocol.hpp"
+
+namespace nocmap::service {
+
+struct ServiceOptions {
+    /// PortfolioRunner worker threads (1 = serial, 0 = all hardware).
+    std::size_t threads = 1;
+    /// TopologyCache bound (fabrics kept, LRU; 0 = unbounded).
+    std::size_t cache_topologies = 0;
+    /// Defaults applied when a map request omits the field.
+    std::string default_topologies = "mesh,torus,ring,hypercube";
+    std::string default_mapper = "nmap";
+    double default_bandwidth = 0.0; ///< MB/s; 0 = ample (1e9)
+};
+
+class Service {
+public:
+    explicit Service(ServiceOptions options = {});
+
+    const ServiceOptions& options() const noexcept { return options_; }
+    const portfolio::TopologyCache& cache() const noexcept { return runner_.cache(); }
+    /// True once a shutdown request has been answered.
+    bool shutdown_requested() const noexcept { return shutdown_; }
+
+    /// One request line -> one response line (no trailing newline). Never
+    /// throws: every failure becomes an "error" response.
+    std::string handle_line(const std::string& line);
+
+    /// The batcher: answers `lines` (one request each) with one response
+    /// line each, in order. All valid map requests are coalesced into a
+    /// single PortfolioRunner::run_batch pass.
+    std::vector<std::string> handle_batch(const std::vector<std::string>& lines);
+
+    /// Session loop over a stream pair: blocks for a request, additionally
+    /// drains every further complete line already buffered (the request
+    /// batch), answers, repeats. Returns 0 on EOF or shutdown.
+    int serve(std::istream& in, std::ostream& out);
+
+    /// TCP mode: accepts loopback connections on `port` (the protocol is
+    /// an unauthenticated control channel and never faces the network),
+    /// one thread per connection,
+    /// each running the same session loop against the shared runner/cache.
+    /// Blocks until a shutdown request has been answered (remaining
+    /// connections are closed), then returns 0; non-zero on socket setup
+    /// failure. `on_listening` (when given) fires with the bound port once
+    /// listen() succeeds — the only way to learn an ephemeral port 0 pick.
+    int serve_socket(std::uint16_t port,
+                     const std::function<void(std::uint16_t)>& on_listening = {});
+
+private:
+    /// App graphs parsed once per daemon (keyed by the request's target
+    /// string); shared_ptr'd into scenarios like the CLI's portfolio mode.
+    std::shared_ptr<const graph::CoreGraph> graph_for(const std::string& target);
+
+    ServiceOptions options_;
+    portfolio::PortfolioRunner runner_;
+    std::mutex graphs_mutex_;
+    std::map<std::string, std::shared_ptr<const graph::CoreGraph>> graphs_;
+    std::atomic<bool> shutdown_{false};
+};
+
+} // namespace nocmap::service

@@ -1,0 +1,300 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace nocmap::util::json {
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted, Type got) {
+    static const char* const names[] = {"null", "bool", "number", "string", "array", "object"};
+    throw std::invalid_argument(std::string("json: expected ") + wanted + ", got " +
+                                names[static_cast<int>(got)]);
+}
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Value parse_document() {
+        Value v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters after JSON value");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) {
+        throw std::invalid_argument("json: " + what + " at offset " + std::to_string(pos_));
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    bool consume(char c) {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void expect(char c) {
+        if (!consume(c)) fail(std::string("expected '") + c + "'");
+    }
+
+    void expect_word(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) fail("invalid literal");
+        pos_ += word.size();
+    }
+
+    Value parse_value() {
+        skip_ws();
+        // Containers recurse; bound the depth so a hostile line of
+        // repeated '[' cannot overflow the stack (kMaxDepth is far beyond
+        // any legitimate protocol document).
+        struct DepthGuard {
+            Parser& p;
+            explicit DepthGuard(Parser& parser) : p(parser) {
+                if (++p.depth_ > kMaxDepth) p.fail("nesting too deep");
+            }
+            ~DepthGuard() { --p.depth_; }
+        };
+        switch (peek()) {
+        case '{': {
+            DepthGuard guard(*this);
+            return parse_object();
+        }
+        case '[': {
+            DepthGuard guard(*this);
+            return parse_array();
+        }
+        case '"': return Value(parse_string());
+        case 't': expect_word("true"); return Value(true);
+        case 'f': expect_word("false"); return Value(false);
+        case 'n': expect_word("null"); return Value(nullptr);
+        default: return parse_number();
+        }
+    }
+
+    Value parse_object() {
+        expect('{');
+        Object members;
+        skip_ws();
+        if (consume('}')) return Value(std::move(members));
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            members.insert_or_assign(std::move(key), parse_value());
+            skip_ws();
+            if (consume(',')) continue;
+            expect('}');
+            return Value(std::move(members));
+        }
+    }
+
+    Value parse_array() {
+        expect('[');
+        Array elements;
+        skip_ws();
+        if (consume(']')) return Value(std::move(elements));
+        while (true) {
+            elements.push_back(parse_value());
+            skip_ws();
+            if (consume(',')) continue;
+            expect(']');
+            return Value(std::move(elements));
+        }
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': out += parse_unicode_escape(); break;
+            default: fail("unknown escape");
+            }
+        }
+    }
+
+    /// \uXXXX escapes, UTF-8 encoded; surrogate pairs are combined.
+    std::string parse_unicode_escape() {
+        unsigned code = parse_hex4();
+        if (code >= 0xD800 && code <= 0xDBFF) { // high surrogate
+            if (!(consume('\\') && consume('u'))) fail("unpaired surrogate");
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired surrogate");
+        }
+        std::string out;
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        return out;
+    }
+
+    unsigned parse_hex4() {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = pos_ < text_.size() ? text_[pos_++] : '\0';
+            code <<= 4;
+            if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+            else fail("invalid \\u escape");
+        }
+        return code;
+    }
+
+    Value parse_number() {
+        const std::size_t start = pos_;
+        consume('-');
+        if (!consume('0')) {
+            if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                fail("invalid number");
+            while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (consume('.')) {
+            if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                fail("digits required after decimal point");
+            while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (consume('e') || consume('E')) {
+            if (!consume('+')) consume('-');
+            if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                fail("digits required in exponent");
+            while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        // The grammar above admits exactly what strtod parses, so strtod
+        // cannot stop short of pos_ here.
+        const std::string token(text_.substr(start, pos_ - start));
+        return Value(std::strtod(token.c_str(), nullptr));
+    }
+
+    static constexpr std::size_t kMaxDepth = 256;
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
+};
+
+} // namespace
+
+bool Value::as_bool() const {
+    if (type_ != Type::Bool) type_error("bool", type_);
+    return bool_;
+}
+
+double Value::as_number() const {
+    if (type_ != Type::Number) type_error("number", type_);
+    return number_;
+}
+
+const std::string& Value::as_string() const {
+    if (type_ != Type::String) type_error("string", type_);
+    return string_;
+}
+
+const Array& Value::as_array() const {
+    if (type_ != Type::Array) type_error("array", type_);
+    return *array_;
+}
+
+const Object& Value::as_object() const {
+    if (type_ != Type::Object) type_error("object", type_);
+    return *object_;
+}
+
+const Value* Value::find(std::string_view key) const noexcept {
+    if (type_ != Type::Object) return nullptr;
+    const auto it = object_->find(std::string(key));
+    return it == object_->end() ? nullptr : &it->second;
+}
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+std::string escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string quoted(const std::string& text) { return "\"" + escape(text) + "\""; }
+
+std::string number(double value) {
+    if (!std::isfinite(value)) return "null";
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.6g", value);
+    return buffer;
+}
+
+} // namespace nocmap::util::json

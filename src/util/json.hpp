@@ -1,0 +1,78 @@
+#pragma once
+// util::json — a minimal JSON value, recursive-descent parser, and the
+// formatting helpers the portfolio report and service protocol share.
+//
+// The parser accepts exactly RFC 8259 documents (objects, arrays, strings
+// with the common escapes, numbers, true/false/null) and throws
+// std::invalid_argument with a byte offset on malformed input. It exists
+// for the service protocol's line-delimited requests — small documents on
+// a trusted control channel — so it favors clarity over throughput:
+// values are owned (std::map / std::vector / std::string), no streaming.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nocmap::util::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// std::map keeps member iteration deterministic (sorted by key).
+using Object = std::map<std::string, Value>;
+
+enum class Type { Null, Bool, Number, String, Array, Object };
+
+class Value {
+public:
+    Value() = default;
+    Value(std::nullptr_t) {}
+    Value(bool b) : type_(Type::Bool), bool_(b) {}
+    Value(double n) : type_(Type::Number), number_(n) {}
+    Value(std::string s) : type_(Type::String), string_(std::move(s)) {}
+    Value(const char* s) : Value(std::string(s)) {}
+    Value(Array a) : type_(Type::Array), array_(std::make_shared<Array>(std::move(a))) {}
+    Value(Object o) : type_(Type::Object), object_(std::make_shared<Object>(std::move(o))) {}
+
+    Type type() const noexcept { return type_; }
+    bool is_null() const noexcept { return type_ == Type::Null; }
+    bool is_bool() const noexcept { return type_ == Type::Bool; }
+    bool is_number() const noexcept { return type_ == Type::Number; }
+    bool is_string() const noexcept { return type_ == Type::String; }
+    bool is_array() const noexcept { return type_ == Type::Array; }
+    bool is_object() const noexcept { return type_ == Type::Object; }
+
+    /// Typed accessors; throw std::invalid_argument on a type mismatch so
+    /// protocol code can surface "field X must be a string" errors cheaply.
+    bool as_bool() const;
+    double as_number() const;
+    const std::string& as_string() const;
+    const Array& as_array() const;
+    const Object& as_object() const;
+
+    /// Object member, or nullptr when absent (or when not an object).
+    const Value* find(std::string_view key) const noexcept;
+
+private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::shared_ptr<Array> array_;   // shared_ptr keeps Value copyable and
+    std::shared_ptr<Object> object_; // cheap; parsed documents are read-only
+};
+
+/// Parses one complete JSON document; throws std::invalid_argument (with
+/// the byte offset of the problem) on malformed input or trailing garbage.
+Value parse(std::string_view text);
+
+/// JSON string escaping of `text` (quotes not included).
+std::string escape(const std::string& text);
+/// `text` as a quoted JSON string literal.
+std::string quoted(const std::string& text);
+/// Shortest %.6g JSON number, or "null" for NaN/infinity.
+std::string number(double value);
+
+} // namespace nocmap::util::json

@@ -1,0 +1,139 @@
+// TopologyCache LRU eviction: capacity respected, hottest entries survive,
+// counters correct, and eviction never invalidates handed-out contexts —
+// plus PortfolioRunner::run_batch determinism across thread counts.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/registry.hpp"
+#include "portfolio/runner.hpp"
+#include "portfolio/scenario.hpp"
+#include "portfolio/topology_cache.hpp"
+
+namespace nocmap::portfolio {
+namespace {
+
+TopologySpec spec(const char* text) { return TopologySpec::parse(text); }
+
+TEST(TopologyCacheLru, CapacityRespectedAndHottestEntriesSurvive) {
+    TopologyCache cache({}, 2);
+    EXPECT_EQ(cache.capacity(), 2u);
+
+    cache.get(spec("mesh:4x4"), 16);  // miss -> {mesh}
+    cache.get(spec("torus:4x4"), 16); // miss -> {mesh, torus}
+    cache.get(spec("mesh:4x4"), 16);  // hit, mesh now hottest
+    cache.get(spec("ring:16"), 16);   // miss -> evicts torus (LRU)
+
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 3u);
+
+    // The hot entry survived: another mesh get is a hit. The evicted torus
+    // rebuilds as a miss.
+    cache.get(spec("mesh:4x4"), 16);
+    EXPECT_EQ(cache.hits(), 2u);
+    cache.get(spec("torus:4x4"), 16);
+    EXPECT_EQ(cache.misses(), 4u);
+    EXPECT_EQ(cache.evictions(), 2u); // ring was LRU this time
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(TopologyCacheLru, CapacityOneStillServesEveryFabric) {
+    TopologyCache cache({}, 1);
+    const auto a = cache.get(spec("mesh:4x4"), 16);
+    const auto b = cache.get(spec("torus:4x4"), 16);
+    const auto c = cache.get(spec("mesh:4x4"), 16); // rebuilt after eviction
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.misses(), 3u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.evictions(), 2u);
+    // Eviction dropped the cache's reference, not ours: the first context
+    // is alive, usable, and distinct from the rebuilt one.
+    EXPECT_EQ(a->topology().tile_count(), 16u);
+    EXPECT_EQ(b->topology().tile_count(), 16u);
+    EXPECT_NE(a.get(), c.get());
+}
+
+TEST(TopologyCacheLru, ZeroCapacityMeansUnbounded) {
+    TopologyCache cache;
+    for (const char* text : {"mesh:4x4", "torus:4x4", "ring:16", "hypercube:4"})
+        cache.get(spec(text), 16);
+    EXPECT_EQ(cache.size(), 4u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.entries, 4u);
+    EXPECT_EQ(stats.capacity, 0u);
+    EXPECT_EQ(stats.misses, 4u);
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(TopologyCacheLru, FailedBuildIsNotCached) {
+    TopologyCache cache({}, 1);
+    TopologySpec bad = spec("torus:2x2"); // tori need >= 3 tiles per axis
+    EXPECT_THROW(cache.get(bad, 16), std::exception);
+    EXPECT_EQ(cache.size(), 0u);
+    // A later valid request under the same pressure still works.
+    EXPECT_NO_THROW(cache.get(spec("mesh:4x4"), 16));
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+std::vector<std::vector<Scenario>> two_request_grids() {
+    const auto vopd =
+        std::make_shared<const graph::CoreGraph>(apps::make_application("vopd"));
+    const auto mpeg4 =
+        std::make_shared<const graph::CoreGraph>(apps::make_application("mpeg4"));
+    return {make_grid({{"vopd", vopd}, {"mpeg4", mpeg4}},
+                      parse_topology_list("mesh,torus,hypercube"), "nmap"),
+            make_grid({{"vopd", vopd}}, parse_topology_list("mesh,ring"), "nmap")};
+}
+
+void expect_same_results(const std::vector<ScenarioResult>& a,
+                         const std::vector<ScenarioResult>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].result.mapping, b[i].result.mapping) << a[i].name;
+        EXPECT_DOUBLE_EQ(a[i].result.comm_cost, b[i].result.comm_cost);
+        EXPECT_DOUBLE_EQ(a[i].energy_mw, b[i].energy_mw);
+        EXPECT_DOUBLE_EQ(a[i].scalar_score, b[i].scalar_score);
+    }
+}
+
+TEST(RunBatch, MatchesOneShotRunsUnderEvictionAndThreads) {
+    const auto grids = two_request_grids();
+
+    // Reference: each grid run alone on its own fresh runner.
+    std::vector<std::vector<ScenarioResult>> reference;
+    for (const auto& grid : grids) reference.push_back(PortfolioRunner().run(grid));
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        for (const std::size_t capacity : {std::size_t{0}, std::size_t{1}}) {
+            PortfolioOptions options;
+            options.threads = threads;
+            options.cache_topologies = capacity;
+            PortfolioRunner runner(options);
+            const auto batch = runner.run_batch(grids);
+            ASSERT_EQ(batch.size(), reference.size());
+            for (std::size_t g = 0; g < batch.size(); ++g)
+                expect_same_results(batch[g], reference[g]);
+        }
+    }
+}
+
+TEST(RunBatch, FabricGroupingCoalescesSharedFabricsPerBatch) {
+    const auto grids = two_request_grids();
+    // Both requests carry vopd/mesh:4x4 — grouped scheduling must build it
+    // once even at capacity 1 (interleaved order would rebuild it).
+    PortfolioOptions options;
+    options.cache_topologies = 1;
+    PortfolioRunner runner(options);
+    runner.run_batch(grids);
+    // 8 scenarios over 6 distinct fabrics: exactly 6 builds, 2 hits.
+    EXPECT_EQ(runner.cache().misses(), 6u);
+    EXPECT_EQ(runner.cache().hits(), 2u);
+}
+
+} // namespace
+} // namespace nocmap::portfolio

@@ -1,0 +1,189 @@
+// service::Service end-to-end: session loop batching, responses
+// bit-identical to one-shot portfolio runs (under eviction pressure and
+// any thread count), and the TCP socket mode.
+
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "apps/registry.hpp"
+#include "portfolio/report.hpp"
+#include "portfolio/runner.hpp"
+#include "portfolio/scenario.hpp"
+#include "util/json.hpp"
+
+namespace nocmap::service {
+namespace {
+
+std::string report_of(const std::string& response_line) {
+    const auto doc = util::json::parse(response_line);
+    const auto* report = doc.find("report");
+    return report ? report->as_string() : "";
+}
+
+std::string status_of(const std::string& response_line) {
+    return util::json::parse(response_line).find("status")->as_string();
+}
+
+/// The one-shot reference: a fresh runner mapping the same grid, rendered
+/// as the deterministic document (what `portfolio --json --json-stable`
+/// writes).
+std::string one_shot_report(const std::vector<std::string>& apps,
+                            const std::string& topologies, const std::string& mapper) {
+    std::vector<std::pair<std::string, std::shared_ptr<const graph::CoreGraph>>> loaded;
+    for (const std::string& app : apps)
+        loaded.emplace_back(app, std::make_shared<const graph::CoreGraph>(
+                                     apps::load_graph_or_application(app)));
+    portfolio::PortfolioRunner runner;
+    const auto results =
+        runner.run(portfolio::make_grid(loaded, portfolio::parse_topology_list(topologies),
+                                        mapper));
+    portfolio::JsonOptions json;
+    json.timings = false;
+    return portfolio::to_json(results, portfolio::PortfolioRunner::rank_topologies(results),
+                              json);
+}
+
+TEST(Service, AnswersControlAndErrorLines) {
+    Service daemon;
+    EXPECT_EQ(daemon.handle_line("{\"id\": \"p\", \"method\": \"ping\"}"),
+              "{\"id\": \"p\", \"status\": \"ok\", \"pong\": true}");
+    EXPECT_EQ(status_of(daemon.handle_line("{\"id\": \"s\", \"method\": \"stats\"}")), "ok");
+    EXPECT_EQ(status_of(daemon.handle_line("garbage")), "error");
+    EXPECT_EQ(status_of(daemon.handle_line("{\"method\": \"map\", \"apps\": [\"nope\"]}")),
+              "error");
+    // A request that fails validation still gets its id echoed back.
+    const auto bad =
+        daemon.handle_line("{\"id\": \"r7\", \"method\": \"map\", \"apps\": \"vopd\"}");
+    EXPECT_EQ(status_of(bad), "error");
+    EXPECT_EQ(util::json::parse(bad).find("id")->as_string(), "r7");
+    EXPECT_FALSE(daemon.shutdown_requested());
+    EXPECT_EQ(status_of(daemon.handle_line("{\"id\": \"q\", \"method\": \"shutdown\"}")),
+              "ok");
+    EXPECT_TRUE(daemon.shutdown_requested());
+}
+
+TEST(Service, MapReportsAreBitIdenticalToOneShotRuns) {
+    // Eviction pressure + parallel workers: the strictest determinism
+    // setting the acceptance criteria name.
+    ServiceOptions options;
+    options.cache_topologies = 1;
+    options.threads = 4;
+    Service daemon(options);
+
+    const std::vector<std::string> requests = {
+        "{\"id\": \"a\", \"method\": \"map\", \"apps\": [\"vopd\", \"mpeg4\"], "
+        "\"topologies\": \"mesh,torus,hypercube\"}",
+        "{\"id\": \"b\", \"method\": \"map\", \"apps\": [\"vopd\"], "
+        "\"topologies\": \"mesh,ring\"}",
+        "{\"id\": \"c\", \"method\": \"map\", \"apps\": [\"pip\"], "
+        "\"topologies\": \"mesh\", \"mapper\": \"gmap\"}",
+    };
+    const auto batched = daemon.handle_batch(requests);
+    ASSERT_EQ(batched.size(), 3u);
+    EXPECT_EQ(report_of(batched[0]),
+              one_shot_report({"vopd", "mpeg4"}, "mesh,torus,hypercube", "nmap"));
+    EXPECT_EQ(report_of(batched[1]), one_shot_report({"vopd"}, "mesh,ring", "nmap"));
+    EXPECT_EQ(report_of(batched[2]), one_shot_report({"pip"}, "mesh", "gmap"));
+
+    // Replaying the same requests one line at a time (no batching, warm
+    // cache) must produce the same report bytes.
+    Service serial(options);
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        EXPECT_EQ(report_of(serial.handle_line(requests[i])), report_of(batched[i])) << i;
+}
+
+TEST(Service, SessionLoopBatchesBufferedLinesAndStopsOnShutdown) {
+    ServiceOptions options;
+    options.cache_topologies = 1;
+    Service daemon(options);
+    // Both map requests share vopd's mesh fabric; arriving in one buffered
+    // chunk they form one batch, so the fabric-grouped pass builds mesh
+    // once (1 hit) despite capacity 1.
+    std::istringstream in("{\"id\": \"r1\", \"method\": \"map\", \"apps\": [\"vopd\"], "
+                          "\"topologies\": \"mesh,torus\"}\n"
+                          "{\"id\": \"r2\", \"method\": \"map\", \"apps\": [\"vopd\"], "
+                          "\"topologies\": \"mesh\"}\n"
+                          "{\"id\": \"s\", \"method\": \"stats\"}\n"
+                          "{\"id\": \"q\", \"method\": \"shutdown\"}\n"
+                          "{\"id\": \"after\", \"method\": \"ping\"}\n");
+    std::ostringstream out;
+    EXPECT_EQ(daemon.serve(in, out), 0);
+    EXPECT_TRUE(daemon.shutdown_requested());
+
+    std::vector<std::string> lines;
+    std::istringstream reread(out.str());
+    for (std::string line; std::getline(reread, line);) lines.push_back(line);
+    // All five buffered lines formed one batch and were all answered (the
+    // shutdown takes effect at the batch boundary), in request order.
+    ASSERT_EQ(lines.size(), 5u);
+    EXPECT_EQ(util::json::parse(lines[0]).find("id")->as_string(), "r1");
+    EXPECT_EQ(util::json::parse(lines[1]).find("id")->as_string(), "r2");
+    EXPECT_EQ(util::json::parse(lines[4]).find("id")->as_string(), "after");
+
+    const auto stats_doc = util::json::parse(lines[2]);
+    const auto* cache = stats_doc.find("cache");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_DOUBLE_EQ(cache->find("hits")->as_number(), 1.0);
+    EXPECT_DOUBLE_EQ(cache->find("misses")->as_number(), 2.0);
+    EXPECT_DOUBLE_EQ(cache->find("capacity")->as_number(), 1.0);
+}
+
+TEST(Service, ServesTheLineProtocolOverTcp) {
+    ServiceOptions options;
+    Service daemon(options);
+    std::promise<std::uint16_t> bound;
+    std::thread server([&] {
+        daemon.serve_socket(0, [&](std::uint16_t port) { bound.set_value(port); });
+    });
+    const std::uint16_t port = bound.get_future().get();
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+
+    const std::string requests = "{\"id\": \"p\", \"method\": \"ping\"}\n"
+                                 "{\"id\": \"m\", \"method\": \"map\", \"apps\": "
+                                 "[\"pip\"], \"topologies\": \"mesh\"}\n"
+                                 "{\"id\": \"q\", \"method\": \"shutdown\"}\n";
+    ASSERT_EQ(::send(fd, requests.data(), requests.size(), 0),
+              static_cast<ssize_t>(requests.size()));
+
+    std::string received;
+    char buffer[4096];
+    while (true) {
+        const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+        if (n <= 0) break; // daemon closes the connection after shutdown
+        received.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    server.join();
+
+    std::vector<std::string> lines;
+    std::istringstream reread(received);
+    for (std::string line; std::getline(reread, line);) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(util::json::parse(lines[0]).find("id")->as_string(), "p");
+    EXPECT_EQ(report_of(lines[1]), one_shot_report({"pip"}, "mesh", "nmap"));
+    EXPECT_EQ(util::json::parse(lines[2]).find("shutdown")->as_bool(), true);
+    EXPECT_TRUE(daemon.shutdown_requested());
+}
+
+} // namespace
+} // namespace nocmap::service
