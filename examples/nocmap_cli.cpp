@@ -2,22 +2,33 @@
 //
 // Usage:
 //   nocmap_cli map    <app|graph-file> [--mesh WxH] [--bw MBps]
-//                     [--algo <name>]   (see `nocmap_cli algos`)
+//                     [--algo <name>] [--opt key=value]... [--seed N]
+//                     (see `nocmap_cli algos` / `--describe-algo <name>`)
 //   nocmap_cli bw     <app|graph-file> [--mesh WxH]
 //   nocmap_cli netlist <app|graph-file> [--mesh WxH] [--bw MBps]
 //   nocmap_cli dot    <app|graph-file>
 //   nocmap_cli portfolio <app|graph-file>... [--topologies specs]
-//                     [--algo <name>] [--bw MBps] [--threads N] [--json path]
-//                     [--json-stable]
+//                     [--algo <name>] [--opt key=value]... [--seed N]
+//                     [--bw MBps] [--threads N] [--json path] [--json-stable]
 //   nocmap_cli serve  [--socket PORT] [--cache-topologies N] [--threads N]
 //                     [--topologies specs] [--algo <name>] [--bw MBps]
+//                     [--opt key=value]... [--seed N]
 //   nocmap_cli apps
 //   nocmap_cli algos            (also: --list-algos anywhere)
+//   nocmap_cli --describe-algo <name> [--json]
 //
 // <app> is a built-in application name (see `nocmap_cli apps`) or a path to
 // a core-graph text file (graph/node/edge records; see graph/graph_io.hpp).
 // Algorithms are resolved through engine::registry(), so newly registered
 // mappers show up here without CLI changes.
+//
+// Algorithm knobs: every registered mapper publishes a ParamSpec table
+// (`--describe-algo <name>` renders it; with --json, the deterministic
+// document the CI golden fixtures pin). `--opt key=value` (repeatable)
+// passes knobs through engine::MapRequest — unknown keys and out-of-range
+// values are typed errors, never silent defaults — and `--seed N` seeds
+// the RNG-using mappers. Both apply to `map` and to every scenario of a
+// portfolio run.
 //
 // Portfolio mode (`portfolio` command, or `--portfolio` on any command)
 // takes several applications and sweeps each across the `--topologies`
@@ -33,6 +44,7 @@
 // --topologies/--algo/--bw set the per-request defaults. See
 // src/service/protocol.hpp for the request/response schema.
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -70,6 +82,10 @@ struct CliOptions {
     std::string target;
     std::vector<std::string> targets; ///< portfolio mode: all positionals
     std::string algo = "nmap";
+    engine::Params params;       ///< --opt key=value (repeatable)
+    std::uint64_t seed = 0;      ///< --seed (0 = algorithm default)
+    std::string describe_algo;   ///< --describe-algo: render the ParamSpec table
+    bool json_stdout = false;    ///< --json without a path (describe mode)
     std::string fabric = "mesh"; // mesh | torus | ring | hypercube
     std::string topologies = "mesh,torus,ring,hypercube";
     std::string json_path;  ///< portfolio mode: write JSON here
@@ -99,14 +115,62 @@ int usage() {
                  "[--mesh WxH] [--fabric mesh|torus|ring|hypercube] [--bw MBps] "
                  "[--algo "
               << util::join(engine::registry().names(), "|")
-              << "]\n"
+              << "] [--opt key=value]... [--seed N]\n"
                  "       nocmap_cli portfolio <app|graph-file>... "
                  "[--topologies mesh,torus:4x4,ring,hypercube] [--algo name] "
+                 "[--opt key=value]... [--seed N] "
                  "[--bw MBps] [--threads N] [--json path] [--json-stable]\n"
                  "       nocmap_cli serve [--socket PORT] [--cache-topologies N] "
-                 "[--threads N] [--topologies specs] [--algo name] [--bw MBps]\n"
-                 "       nocmap_cli apps | algos\n";
+                 "[--threads N] [--topologies specs] [--algo name] [--bw MBps] "
+                 "[--opt key=value]... [--seed N]\n"
+                 "       nocmap_cli apps | algos\n"
+                 "       nocmap_cli --describe-algo <name> [--json]\n";
     return 2;
+}
+
+/// --describe-algo: the ParamSpec table of one registered mapper, or (with
+/// --json) the deterministic JSON document the golden CI fixtures pin.
+int cmd_describe(const CliOptions& opt) {
+    const auto description = engine::registry().describe(opt.describe_algo);
+    if (opt.json_stdout || !opt.json_path.empty()) {
+        const std::string document = engine::describe_json(description);
+        if (opt.json_path.empty()) {
+            std::cout << document;
+            return 0;
+        }
+        std::ofstream out(opt.json_path);
+        if (!out) {
+            std::cerr << "error: cannot write " << opt.json_path << '\n';
+            return 1;
+        }
+        out << document;
+        return 0;
+    }
+    util::Table table(description.info.name + " — " + description.info.description);
+    table.set_header({"param", "type", "default", "range", "description"});
+    for (const auto& spec : description.params) {
+        std::string range = "-";
+        if (!spec.enum_values.empty())
+            range = util::join(spec.enum_values, "|");
+        else if (spec.type == engine::ParamType::Int ||
+                 spec.type == engine::ParamType::Double) {
+            const bool lo = std::isfinite(spec.min_value);
+            const bool hi = std::isfinite(spec.max_value);
+            if (lo || hi)
+                range =
+                    "[" +
+                    (lo ? engine::print_bound(spec, spec.min_value) : std::string("-inf")) +
+                    ", " +
+                    (hi ? engine::print_bound(spec, spec.max_value) : std::string("inf")) +
+                    "]";
+        }
+        table.add_row({spec.name, std::string(engine::param_type_name(spec.type)),
+                       spec.default_value, range, spec.doc});
+    }
+    if (description.params.empty())
+        table.add_row({"(none)", "", "", "", "this mapper has no parameters"});
+    table.print(std::cout);
+    return 0;
 }
 
 noc::Topology make_topology(const CliOptions& opt, const graph::CoreGraph& g) {
@@ -154,7 +218,22 @@ int cmd_apps() {
 
 int cmd_map(const CliOptions& opt, const graph::CoreGraph& g) {
     const auto topo = make_topology(opt, g);
-    const auto result = engine::map_by_name(opt.algo, g, topo);
+    engine::MapRequest request;
+    request.graph = &g;
+    request.topology = &topo;
+    request.params = opt.params;
+    request.seed = opt.seed;
+    engine::MapOutcome outcome = engine::run_by_name(opt.algo, request);
+    if (!outcome.ok()) {
+        // Structured failure: the stable code in brackets, the offending
+        // parameter when there is one.
+        const engine::MapError& error = outcome.error();
+        std::cerr << "error[" << engine::to_string(error.code) << "]: " << error.message;
+        if (!error.param.empty()) std::cerr << " (param '" << error.param << "')";
+        std::cerr << '\n';
+        return 1;
+    }
+    const auto result = std::move(outcome.result());
     std::cout << "algorithm: " << opt.algo << "\nfabric: " << opt.fabric << " ("
               << topo.tile_count() << " tiles, " << topo.link_count() << " links) @ "
               << (opt.bandwidth > 0 ? std::to_string(opt.bandwidth) + " MB/s"
@@ -192,6 +271,13 @@ int cmd_bw(const CliOptions& opt, const graph::CoreGraph& g) {
 }
 
 int cmd_portfolio(const CliOptions& opt) {
+    if (opt.json_stdout) {
+        // A bare --json is only meaningful in describe mode; here the
+        // table report owns stdout, so silently writing nothing would
+        // look like success.
+        std::cerr << "error: --json needs a path in portfolio mode\n";
+        return 2;
+    }
     const double capacity = opt.bandwidth > 0 ? opt.bandwidth : 1e9;
     const auto specs = portfolio::parse_topology_list(opt.topologies, capacity);
     std::vector<std::pair<std::string, std::shared_ptr<const graph::CoreGraph>>> apps;
@@ -202,7 +288,7 @@ int cmd_portfolio(const CliOptions& opt) {
     portfolio::PortfolioOptions options;
     options.threads = opt.threads;
     portfolio::PortfolioRunner runner(options);
-    const auto grid = portfolio::make_grid(apps, specs, opt.algo);
+    const auto grid = portfolio::make_grid(apps, specs, opt.algo, opt.params, opt.seed);
     const auto results = runner.run(grid);
     const auto fabric_ranking = portfolio::PortfolioRunner::rank_topologies(results);
 
@@ -252,6 +338,8 @@ int cmd_serve(const CliOptions& opt) {
     options.default_topologies = opt.topologies;
     options.default_mapper = opt.algo;
     options.default_bandwidth = opt.bandwidth;
+    options.default_params = opt.params;
+    options.default_seed = opt.seed;
     service::Service daemon(options);
     if (!opt.socket_mode) {
         // Unsynced streams give std::cin a real buffer, so the session
@@ -295,12 +383,19 @@ int main(int argc, char** argv) {
     if (args.empty()) return usage();
 
     CliOptions opt;
+    std::size_t first_flag = 1;
     opt.command = args[0];
+    if (util::starts_with(opt.command, "--")) {
+        // Flag-only invocations (--list-algos, --describe-algo ...) have no
+        // command word; hand everything to the flag loop.
+        opt.command.clear();
+        first_flag = 0;
+    }
     if (opt.command == "apps") return cmd_apps();
-    if (opt.command == "algos" || opt.command == "--list-algos") return cmd_algos();
+    if (opt.command == "algos") return cmd_algos();
 
     std::vector<std::string> positional;
-    for (std::size_t i = 1; i < args.size(); ++i) {
+    for (std::size_t i = first_flag; i < args.size(); ++i) {
         if (args[i] == "--list-algos") return cmd_algos();
         if (args[i] == "--mesh" && i + 1 < args.size()) {
             if (!parse_mesh(args[++i], opt.width, opt.height)) return usage();
@@ -309,12 +404,28 @@ int main(int argc, char** argv) {
                 return usage();
         } else if (args[i] == "--algo" && i + 1 < args.size()) {
             opt.algo = util::to_lower(args[++i]);
+        } else if (args[i] == "--opt" && i + 1 < args.size()) {
+            try {
+                opt.params.set_assignment(args[++i]);
+            } catch (const std::exception& e) {
+                std::cerr << "error: --opt " << e.what() << '\n';
+                return 2;
+            }
+        } else if (args[i] == "--seed" && i + 1 < args.size()) {
+            std::size_t seed = 0;
+            if (!util::parse_size(args[++i], seed)) return usage();
+            opt.seed = seed;
+        } else if (args[i] == "--describe-algo" && i + 1 < args.size()) {
+            opt.describe_algo = util::to_lower(args[++i]);
         } else if (args[i] == "--fabric" && i + 1 < args.size()) {
             opt.fabric = util::to_lower(args[++i]);
         } else if (args[i] == "--topologies" && i + 1 < args.size()) {
             opt.topologies = util::to_lower(args[++i]);
-        } else if (args[i] == "--json" && i + 1 < args.size()) {
-            opt.json_path = args[++i];
+        } else if (args[i] == "--json") {
+            // The path is optional: describe mode writes to stdout.
+            if (i + 1 < args.size() && !util::starts_with(args[i + 1], "--"))
+                opt.json_path = args[++i];
+            opt.json_stdout = opt.json_path.empty();
         } else if (args[i] == "--threads" && i + 1 < args.size()) {
             if (!util::parse_size(args[++i], opt.threads)) return usage();
         } else if (args[i] == "--cache-topologies" && i + 1 < args.size()) {
@@ -333,6 +444,7 @@ int main(int argc, char** argv) {
     if (opt.command == "portfolio") opt.portfolio = true;
 
     try {
+        if (!opt.describe_algo.empty()) return cmd_describe(opt);
         if (opt.command == "serve") {
             if (!positional.empty()) return usage();
             return cmd_serve(opt);

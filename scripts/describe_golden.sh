@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Param-spec golden smoke: diff `nocmap_cli --describe-algo <name> --json`
+# for every registered mapper against the checked-in fixtures under
+# tests/golden/describe/, so a ParamSpec (name, type, default, range, doc)
+# cannot drift without the diff showing up in review.
+#
+# The registry's name list comes from the serve daemon's `describe` verb —
+# machine-readable, and it keeps the script honest about coverage: a newly
+# registered mapper without a fixture fails, as does a stale fixture for a
+# mapper that no longer exists. Regenerate a fixture intentionally with:
+#     ./build/nocmap_cli --describe-algo <name> --json > tests/golden/describe/<name>.json
+#
+# Usage: scripts/describe_golden.sh [path/to/nocmap_cli] [fixture-dir]
+set -euo pipefail
+
+CLI=${1:-./build/nocmap_cli}
+FIXTURES=${2:-tests/golden/describe}
+
+names=$(printf '%s\n' '{"id":"d","method":"describe"}' '{"id":"q","method":"shutdown"}' \
+    | "$CLI" serve \
+    | python3 -c 'import json, sys
+print("\n".join(a["name"] for a in json.loads(sys.stdin.readline())["algos"]))')
+
+fail=0
+for name in $names; do
+    fixture="$FIXTURES/$name.json"
+    if [[ ! -f "$fixture" ]]; then
+        echo "MISSING: no fixture for registered mapper '$name' (expected $fixture)"
+        fail=1
+        continue
+    fi
+    if "$CLI" --describe-algo "$name" --json | diff -u "$fixture" - >/dev/null; then
+        echo "$name: param spec matches fixture"
+    else
+        echo "DRIFT: --describe-algo $name --json differs from $fixture:"
+        "$CLI" --describe-algo "$name" --json | diff -u "$fixture" - || true
+        fail=1
+    fi
+done
+
+for fixture in "$FIXTURES"/*.json; do
+    name=$(basename "${fixture%.json}")
+    if ! grep -qx "$name" <<<"$names"; then
+        echo "STALE: fixture $fixture names an unregistered mapper"
+        fail=1
+    fi
+done
+
+exit $fail

@@ -16,6 +16,7 @@ engine::AnnealOptions engine_options(const AnnealingOptions& options) {
     anneal.initial_acceptance = options.initial_acceptance;
     anneal.stop_fraction = options.stop_fraction;
     anneal.bandwidth_aware = options.bandwidth_aware;
+    anneal.cancel = options.cancel;
     return anneal;
 }
 

@@ -8,6 +8,7 @@
 // cost.
 
 #include <cstdint>
+#include <functional>
 
 #include "graph/core_graph.hpp"
 #include "nmap/result.hpp"
@@ -31,6 +32,9 @@ struct AnnealingOptions {
     /// the best *feasible* mapping. Default off: the classic walk ignores
     /// capacities until the final scoring.
     bool bandwidth_aware = false;
+    /// Cooperative cancellation, polled per temperature step; the walk
+    /// stops early and the best mapping so far is scored and returned.
+    std::function<bool()> cancel;
 };
 
 /// Minimizes the Equation-7 cost by annealed tile swaps starting from

@@ -1,11 +1,32 @@
 #include "engine/mapper.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "util/json.hpp"
 #include "util/string_util.hpp"
 
 namespace nocmap::engine {
+
+const std::vector<ParamSpec>& Mapper::param_specs() const {
+    static const std::vector<ParamSpec> kNone;
+    return kNone;
+}
+
+MappingResult Mapper::map(const graph::CoreGraph& graph, const noc::Topology& topo) const {
+    MapRequest request;
+    request.graph = &graph;
+    request.topology = &topo;
+    return run(request).take_or_throw();
+}
+
+MappingResult Mapper::map(const graph::CoreGraph& graph, const noc::EvalContext& ctx) const {
+    MapRequest request;
+    request.graph = &graph;
+    request.context = &ctx;
+    return run(request).take_or_throw();
+}
 
 void Registry::add(MapperInfo info, Factory factory) {
     if (info.name.empty())
@@ -29,6 +50,27 @@ std::unique_ptr<Mapper> Registry::create(std::string_view name) const {
     std::string message = "unknown mapper '" + std::string(name) + "'; valid names: ";
     message += util::join(names(), ", ");
     throw std::invalid_argument(message);
+}
+
+MapOutcome Registry::run(std::string_view name, const MapRequest& request) const {
+    const Entry* entry = find(name);
+    if (!entry)
+        return MapOutcome::failure(MapErrorCode::UnknownMapper,
+                                   "unknown mapper '" + std::string(name) +
+                                       "'; valid names: " + util::join(names(), ", "));
+    return entry->factory()->run(request);
+}
+
+MapperDescription Registry::describe(std::string_view name) const {
+    const std::unique_ptr<Mapper> mapper = create(name);
+    return MapperDescription{mapper->info(), mapper->param_specs()};
+}
+
+std::vector<MapperDescription> Registry::describe_all() const {
+    std::vector<MapperDescription> result;
+    result.reserve(entries_.size());
+    for (const std::string& name : names()) result.push_back(describe(name));
+    return result;
 }
 
 std::vector<std::string> Registry::names() const {
@@ -65,6 +107,39 @@ MappingResult map_by_name(std::string_view name, const graph::CoreGraph& graph,
 MappingResult map_by_name(std::string_view name, const graph::CoreGraph& graph,
                           const noc::EvalContext& ctx) {
     return registry().create(name)->map(graph, ctx);
+}
+
+MapOutcome run_by_name(std::string_view name, const MapRequest& request) {
+    return registry().run(name, request);
+}
+
+std::string describe_json(const MapperDescription& description) {
+    using util::json::quoted;
+    std::string out = "{\n  \"name\": " + quoted(description.info.name) +
+                      ",\n  \"description\": " + quoted(description.info.description) +
+                      ",\n  \"params\": [";
+    for (std::size_t i = 0; i < description.params.size(); ++i) {
+        const ParamSpec& spec = description.params[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"name\": " + quoted(spec.name) + ", \"type\": " +
+               quoted(std::string(param_type_name(spec.type))) + ", \"default\": " +
+               quoted(spec.default_value);
+        if (std::isfinite(spec.min_value))
+            out += ", \"min\": " + print_bound(spec, spec.min_value);
+        if (std::isfinite(spec.max_value))
+            out += ", \"max\": " + print_bound(spec, spec.max_value);
+        if (!spec.enum_values.empty()) {
+            out += ", \"values\": [";
+            for (std::size_t v = 0; v < spec.enum_values.size(); ++v) {
+                if (v > 0) out += ", ";
+                out += quoted(spec.enum_values[v]);
+            }
+            out += "]";
+        }
+        out += ", \"doc\": " + quoted(spec.doc) + "}";
+    }
+    out += description.params.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
 }
 
 } // namespace nocmap::engine

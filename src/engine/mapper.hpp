@@ -6,6 +6,13 @@
 // factory table. The eight built-in algorithms (nmap, nmap-split, nmap-tm,
 // pmap, gmap, pbb, sa, exhaustive) are pre-registered; new mappers register
 // through Registry::add() — see docs/ARCHITECTURE.md for a worked example.
+//
+// A mapper's primary entry point is run(MapRequest): it validates the
+// request's Params against the ParamSpec list the mapper publishes (unknown
+// key / out-of-range -> typed MapError, never a silent default) and returns
+// a MapOutcome. The map() overloads of the pre-redesign API are thin
+// non-virtual shims over run() — default parameters in, throw on error —
+// kept so every existing call site still compiles and behaves identically.
 
 #include <functional>
 #include <memory>
@@ -13,7 +20,9 @@
 #include <string_view>
 #include <vector>
 
+#include "engine/map_api.hpp"
 #include "engine/mapping_result.hpp"
+#include "engine/params.hpp"
 #include "graph/core_graph.hpp"
 #include "noc/eval_context.hpp"
 #include "noc/topology.hpp"
@@ -25,24 +34,34 @@ struct MapperInfo {
     std::string description; ///< one-line summary for --list-algos etc.
 };
 
+/// Introspection record of one registered algorithm: its info plus the
+/// parameter schema it publishes (what --describe-algo and the service's
+/// `describe` verb render).
+struct MapperDescription {
+    MapperInfo info;
+    std::vector<ParamSpec> params;
+};
+
 class Mapper {
 public:
     virtual ~Mapper() = default;
     virtual const MapperInfo& info() const = 0;
-    /// Maps `graph` onto `topo`. Implementations may throw
-    /// std::invalid_argument for instances they cannot handle (e.g. the
-    /// exhaustive mapper's search-space guard).
-    virtual MappingResult map(const graph::CoreGraph& graph,
-                              const noc::Topology& topo) const = 0;
 
-    /// Context-threaded run over a shared evaluation context (the portfolio
-    /// layer's entry point). Context-aware mappers override this to read
-    /// the precomputed tables; the default forwards to the plain overload —
-    /// a shim that keeps every registered mapper usable in portfolio runs.
-    virtual MappingResult map(const graph::CoreGraph& graph,
-                              const noc::EvalContext& ctx) const {
-        return map(graph, ctx.topology());
-    }
+    /// The parameter schema this mapper accepts; empty = no knobs. run()
+    /// validates every request against it.
+    virtual const std::vector<ParamSpec>& param_specs() const;
+
+    /// Primary entry point. Implementations must validate request.params
+    /// against param_specs() (validate_params does the work) and report
+    /// instance-shaped failures (search-space guards, |V| > |U|) as
+    /// MapError outcomes rather than throwing.
+    virtual MapOutcome run(const MapRequest& request) const = 0;
+
+    /// Compat shims: default parameters, throw std::invalid_argument with
+    /// the error's to_string() on a failed outcome (what the pre-redesign
+    /// virtuals threw).
+    MappingResult map(const graph::CoreGraph& graph, const noc::Topology& topo) const;
+    MappingResult map(const graph::CoreGraph& graph, const noc::EvalContext& ctx) const;
 };
 
 class Registry {
@@ -58,6 +77,16 @@ public:
     /// Constructs the mapper registered under `name`; throws
     /// std::invalid_argument listing all valid names when unknown.
     std::unique_ptr<Mapper> create(std::string_view name) const;
+
+    /// Validates and runs `request` on the mapper registered under `name`.
+    /// An unknown name yields an UnknownMapper outcome (listing the valid
+    /// names), never a throw — the front ends' entry point.
+    MapOutcome run(std::string_view name, const MapRequest& request) const;
+
+    /// Introspection: info + ParamSpec list of one mapper (throws like
+    /// create() on unknown names) or of every mapper, sorted by name.
+    MapperDescription describe(std::string_view name) const;
+    std::vector<MapperDescription> describe_all() const;
 
     /// Registered names, sorted.
     std::vector<std::string> names() const;
@@ -84,6 +113,14 @@ MappingResult map_by_name(std::string_view name, const graph::CoreGraph& graph,
                           const noc::Topology& topo);
 MappingResult map_by_name(std::string_view name, const graph::CoreGraph& graph,
                           const noc::EvalContext& ctx);
+/// The typed-outcome variant: registry().run() on the process registry.
+MapOutcome run_by_name(std::string_view name, const MapRequest& request);
+
+/// Serializes one description as the deterministic JSON document the CLI's
+/// `--describe-algo <name> --json` writes and the service's `describe` verb
+/// embeds (object with "name", "description" and a "params" array; numeric
+/// range bounds only when finite).
+std::string describe_json(const MapperDescription& description);
 
 namespace detail {
 /// Defined in builtin_mappers.cpp — the one translation unit that wires the

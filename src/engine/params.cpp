@@ -1,0 +1,224 @@
+#include "engine/params.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace nocmap::engine {
+
+namespace {
+
+[[noreturn]] void bad_read(const ParamValue& value, ParamType wanted) {
+    throw std::invalid_argument("ParamValue: '" + value.print() + "' is not " +
+                                std::string(param_type_name(wanted)));
+}
+
+bool parse_int(std::string_view text, std::int64_t& out) {
+    if (text.empty()) return false;
+    const char* first = text.data();
+    const char* last = text.data() + text.size();
+    if (*first == '+') ++first; // from_chars rejects an explicit plus
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    return ec == std::errc{} && ptr == last && first != last;
+}
+
+bool parse_number(std::string_view text, double& out) {
+    if (text.empty()) return false;
+    // std::from_chars<double> is still patchy on some libstdc++ versions;
+    // strtod on a bounded copy is portable and just as strict.
+    const std::string copy(text);
+    char* end = nullptr;
+    const double value = std::strtod(copy.c_str(), &end);
+    if (end != copy.c_str() + copy.size()) return false;
+    out = value;
+    return std::isfinite(value);
+}
+
+std::string print_double(double value) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    // The shortest representation that round-trips: try increasing
+    // precision until strtod reads the same double back.
+    for (int precision = 6; precision < 17; ++precision) {
+        char shorter[48];
+        std::snprintf(shorter, sizeof shorter, "%.*g", precision, value);
+        if (std::strtod(shorter, nullptr) == value) return shorter;
+    }
+    return buffer;
+}
+
+} // namespace
+
+std::string_view param_type_name(ParamType type) noexcept {
+    switch (type) {
+    case ParamType::Int: return "int";
+    case ParamType::Double: return "double";
+    case ParamType::Bool: return "bool";
+    case ParamType::String: return "string";
+    case ParamType::Enum: return "enum";
+    }
+    return "unknown";
+}
+
+ParamValue ParamValue::of_int(std::int64_t value) {
+    ParamValue v;
+    v.type_ = ParamType::Int;
+    v.int_ = value;
+    return v;
+}
+
+ParamValue ParamValue::of_double(double value) {
+    ParamValue v;
+    v.type_ = ParamType::Double;
+    v.double_ = value;
+    return v;
+}
+
+ParamValue ParamValue::of_bool(bool value) {
+    ParamValue v;
+    v.type_ = ParamType::Bool;
+    v.bool_ = value;
+    return v;
+}
+
+ParamValue ParamValue::of_string(std::string value) {
+    ParamValue v;
+    v.type_ = ParamType::String;
+    v.string_ = std::move(value);
+    return v;
+}
+
+ParamValue ParamValue::from_text(std::string_view text) {
+    if (text == "true") return of_bool(true);
+    if (text == "false") return of_bool(false);
+    std::int64_t i = 0;
+    if (parse_int(text, i)) return of_int(i);
+    double d = 0.0;
+    if (parse_number(text, d)) return of_double(d);
+    return of_string(std::string(text));
+}
+
+std::int64_t ParamValue::as_int() const {
+    if (type_ == ParamType::Int) return int_;
+    // A JSON 3.0 means 3; a JSON 3.5 (or a double too large to hold an
+    // exact integer — the magnitude guard keeps the cast defined) does not.
+    if (type_ == ParamType::Double && std::fabs(double_) <= 9007199254740992.0) {
+        const auto truncated = static_cast<std::int64_t>(double_);
+        if (static_cast<double>(truncated) == double_) return truncated;
+    }
+    bad_read(*this, ParamType::Int);
+}
+
+double ParamValue::as_double() const {
+    if (type_ == ParamType::Double) return double_;
+    if (type_ == ParamType::Int) return static_cast<double>(int_);
+    bad_read(*this, ParamType::Double);
+}
+
+bool ParamValue::as_bool() const {
+    if (type_ == ParamType::Bool) return bool_;
+    bad_read(*this, ParamType::Bool);
+}
+
+std::string ParamValue::as_string() const { return print(); }
+
+std::string ParamValue::print() const {
+    switch (type_) {
+    case ParamType::Int: return std::to_string(int_);
+    case ParamType::Double: return print_double(double_);
+    case ParamType::Bool: return bool_ ? "true" : "false";
+    case ParamType::String:
+    case ParamType::Enum: return string_;
+    }
+    return string_;
+}
+
+bool ParamValue::operator==(const ParamValue& other) const {
+    if (type_ != other.type_) return false;
+    switch (type_) {
+    case ParamType::Int: return int_ == other.int_;
+    case ParamType::Double: return double_ == other.double_;
+    case ParamType::Bool: return bool_ == other.bool_;
+    case ParamType::String:
+    case ParamType::Enum: return string_ == other.string_;
+    }
+    return false;
+}
+
+bool Params::contains(std::string_view key) const { return find(key) != nullptr; }
+
+const ParamValue* Params::find(std::string_view key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? nullptr : &it->second;
+}
+
+void Params::set(std::string key, ParamValue value) {
+    if (key.empty()) throw std::invalid_argument("Params::set: empty key");
+    values_[std::move(key)] = std::move(value);
+}
+
+void Params::set_assignment(std::string_view assignment) {
+    const auto eq = assignment.find('=');
+    if (eq == std::string_view::npos)
+        throw std::invalid_argument("expected key=value, got '" + std::string(assignment) +
+                                    "'");
+    const std::string_view key = assignment.substr(0, eq);
+    if (key.empty())
+        throw std::invalid_argument("expected key=value, got '" + std::string(assignment) +
+                                    "'");
+    set(std::string(key), ParamValue::from_text(assignment.substr(eq + 1)));
+}
+
+std::int64_t Params::int_or(std::string_view key, std::int64_t fallback) const {
+    const ParamValue* v = find(key);
+    return v ? v->as_int() : fallback;
+}
+
+double Params::double_or(std::string_view key, double fallback) const {
+    const ParamValue* v = find(key);
+    return v ? v->as_double() : fallback;
+}
+
+bool Params::bool_or(std::string_view key, bool fallback) const {
+    const ParamValue* v = find(key);
+    return v ? v->as_bool() : fallback;
+}
+
+std::string Params::string_or(std::string_view key, std::string_view fallback) const {
+    const ParamValue* v = find(key);
+    return v ? v->as_string() : std::string(fallback);
+}
+
+std::string Params::print() const {
+    std::string out;
+    for (const auto& [key, value] : values_) {
+        if (!out.empty()) out += ',';
+        out += key;
+        out += '=';
+        out += value.print();
+    }
+    return out;
+}
+
+std::string print_bound(const ParamSpec& spec, double value) {
+    if (spec.type == ParamType::Int)
+        return ParamValue::of_int(static_cast<std::int64_t>(value)).print();
+    return ParamValue::of_double(value).print();
+}
+
+Params Params::parse(std::string_view text) {
+    Params params;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find(',', start);
+        if (end == std::string_view::npos) end = text.size();
+        const std::string_view token = text.substr(start, end - start);
+        if (!token.empty()) params.set_assignment(token);
+        start = end + 1;
+    }
+    return params;
+}
+
+} // namespace nocmap::engine

@@ -1,0 +1,139 @@
+#pragma once
+// engine::Params — the typed, string-keyed parameter set every registered
+// mapper accepts, and engine::ParamSpec — the schema one algorithm publishes
+// for it (name, type, default, range, doc line).
+//
+// Params exist so the registry's front ends (CLI --opt, portfolio
+// Scenario::params, the serve protocol's "params" object) can reach the
+// per-algorithm Options structs without compile-time knowledge of them.
+// Values round-trip through text: ParamValue::from_text infers a type from
+// CLI syntax ("true" -> bool, "3" -> int, "0.5" -> double, anything else ->
+// string) and print() emits the canonical form from_text() re-reads;
+// validation against a ParamSpec coerces between compatible carriers (an
+// Int where a Double is expected, any scalar's printed form where a String
+// or Enum is expected), so the same request means the same thing whether it
+// arrived as JSON typed values or as CLI text.
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nocmap::engine {
+
+enum class ParamType { Int, Double, Bool, String, Enum };
+
+/// Lower-case name used in --describe-algo output and error messages.
+std::string_view param_type_name(ParamType type) noexcept;
+
+/// One typed parameter value. The carrier type records how the value was
+/// written (3 is Int, 3.5 is Double); spec validation decides what it may
+/// be read as.
+class ParamValue {
+public:
+    ParamValue() = default;
+
+    static ParamValue of_int(std::int64_t value);
+    static ParamValue of_double(double value);
+    static ParamValue of_bool(bool value);
+    static ParamValue of_string(std::string value);
+
+    /// Text inference (the CLI's `--opt key=value` path): "true"/"false"
+    /// parse as Bool, integer literals as Int, other numbers as Double,
+    /// everything else as String. from_text(print()) round-trips.
+    static ParamValue from_text(std::string_view text);
+
+    ParamType type() const noexcept { return type_; }
+
+    /// Readers with coercion: as_int accepts Int and integral Double,
+    /// as_double accepts Int and Double, as_string accepts every carrier
+    /// (returning the printed form). Throw std::invalid_argument otherwise.
+    std::int64_t as_int() const;
+    double as_double() const;
+    bool as_bool() const;
+    std::string as_string() const;
+
+    /// Canonical text (shortest round-trip form; what --describe-algo and
+    /// Params::print emit).
+    std::string print() const;
+
+    bool operator==(const ParamValue& other) const;
+    bool operator!=(const ParamValue& other) const { return !(*this == other); }
+
+private:
+    ParamType type_ = ParamType::String;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    bool bool_ = false;
+    std::string string_;
+};
+
+/// String-keyed parameter set. Keys iterate sorted (std::map), so print()
+/// is deterministic and two equal sets print equal bytes.
+class Params {
+public:
+    bool empty() const noexcept { return values_.empty(); }
+    std::size_t size() const noexcept { return values_.size(); }
+    bool contains(std::string_view key) const;
+    /// The value under `key`, or nullptr.
+    const ParamValue* find(std::string_view key) const;
+
+    void set(std::string key, ParamValue value);
+    /// Parses one "key=value" assignment (the CLI's --opt argument) with
+    /// from_text inference; throws std::invalid_argument on a missing '='
+    /// or empty key.
+    void set_assignment(std::string_view assignment);
+
+    /// Typed reads with a fallback for absent keys; the same coercion as
+    /// ParamValue (call after validation, so a type mismatch cannot occur).
+    std::int64_t int_or(std::string_view key, std::int64_t fallback) const;
+    double double_or(std::string_view key, double fallback) const;
+    bool bool_or(std::string_view key, bool fallback) const;
+    std::string string_or(std::string_view key, std::string_view fallback) const;
+
+    /// Canonical "k1=v1,k2=v2" (keys sorted); equal sets produce equal
+    /// bytes, and parse(print()) round-trips whenever no string value
+    /// contains a ',' (a comma-bearing value prints fine but cannot be
+    /// re-split — parse() then throws rather than mis-merge keys; the
+    /// per-assignment set_assignment path is always lossless). Empty set
+    /// prints "".
+    std::string print() const;
+    /// Parses a comma-separated assignment list as written by print().
+    static Params parse(std::string_view text);
+
+    auto begin() const { return values_.begin(); }
+    auto end() const { return values_.end(); }
+
+    bool operator==(const Params& other) const { return values_ == other.values_; }
+    bool operator!=(const Params& other) const { return !(*this == other); }
+
+private:
+    std::map<std::string, ParamValue, std::less<>> values_;
+};
+
+/// Schema of one parameter a mapper accepts — what --describe-algo prints
+/// and what request validation checks against.
+struct ParamSpec {
+    std::string name;
+    ParamType type = ParamType::String;
+    /// Printed form of the default (what the algorithm uses when the key is
+    /// absent) — informational; absent keys are never materialized.
+    std::string default_value;
+    /// Inclusive numeric range for Int/Double (ignored otherwise).
+    double min_value = -std::numeric_limits<double>::infinity();
+    double max_value = std::numeric_limits<double>::infinity();
+    /// Admissible values for Enum (ignored otherwise).
+    std::vector<std::string> enum_values;
+    /// One-line description.
+    std::string doc;
+};
+
+/// Canonical text of one numeric range bound of `spec`: Int specs print
+/// integral text ("8192"), Double specs the shortest round-trip form.
+/// Shared by describe_json and the CLI's --describe-algo table so the two
+/// renderings cannot drift.
+std::string print_bound(const ParamSpec& spec, double value);
+
+} // namespace nocmap::engine

@@ -109,10 +109,18 @@ SweepOutcome SwapSweepDriver::sweep(const noc::Mapping& initial, SweepPolicy& po
         pool.clear();
     };
 
+    bool cancelled = false;
     try {
     for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
         bool improved = false;
         for (noc::TileId i = 0; i < tiles; ++i) {
+            // Cooperative cancellation between rows: the best mapping so
+            // far is always a complete, scored state, so stopping here
+            // returns a valid (unconverged) outcome.
+            if (options_.cancel && options_.cancel()) {
+                cancelled = true;
+                break;
+            }
             if (workers > 1) {
                 // Greedy only (first-improvement forces workers == 1), so
                 // `placed` — and with it tile occupancy — is fixed for the
@@ -163,6 +171,7 @@ SweepOutcome SwapSweepDriver::sweep(const noc::Mapping& initial, SweepPolicy& po
                 policy.on_rebase(placed, placed_score);
             }
         }
+        if (cancelled) break; // partial sweeps don't count
         ++outcome.sweeps;
         if (!improved) break;
     }
@@ -228,6 +237,7 @@ AnnealOutcome anneal_impl(const graph::CoreGraph& graph, const noc::Topology& to
     const double floor_temperature = temperature * options.stop_fraction;
 
     while (temperature > floor_temperature) {
+        if (options.cancel && options.cancel()) break;
         for (std::size_t move = 0; move < moves; ++move) {
             const auto a = static_cast<noc::TileId>(rng.next_below(tiles));
             const auto b = static_cast<noc::TileId>(rng.next_below(tiles));

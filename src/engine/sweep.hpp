@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 
 #include "engine/incremental_router.hpp"
@@ -121,6 +122,10 @@ struct SweepOptions {
     /// serial sweep.
     std::size_t threads = 1;
     Acceptance acceptance = Acceptance::Greedy;
+    /// Cooperative cancellation, polled at each outer-row boundary: when it
+    /// reads true the sweep stops and returns the best mapping so far (a
+    /// valid, just possibly unconverged, result). Empty = never cancelled.
+    std::function<bool()> cancel;
 };
 
 struct SweepOutcome {
@@ -155,6 +160,9 @@ struct AnnealOptions {
     /// what the router exists to avoid. Verdicts are therefore the
     /// router's own (possibly conservative at the boundary).
     RerouteOptions reroute{RerouteMode::Fast};
+    /// Cooperative cancellation, polled once per temperature step: the walk
+    /// stops early and returns the best mapping tracked so far.
+    std::function<bool()> cancel;
 };
 
 struct AnnealOutcome {

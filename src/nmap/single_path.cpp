@@ -172,6 +172,7 @@ MappingResult run_single_path(const graph::CoreGraph& graph, const noc::Topology
     engine::SweepOptions sweep;
     sweep.max_sweeps = options.max_sweeps;
     sweep.threads = options.threads;
+    sweep.cancel = options.cancel;
     engine::SwapSweepDriver driver(sweep);
 
     const engine::SweepOutcome outcome = driver.sweep(initial_mapping(graph, topo), policy);

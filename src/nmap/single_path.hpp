@@ -4,6 +4,8 @@
 // iterative improvement by pairwise swapping of mesh positions — the swap
 // loop runs on engine::SwapSweepDriver.
 
+#include <functional>
+
 #include "engine/incremental_router.hpp"
 #include "graph/core_graph.hpp"
 #include "nmap/result.hpp"
@@ -46,6 +48,9 @@ struct SinglePathOptions {
     std::size_t threads = 1;
     /// Resync cadence / audit flag of the ledger modes (ignored otherwise).
     engine::RerouteOptions reroute{};
+    /// Cooperative cancellation, polled at sweep-row boundaries (see
+    /// engine::SweepOptions::cancel); the best mapping so far is returned.
+    std::function<bool()> cancel;
 };
 
 /// Runs NMAP with single minimum-path routing. The returned mapping is the

@@ -156,6 +156,7 @@ private:
 engine::SwapSweepDriver make_driver(const SplitOptions& options) {
     engine::SweepOptions sweep;
     sweep.max_sweeps = options.max_sweeps;
+    sweep.cancel = options.cancel;
     return engine::SwapSweepDriver(sweep);
 }
 

@@ -9,6 +9,8 @@
 // (Eq. 10) — traffic split across minimum paths only, equal hop delay, low
 // jitter (the paper's NMAPTM series). SplitMode::AllPaths is NMAPTA.
 
+#include <functional>
+
 #include "graph/core_graph.hpp"
 #include "lp/mcf.hpp"
 #include "nmap/result.hpp"
@@ -51,6 +53,10 @@ struct SplitOptions {
     /// that the router certifies, so the sweep's phase-1 decisions — and
     /// with them the final mapping — can legitimately differ.
     bool routing_prefilter = false;
+    /// Cooperative cancellation, polled at sweep-row boundaries (see
+    /// engine::SweepOptions::cancel); the best mapping so far still gets
+    /// its final exact scoring.
+    std::function<bool()> cancel;
 };
 
 /// Runs NMAP with split-traffic routing. `comm_cost` is the MCF2 objective

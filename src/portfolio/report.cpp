@@ -36,8 +36,13 @@ void write_json(std::ostream& os, const std::vector<ScenarioResult>& results,
            << ", \"avg_hops\": " << json_number(r.avg_hops)
            << ", \"scalar_score\": " << json_number(r.scalar_score);
         if (options.timings) os << ", \"elapsed_ms\": " << json_number(r.elapsed_ms);
-        os << ", \"error\": " << (r.error.empty() ? "null" : quoted(r.error)) << "}"
-           << (i + 1 < results.size() ? "," : "") << "\n";
+        os << ", \"error\": " << (r.error.empty() ? "null" : quoted(r.error));
+        // The structured failure object only appears on failed scenarios,
+        // so successful documents keep their pre-redesign bytes.
+        if (!r.ok)
+            os << ", \"error_code\": "
+               << (r.error_code.empty() ? "null" : quoted(r.error_code));
+        os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os << "  ],\n  \"ranking\": [";
     const auto order = PortfolioRunner::ranking(results);

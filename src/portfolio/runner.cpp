@@ -36,11 +36,24 @@ ScenarioResult PortfolioRunner::run_one(const Scenario& scenario, std::size_t in
         r.tiles = ctx->topology().tile_count();
         r.links = ctx->topology().link_count();
 
+        engine::MapRequest request;
+        request.graph = scenario.graph.get();
+        request.context = ctx.get();
+        request.params = scenario.params;
+        request.seed = scenario.seed;
+
         const auto start = std::chrono::steady_clock::now();
-        r.result = engine::map_by_name(scenario.mapper, *scenario.graph, *ctx);
+        engine::MapOutcome outcome = engine::run_by_name(scenario.mapper, request);
         r.elapsed_ms = std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - start)
                            .count();
+        if (!outcome.ok()) {
+            r.ok = false;
+            r.error = outcome.error().message;
+            r.error_code = std::string(engine::to_string(outcome.error().code));
+            return r;
+        }
+        r.result = std::move(outcome.result());
 
         // Energy/hops need a complete placement; infeasible results still
         // carry the best mapping found, failed searches may not.

@@ -53,8 +53,11 @@ struct ScenarioResult {
     std::string fabric;    ///< resolved cache key (exact fabric identity)
     std::string mapper;
 
-    bool ok = true;        ///< false when the mapper threw
-    std::string error;     ///< exception text when !ok
+    bool ok = true;        ///< false when the mapper failed
+    std::string error;     ///< failure text when !ok
+    /// Stable engine::MapErrorCode name ("unknown-param", ...) when the
+    /// failure was a typed MapError; empty for legacy exception failures.
+    std::string error_code;
 
     engine::MappingResult result;
     std::size_t tiles = 0;

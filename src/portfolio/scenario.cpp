@@ -112,7 +112,8 @@ std::string Scenario::display_name() const {
 
 std::vector<Scenario> make_grid(
     const std::vector<std::pair<std::string, std::shared_ptr<const graph::CoreGraph>>>& apps,
-    const std::vector<TopologySpec>& topologies, const std::string& mapper) {
+    const std::vector<TopologySpec>& topologies, const std::string& mapper,
+    const engine::Params& params, std::uint64_t seed) {
     std::vector<Scenario> grid;
     grid.reserve(apps.size() * topologies.size());
     for (const auto& [app_name, app_graph] : apps) {
@@ -123,6 +124,8 @@ std::vector<Scenario> make_grid(
             s.graph = app_graph;
             s.topology = spec;
             s.mapper = mapper;
+            s.params = params;
+            s.seed = seed;
             grid.push_back(std::move(s));
         }
     }

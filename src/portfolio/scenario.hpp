@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/params.hpp"
 #include "graph/core_graph.hpp"
 #include "noc/topology.hpp"
 
@@ -64,14 +65,23 @@ struct Scenario {
     std::shared_ptr<const graph::CoreGraph> graph;
     TopologySpec topology;
     std::string mapper = "nmap";
+    /// Algorithm knobs, validated against the mapper's ParamSpec list when
+    /// the scenario runs (unknown key / out-of-range -> per-scenario typed
+    /// error, never a silent default). Empty = the mapper's defaults.
+    engine::Params params;
+    /// Seed forwarded as MapRequest::seed (0 = algorithm default).
+    std::uint64_t seed = 0;
 
     std::string display_name() const;
 };
 
 /// Cross product apps × topologies with one mapper — the standard portfolio
-/// grid (scenario order: app-major, matching the apps vector).
+/// grid (scenario order: app-major, matching the apps vector). `params` and
+/// `seed` are replicated into every scenario, so a grid can sweep algorithm
+/// knobs alongside fabrics.
 std::vector<Scenario> make_grid(
     const std::vector<std::pair<std::string, std::shared_ptr<const graph::CoreGraph>>>& apps,
-    const std::vector<TopologySpec>& topologies, const std::string& mapper = "nmap");
+    const std::vector<TopologySpec>& topologies, const std::string& mapper = "nmap",
+    const engine::Params& params = {}, std::uint64_t seed = 0);
 
 } // namespace nocmap::portfolio

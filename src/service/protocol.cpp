@@ -1,5 +1,6 @@
 #include "service/protocol.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "util/json.hpp"
@@ -68,6 +69,46 @@ Request parse_request(const std::string& line) {
         request.map.bandwidth = get_number(doc, "bandwidth", 0.0);
         if (request.map.bandwidth < 0.0)
             throw std::invalid_argument("'bandwidth' must be >= 0");
+        const double seed = get_number(doc, "seed", 0.0);
+        // Bound first (2^53, the largest exact double integer): casting an
+        // out-of-range double is undefined behavior, and a JSON number
+        // beyond that cannot name a seed exactly anyway.
+        if (seed < 0.0 || seed > 9007199254740992.0 ||
+            seed != static_cast<double>(static_cast<std::uint64_t>(seed)))
+            throw std::invalid_argument("'seed' must be a non-negative integer");
+        request.map.seed = static_cast<std::uint64_t>(seed);
+        if (const Value* params = doc.find("params"); params && !params->is_null()) {
+            if (!params->is_object())
+                throw std::invalid_argument("'params' must be an object");
+            for (const auto& [key, value] : params->as_object()) {
+                // Typed JSON scalars keep their carrier; strings go through
+                // the same inference as CLI --opt text, so the two front
+                // ends mean the same request.
+                if (value.is_bool())
+                    request.map.params.set(key, engine::ParamValue::of_bool(value.as_bool()));
+                else if (value.is_number()) {
+                    // Integral doubles inside the exact range ride the Int
+                    // carrier (the magnitude guard keeps the cast defined);
+                    // everything else stays Double and lets validation
+                    // judge it against the spec.
+                    const double number = value.as_number();
+                    const bool integral =
+                        std::fabs(number) <= 9007199254740992.0 &&
+                        static_cast<double>(static_cast<std::int64_t>(number)) == number;
+                    request.map.params.set(
+                        key, integral ? engine::ParamValue::of_int(
+                                            static_cast<std::int64_t>(number))
+                                      : engine::ParamValue::of_double(number));
+                } else if (value.is_string())
+                    request.map.params.set(key,
+                                           engine::ParamValue::from_text(value.as_string()));
+                else
+                    throw std::invalid_argument("'params' values must be scalars");
+            }
+        }
+    } else if (method == "describe") {
+        request.kind = Request::Kind::Describe;
+        request.describe_algo = get_string(doc, "algo", "");
     } else if (method == "stats") {
         request.kind = Request::Kind::Stats;
     } else if (method == "ping") {
@@ -75,10 +116,11 @@ Request parse_request(const std::string& line) {
     } else if (method == "shutdown") {
         request.kind = Request::Kind::Shutdown;
     } else if (method.empty()) {
-        throw std::invalid_argument("request needs a 'method' (map|stats|ping|shutdown)");
+        throw std::invalid_argument(
+            "request needs a 'method' (map|describe|stats|ping|shutdown)");
     } else {
         throw std::invalid_argument("unknown method '" + method +
-                                    "' (expected map|stats|ping|shutdown)");
+                                    "' (expected map|describe|stats|ping|shutdown)");
     }
     return request;
 }
@@ -91,6 +133,17 @@ std::string map_response(const std::string& id, const std::string& report_json,
                          const portfolio::TopologyCacheStats& cache) {
     return response_head(id, "ok") + ", \"report\": " + quoted(report_json) +
            ", \"cache\": " + cache_json(cache) + "}";
+}
+
+std::string describe_response(const std::string& id,
+                              const std::vector<engine::MapperDescription>& descriptions) {
+    std::string out = response_head(id, "ok") + ", \"algos\": [";
+    for (std::size_t i = 0; i < descriptions.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "{\"name\": " + quoted(descriptions[i].info.name) + ", \"describe\": " +
+               quoted(engine::describe_json(descriptions[i])) + "}";
+    }
+    return out + "]}";
 }
 
 std::string stats_response(const std::string& id,

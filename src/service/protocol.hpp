@@ -4,7 +4,9 @@
 // One request per line, one response line per request, in request order.
 //
 //   {"id":"r1","method":"map","apps":["vopd","mpeg4"],
-//    "topologies":"mesh,torus:4x4","mapper":"nmap","bandwidth":1000}
+//    "topologies":"mesh,torus:4x4","mapper":"nmap","bandwidth":1000,
+//    "params":{"sweeps":2,"eval":"ledger-fast"},"seed":7}
+//   {"id":"d1","method":"describe","algo":"nmap"}
 //   {"id":"s1","method":"stats"}
 //   {"id":"p1","method":"ping"}
 //   {"id":"q1","method":"shutdown"}
@@ -14,12 +16,24 @@
 // portfolio JSON document (portfolio::to_json, no cache section) as the
 // escaped string field "report" — byte-identical to what
 // `nocmap_cli portfolio ... --json --json-stable` writes for the same
-// scenarios — plus the service cache's counters, which reflect the
-// daemon's whole lifetime and are NOT part of the determinism contract.
+// scenarios (including the same "params"/"seed") — plus the service
+// cache's counters, which reflect the daemon's whole lifetime and are NOT
+// part of the determinism contract. The optional "params" object holds
+// per-algorithm knobs (scalars only), validated against the mapper's
+// published ParamSpec list when the scenarios run: an unknown key or an
+// out-of-range value becomes a structured per-scenario "error"/
+// "error_code" entry inside the report, never a connection-level failure.
+//
+// A describe response carries one entry per requested algorithm ("algo"
+// absent = all), each embedding the deterministic document of
+// engine::describe_json as the escaped string field "describe" —
+// byte-identical to `nocmap_cli --describe-algo <name> --json`.
 
 #include <string>
 #include <vector>
 
+#include "engine/mapper.hpp"
+#include "engine/params.hpp"
 #include "portfolio/topology_cache.hpp"
 
 namespace nocmap::service {
@@ -30,13 +44,16 @@ struct MapRequest {
     std::string topologies;        ///< csv of TopologySpec; empty = server default
     std::string mapper;            ///< registry key; empty = server default
     double bandwidth = 0.0;        ///< uniform link MB/s; 0 = server default
+    engine::Params params;         ///< algorithm knobs for every scenario
+    std::uint64_t seed = 0;        ///< MapRequest::seed (0 = algorithm default)
 };
 
 struct Request {
-    enum class Kind { Map, Stats, Ping, Shutdown };
+    enum class Kind { Map, Describe, Stats, Ping, Shutdown };
     Kind kind = Kind::Ping;
-    std::string id; ///< echoed verbatim in the response ("" when absent)
-    MapRequest map; ///< populated when kind == Kind::Map
+    std::string id;            ///< echoed verbatim in the response ("" when absent)
+    MapRequest map;            ///< populated when kind == Kind::Map
+    std::string describe_algo; ///< Kind::Describe: registry key; "" = all
 };
 
 /// Parses one request line. Throws std::invalid_argument on malformed
@@ -48,6 +65,8 @@ Request parse_request(const std::string& line);
 std::string error_response(const std::string& id, const std::string& message);
 std::string map_response(const std::string& id, const std::string& report_json,
                          const portfolio::TopologyCacheStats& cache);
+std::string describe_response(const std::string& id,
+                              const std::vector<engine::MapperDescription>& descriptions);
 std::string stats_response(const std::string& id,
                            const portfolio::TopologyCacheStats& cache);
 std::string ping_response(const std::string& id);

@@ -17,6 +17,7 @@
 #include <unistd.h>
 
 #include "apps/registry.hpp"
+#include "engine/mapper.hpp"
 #include "portfolio/report.hpp"
 #include "portfolio/scenario.hpp"
 #include "util/json.hpp"
@@ -169,9 +170,22 @@ std::vector<std::string> Service::handle_batch(const std::vector<std::string>& l
                     apps.emplace_back(target, graph_for(target));
                 const std::string mapper =
                     m.mapper.empty() ? options_.default_mapper : m.mapper;
+                const engine::Params& params =
+                    m.params.empty() ? options_.default_params : m.params;
+                const std::uint64_t seed = m.seed != 0 ? m.seed : options_.default_seed;
                 p.is_map = true;
                 p.grid = grids.size();
-                grids.push_back(portfolio::make_grid(apps, specs, mapper));
+                grids.push_back(portfolio::make_grid(apps, specs, mapper, params, seed));
+                break;
+            }
+            case Request::Kind::Describe: {
+                std::vector<engine::MapperDescription> descriptions;
+                if (request.describe_algo.empty())
+                    descriptions = engine::registry().describe_all();
+                else // unknown names throw -> an "error" response below
+                    descriptions.push_back(
+                        engine::registry().describe(request.describe_algo));
+                p.response = describe_response(request.id, descriptions);
                 break;
             }
             case Request::Kind::Stats:

@@ -41,10 +41,14 @@ struct ServiceOptions {
     std::size_t threads = 1;
     /// TopologyCache bound (fabrics kept, LRU; 0 = unbounded).
     std::size_t cache_topologies = 0;
-    /// Defaults applied when a map request omits the field.
+    /// Defaults applied when a map request omits the field. An explicit
+    /// "params" object replaces default_params wholesale (no key merge);
+    /// a request "seed" likewise outranks default_seed.
     std::string default_topologies = "mesh,torus,ring,hypercube";
     std::string default_mapper = "nmap";
     double default_bandwidth = 0.0; ///< MB/s; 0 = ample (1e9)
+    engine::Params default_params;
+    std::uint64_t default_seed = 0; ///< 0 = algorithm default
 };
 
 class Service {

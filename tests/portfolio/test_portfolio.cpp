@@ -134,6 +134,66 @@ TEST(PortfolioRunner, ScalarizationRanksFeasibleScenariosFirst) {
     }
 }
 
+TEST(PortfolioRunner, ParamCarryingScenariosAreDeterministicAcrossThreadCounts) {
+    // Non-default knobs (seeded SA) through the grid: every thread count
+    // must return the identical result vector, and the params must
+    // demonstrably reach the algorithm (same seed twice == identical,
+    // matching a direct seeded run).
+    engine::Params params;
+    params.set_assignment("seed=77");
+    params.set_assignment("cooling=0.9");
+    const auto grid = make_grid(two_apps(), parse_topology_list("mesh,torus,hypercube"),
+                                "sa", params, 0);
+    ASSERT_EQ(grid.size(), 6u);
+    for (const Scenario& s : grid) EXPECT_EQ(s.params.print(), "cooling=0.9,seed=77");
+
+    std::vector<std::vector<ScenarioResult>> runs;
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        PortfolioOptions options;
+        options.threads = threads;
+        runs.push_back(PortfolioRunner(options).run(grid));
+    }
+    for (std::size_t t = 1; t < runs.size(); ++t) {
+        ASSERT_EQ(runs[t].size(), runs[0].size());
+        for (std::size_t i = 0; i < runs[0].size(); ++i) {
+            ASSERT_TRUE(runs[t][i].ok) << runs[t][i].error;
+            EXPECT_EQ(runs[t][i].result.mapping, runs[0][i].result.mapping)
+                << runs[0][i].name;
+            EXPECT_DOUBLE_EQ(runs[t][i].result.comm_cost, runs[0][i].result.comm_cost);
+            EXPECT_DOUBLE_EQ(runs[t][i].scalar_score, runs[0][i].scalar_score);
+        }
+    }
+
+    // The knobs reached the mapper: a direct request with the same params
+    // reproduces scenario 0 exactly.
+    const auto& first = runs[0][0];
+    const auto& scenario = grid[first.index];
+    engine::MapRequest request;
+    request.graph = scenario.graph.get();
+    const auto topo = scenario.topology.build(scenario.graph->node_count());
+    request.topology = &topo;
+    request.params = params;
+    engine::MapOutcome direct = engine::run_by_name("sa", request);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(direct.result().mapping, first.result.mapping);
+}
+
+TEST(PortfolioRunner, ParamErrorsAreStructuredPerScenario) {
+    engine::Params params;
+    params.set_assignment("no_such_knob=1");
+    const auto grid = make_grid(two_apps(), parse_topology_list("mesh"), "nmap", params);
+    const auto results = PortfolioRunner().run(grid);
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto& r : results) {
+        EXPECT_FALSE(r.ok);
+        EXPECT_EQ(r.error_code, "unknown-param");
+        EXPECT_NE(r.error.find("no_such_knob"), std::string::npos);
+    }
+    // The structured code lands in the JSON document (failed rows only).
+    const auto json = to_json(results, PortfolioRunner::rank_topologies(results), nullptr);
+    EXPECT_NE(json.find("\"error_code\": \"unknown-param\""), std::string::npos);
+}
+
 TEST(PortfolioRunner, MapperFailureIsCapturedNotThrown) {
     auto grid = make_grid(two_apps(), parse_topology_list("mesh"), "no-such-mapper");
     PortfolioRunner runner;

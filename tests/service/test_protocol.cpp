@@ -71,6 +71,62 @@ TEST(Protocol, ParsesMapRequestWithAllFields) {
     EXPECT_DOUBLE_EQ(r.map.bandwidth, 512.0);
 }
 
+TEST(Protocol, ParsesMapRequestParamsAndSeed) {
+    const Request r = parse_request(
+        "{\"id\": \"x\", \"method\": \"map\", \"apps\": [\"pip\"], \"mapper\": \"sa\", "
+        "\"params\": {\"cooling\": 0.9, \"sweeps\": 2, \"bandwidth_aware\": true, "
+        "\"eval\": \"ledger-fast\"}, \"seed\": 42}");
+    EXPECT_EQ(r.map.seed, 42u);
+    // Typed JSON values keep their carrier; print() is sorted + canonical.
+    EXPECT_EQ(r.map.params.print(),
+              "bandwidth_aware=true,cooling=0.9,eval=ledger-fast,sweeps=2");
+    EXPECT_EQ(r.map.params.find("sweeps")->type(), engine::ParamType::Int);
+    EXPECT_EQ(r.map.params.find("cooling")->type(), engine::ParamType::Double);
+    EXPECT_EQ(r.map.params.find("bandwidth_aware")->type(), engine::ParamType::Bool);
+    // String values run the same inference as CLI --opt text.
+    const Request inferred = parse_request(
+        "{\"method\": \"map\", \"apps\": [\"pip\"], \"params\": {\"seed\": \"7\"}}");
+    EXPECT_EQ(inferred.map.params.find("seed")->type(), engine::ParamType::Int);
+
+    EXPECT_THROW(parse_request("{\"method\": \"map\", \"apps\": [\"pip\"], "
+                               "\"params\": [1]}"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_request("{\"method\": \"map\", \"apps\": [\"pip\"], "
+                               "\"params\": {\"a\": [1]}}"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_request("{\"method\": \"map\", \"apps\": [\"pip\"], "
+                               "\"seed\": -1}"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_request("{\"method\": \"map\", \"apps\": [\"pip\"], "
+                               "\"seed\": 1.5}"),
+                 std::invalid_argument);
+}
+
+TEST(Protocol, ParsesDescribeRequests) {
+    const Request all = parse_request("{\"id\": \"d\", \"method\": \"describe\"}");
+    EXPECT_EQ(all.kind, Request::Kind::Describe);
+    EXPECT_TRUE(all.describe_algo.empty());
+    const Request one =
+        parse_request("{\"method\": \"describe\", \"algo\": \"nmap\"}");
+    EXPECT_EQ(one.kind, Request::Kind::Describe);
+    EXPECT_EQ(one.describe_algo, "nmap");
+}
+
+TEST(Protocol, DescribeResponseEmbedsTheCliDocuments) {
+    const std::vector<engine::MapperDescription> descriptions = {
+        engine::registry().describe("nmap"), engine::registry().describe("gmap")};
+    const std::string line = describe_response("d1", descriptions);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    const auto doc = util::json::parse(line);
+    EXPECT_EQ(doc.find("status")->as_string(), "ok");
+    const auto& algos = doc.find("algos")->as_array();
+    ASSERT_EQ(algos.size(), 2u);
+    EXPECT_EQ(algos[0].find("name")->as_string(), "nmap");
+    // The embedded document is byte-identical to --describe-algo --json.
+    EXPECT_EQ(algos[0].find("describe")->as_string(),
+              engine::describe_json(descriptions[0]));
+}
+
 TEST(Protocol, ParsesControlRequests) {
     EXPECT_EQ(parse_request("{\"method\": \"ping\"}").kind, Request::Kind::Ping);
     EXPECT_EQ(parse_request("{\"method\": \"ping\"}").id, "");

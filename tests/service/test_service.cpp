@@ -19,6 +19,7 @@
 #include <unistd.h>
 
 #include "apps/registry.hpp"
+#include "engine/mapper.hpp"
 #include "portfolio/report.hpp"
 #include "portfolio/runner.hpp"
 #include "portfolio/scenario.hpp"
@@ -103,6 +104,111 @@ TEST(Service, MapReportsAreBitIdenticalToOneShotRuns) {
     Service serial(options);
     for (std::size_t i = 0; i < requests.size(); ++i)
         EXPECT_EQ(report_of(serial.handle_line(requests[i])), report_of(batched[i])) << i;
+}
+
+TEST(Service, ParamCarryingMapReportsMatchOneShotRunsWithTheSameParams) {
+    ServiceOptions options;
+    options.threads = 2;
+    Service daemon(options);
+    const auto response = daemon.handle_line(
+        "{\"id\": \"p\", \"method\": \"map\", \"apps\": [\"pip\", \"vopd\"], "
+        "\"topologies\": \"mesh,torus\", \"mapper\": \"sa\", "
+        "\"params\": {\"cooling\": 0.9}, \"seed\": 31}");
+    EXPECT_EQ(status_of(response), "ok");
+
+    // One-shot reference with the identical params + seed.
+    std::vector<std::pair<std::string, std::shared_ptr<const graph::CoreGraph>>> loaded;
+    for (const char* app : {"pip", "vopd"})
+        loaded.emplace_back(app, std::make_shared<const graph::CoreGraph>(
+                                     apps::load_graph_or_application(app)));
+    engine::Params params;
+    params.set_assignment("cooling=0.9");
+    portfolio::PortfolioRunner runner;
+    const auto results = runner.run(portfolio::make_grid(
+        loaded, portfolio::parse_topology_list("mesh,torus"), "sa", params, 31));
+    portfolio::JsonOptions json;
+    json.timings = false;
+    EXPECT_EQ(report_of(response),
+              portfolio::to_json(results,
+                                 portfolio::PortfolioRunner::rank_topologies(results),
+                                 json));
+}
+
+TEST(Service, DaemonDefaultParamsAndSeedApplyWhenARequestOmitsThem) {
+    ServiceOptions options;
+    options.default_mapper = "sa";
+    options.default_params.set_assignment("cooling=0.9");
+    options.default_seed = 31;
+    Service daemon(options);
+    const auto defaulted = daemon.handle_line(
+        "{\"id\": \"d\", \"method\": \"map\", \"apps\": [\"pip\"], "
+        "\"topologies\": \"mesh\"}");
+    // Identical to a request naming the same params explicitly...
+    const auto explicit_response = daemon.handle_line(
+        "{\"id\": \"e\", \"method\": \"map\", \"apps\": [\"pip\"], "
+        "\"topologies\": \"mesh\", \"params\": {\"cooling\": 0.9}, \"seed\": 31}");
+    EXPECT_EQ(report_of(defaulted), report_of(explicit_response));
+    // ...and a request's own params replace the defaults wholesale.
+    const auto overridden = daemon.handle_line(
+        "{\"id\": \"o\", \"method\": \"map\", \"apps\": [\"pip\"], "
+        "\"topologies\": \"mesh\", \"params\": {\"seed\": 1, \"cooling\": 0.95}}");
+    Service plain([] {
+        ServiceOptions o;
+        o.default_mapper = "sa";
+        return o;
+    }());
+    const auto reference = plain.handle_line(
+        "{\"id\": \"r\", \"method\": \"map\", \"apps\": [\"pip\"], "
+        "\"topologies\": \"mesh\"}");
+    EXPECT_EQ(report_of(overridden), report_of(reference));
+}
+
+TEST(Service, ParamFailuresAreStructuredErrorObjectsNotConnectionFailures) {
+    Service daemon;
+    // Out-of-range knob: the response is still "ok" (the protocol layer
+    // accepted it); the failure lives in the per-scenario error object.
+    const auto response = daemon.handle_line(
+        "{\"id\": \"e\", \"method\": \"map\", \"apps\": [\"pip\"], "
+        "\"topologies\": \"mesh\", \"mapper\": \"sa\", "
+        "\"params\": {\"cooling\": 7}}");
+    EXPECT_EQ(status_of(response), "ok");
+    const auto report = util::json::parse(report_of(response));
+    const auto& scenario = report.find("scenarios")->as_array()[0];
+    EXPECT_EQ(scenario.find("ok")->as_bool(), false);
+    EXPECT_EQ(scenario.find("error_code")->as_string(), "param-out-of-range");
+    EXPECT_NE(scenario.find("error")->as_string().find("cooling"), std::string::npos);
+
+    // The exhaustive search-space guard surfaces the same way.
+    const auto guard = daemon.handle_line(
+        "{\"id\": \"g\", \"method\": \"map\", \"apps\": [\"vopd\"], "
+        "\"topologies\": \"mesh\", \"mapper\": \"exhaustive\"}");
+    EXPECT_EQ(status_of(guard), "ok");
+    const auto guard_report = util::json::parse(report_of(guard));
+    EXPECT_EQ(guard_report.find("scenarios")->as_array()[0].find("error_code")->as_string(),
+              "search-space-exceeded");
+    // The daemon is still alive and serving.
+    EXPECT_EQ(status_of(daemon.handle_line("{\"method\": \"ping\"}")), "ok");
+}
+
+TEST(Service, DescribeVerbReturnsParamSpecs) {
+    Service daemon;
+    const auto one =
+        daemon.handle_line("{\"id\": \"d\", \"method\": \"describe\", \"algo\": \"sa\"}");
+    EXPECT_EQ(status_of(one), "ok");
+    const auto one_doc = util::json::parse(one);
+    const auto& algos = one_doc.find("algos")->as_array();
+    ASSERT_EQ(algos.size(), 1u);
+    EXPECT_EQ(algos[0].find("name")->as_string(), "sa");
+    EXPECT_EQ(algos[0].find("describe")->as_string(),
+              engine::describe_json(engine::registry().describe("sa")));
+
+    const auto all = daemon.handle_line("{\"id\": \"da\", \"method\": \"describe\"}");
+    EXPECT_EQ(util::json::parse(all).find("algos")->as_array().size(),
+              engine::registry().names().size());
+
+    const auto unknown = daemon.handle_line(
+        "{\"id\": \"du\", \"method\": \"describe\", \"algo\": \"warp\"}");
+    EXPECT_EQ(status_of(unknown), "error");
 }
 
 TEST(Service, SessionLoopBatchesBufferedLinesAndStopsOnShutdown) {
