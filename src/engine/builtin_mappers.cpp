@@ -171,6 +171,12 @@ MapOutcome run_nmap(const MapRequest& request) {
 
 // ------------------------------------------------------------ split modes
 
+nmap::McfEngine parse_mcf_engine(const std::string& name) {
+    if (name == "exact") return nmap::McfEngine::Exact;
+    if (name == "approx") return nmap::McfEngine::Approx;
+    return nmap::McfEngine::Auto;
+}
+
 std::vector<ParamSpec> split_specs() {
     return {
         int_spec("approx_iterations", 32, 1, 1e6,
@@ -180,6 +186,9 @@ std::vector<ParamSpec> split_specs() {
         bool_spec("exact_inner_lp", false,
                   "solve every per-swap MCF with the exact simplex (the paper's "
                   "literal loop; minutes instead of seconds)"),
+        enum_spec("mcf_engine", "auto", {"auto", "exact", "approx"},
+                  "inner MCF engine for the per-swap evaluations; auto follows "
+                  "exact_inner_lp, exact/approx override it"),
         bool_spec("optimize_bandwidth", false,
                   "Figure-4 variant: minimize the min-max link load instead of "
                   "MCF1/MCF2 under fixed capacities"),
@@ -187,6 +196,10 @@ std::vector<ParamSpec> split_specs() {
                   "skip a candidate's MCF1 slack solve when the O(deg) single-path "
                   "re-route already proves the bandwidth constraints hold"),
         sweeps_spec(),
+        bool_spec("warm_start", false,
+                  "warm-start the inner MCF engines across consecutive swap "
+                  "candidates (exact: re-solve the LP skeleton from the previous "
+                  "optimal basis; approx: seed flows from the previous solution)"),
     };
 }
 
@@ -197,12 +210,16 @@ MapOutcome run_split(const MapRequest& request, nmap::SplitMode mode) {
     options.approx_iterations =
         static_cast<std::size_t>(request.params.int_or("approx_iterations", 32));
     options.exact_inner_lp = request.params.bool_or("exact_inner_lp", false);
+    options.mcf_engine = parse_mcf_engine(request.params.string_or("mcf_engine", "auto"));
     options.exact_final_polish = request.params.bool_or("exact_final_polish", true);
     options.optimize_bandwidth = request.params.bool_or("optimize_bandwidth", false);
     options.routing_prefilter = request.params.bool_or("routing_prefilter", false);
+    options.warm_start = request.params.bool_or("warm_start", false);
     options.cancel = request.cancelled;
     return MapOutcome::success(
-        nmap::map_with_splitting(*request.graph, request.topo(), options));
+        request.context
+            ? nmap::map_with_splitting(*request.graph, *request.context, options)
+            : nmap::map_with_splitting(*request.graph, request.topo(), options));
 }
 
 // -------------------------------------------------------------------- pbb

@@ -40,6 +40,21 @@ void LpProblem::add_constraint(std::vector<std::pair<std::int32_t, double>> term
     add_constraint(std::move(c));
 }
 
+void LpProblem::set_constraint_rhs(std::size_t index, double rhs) {
+    if (index >= constraints_.size())
+        throw std::out_of_range("LpProblem: constraint index out of range");
+    if (!std::isfinite(rhs)) throw std::invalid_argument("LpProblem: non-finite rhs");
+    constraints_[index].rhs = rhs;
+}
+
+void LpProblem::set_objective_coefficient(std::int32_t variable, double coefficient) {
+    if (variable < 0 || static_cast<std::size_t>(variable) >= objective_.size())
+        throw std::out_of_range("LpProblem: variable index out of range");
+    if (!std::isfinite(coefficient))
+        throw std::invalid_argument("LpProblem: non-finite objective coefficient");
+    objective_[static_cast<std::size_t>(variable)] = coefficient;
+}
+
 void LpProblem::validate() const {
     for (const Constraint& c : constraints_) {
         for (const auto& [var, coeff] : c.terms) {

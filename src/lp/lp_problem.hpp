@@ -39,6 +39,13 @@ public:
         return names_.at(static_cast<std::size_t>(v));
     }
 
+    /// Rewrites one constraint's right-hand side in place — the
+    /// per-candidate refresh of a skeleton LP whose structure is fixed.
+    void set_constraint_rhs(std::size_t index, double rhs);
+
+    /// Rewrites one variable's objective coefficient in place.
+    void set_objective_coefficient(std::int32_t variable, double coefficient);
+
     /// Throws std::logic_error on out-of-range variable ids or non-finite
     /// coefficients.
     void validate() const;

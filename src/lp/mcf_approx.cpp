@@ -9,29 +9,32 @@ namespace nocmap::lp {
 
 namespace {
 
-/// Per-commodity routing graph: for each tile, outgoing (link, next tile)
-/// pairs restricted to the commodity's allowed link set.
-struct RoutingGraph {
-    std::vector<std::vector<std::pair<noc::LinkId, noc::TileId>>> out;
-};
+/// Per-commodity routing adjacency: for each tile, outgoing (link, next
+/// tile) pairs restricted to the commodity's allowed link set. In all-paths
+/// mode every commodity shares one instance.
+using Adjacency = std::vector<std::vector<std::pair<noc::LinkId, noc::TileId>>>;
 
-RoutingGraph build_routing_graph(const noc::Topology& topo,
-                                 const std::vector<noc::LinkId>& links) {
-    RoutingGraph g;
-    g.out.resize(topo.tile_count());
+Adjacency build_adjacency(const noc::Topology& topo, const std::vector<noc::LinkId>& links) {
+    Adjacency out(topo.tile_count());
     for (const noc::LinkId l : links) {
         const noc::Link& link = topo.link(l);
-        g.out[static_cast<std::size_t>(link.src)].emplace_back(l, link.dst);
+        out[static_cast<std::size_t>(link.src)].emplace_back(l, link.dst);
     }
-    return g;
+    return out;
 }
 
-/// Dijkstra over a routing graph with per-link costs; returns the link
+std::vector<noc::LinkId> all_links(const noc::Topology& topo) {
+    std::vector<noc::LinkId> links(topo.link_count());
+    for (std::size_t l = 0; l < links.size(); ++l) links[l] = static_cast<noc::LinkId>(l);
+    return links;
+}
+
+/// Dijkstra over a routing adjacency with per-link costs; returns the link
 /// sequence of a cheapest src->dst path (empty if unreachable).
-std::vector<noc::LinkId> cheapest_path(const RoutingGraph& g,
+std::vector<noc::LinkId> cheapest_path(const Adjacency& out,
                                        const std::vector<double>& link_cost,
                                        noc::TileId src, noc::TileId dst) {
-    const std::size_t n = g.out.size();
+    const std::size_t n = out.size();
     std::vector<double> dist(n, std::numeric_limits<double>::infinity());
     std::vector<noc::LinkId> via(n, noc::kInvalidLink);
     std::vector<noc::TileId> prev(n, noc::kInvalidTile);
@@ -44,7 +47,7 @@ std::vector<noc::LinkId> cheapest_path(const RoutingGraph& g,
         heap.pop();
         if (d > dist[static_cast<std::size_t>(u)]) continue;
         if (u == dst) break;
-        for (const auto& [l, v] : g.out[static_cast<std::size_t>(u)]) {
+        for (const auto& [l, v] : out[static_cast<std::size_t>(u)]) {
             const double nd = d + link_cost[static_cast<std::size_t>(l)];
             if (nd < dist[static_cast<std::size_t>(v)]) {
                 dist[static_cast<std::size_t>(v)] = nd;
@@ -63,40 +66,100 @@ std::vector<noc::LinkId> cheapest_path(const RoutingGraph& g,
     return path;
 }
 
+/// The convergence measure watched by the warm-start early exit: the
+/// smoothed surrogate each objective actually descends on.
+double monitored_objective(const noc::Topology& topo, const McfOptions& options,
+                           const noc::LinkLoads& loads) {
+    switch (options.objective) {
+    case McfObjective::MinSlack: return noc::total_violation(topo, loads);
+    case McfObjective::MinFlow:
+        return noc::total_flow(loads) + 16.0 * noc::total_violation(topo, loads);
+    case McfObjective::MinMaxLoad: return noc::max_load(loads);
+    }
+    return 0.0;
+}
+
 } // namespace
 
 McfResult solve_mcf_approx(const noc::Topology& topo,
                            const std::vector<noc::Commodity>& commodities,
                            const McfOptions& options) {
+    return solve_mcf_approx(topo, commodities, options, nullptr, nullptr);
+}
+
+McfResult solve_mcf_approx(const noc::Topology& topo,
+                           const std::vector<noc::Commodity>& commodities,
+                           const McfOptions& options,
+                           const std::vector<std::vector<noc::LinkId>>* allowed,
+                           ApproxWarmState* warm) {
     const std::size_t link_count = topo.link_count();
     const std::size_t K = commodities.size();
+    const bool all_paths = !options.quadrant_restricted;
+    const bool use_warm = warm != nullptr && options.warm_start;
 
-    std::vector<RoutingGraph> graphs;
-    graphs.reserve(K);
-    for (const noc::Commodity& c : commodities)
-        graphs.push_back(build_routing_graph(
-            topo, allowed_links(topo, c, options.quadrant_restricted)));
+    // Routing adjacency. All-paths mode: one shared instance (the per-
+    // commodity restriction is vacuous), cached in the warm state when one
+    // is supplied. Quadrant mode: one per commodity.
+    Adjacency shared;
+    std::vector<Adjacency> per_commodity;
+    if (all_paths) {
+        if (warm != nullptr) {
+            if (warm->all_paths_out.empty())
+                warm->all_paths_out = build_adjacency(topo, all_links(topo));
+        } else {
+            shared = build_adjacency(topo, all_links(topo));
+        }
+    } else {
+        per_commodity.reserve(K);
+        for (std::size_t k = 0; k < K; ++k)
+            per_commodity.push_back(build_adjacency(
+                topo, allowed != nullptr
+                          ? (*allowed)[k]
+                          : allowed_links(topo, commodities[k], true)));
+    }
+    const Adjacency& shared_adj = (all_paths && warm != nullptr) ? warm->all_paths_out : shared;
+    const auto adj_of = [&](std::size_t k) -> const Adjacency& {
+        return all_paths ? shared_adj : per_commodity[k];
+    };
 
     McfResult result;
     result.flows.assign(K, std::vector<double>(link_count, 0.0));
     result.loads.assign(link_count, 0.0);
 
-    // Initial all-or-nothing assignment on hop-count shortest paths.
+    // Initial assignment: hop-count shortest paths — or, warm, the previous
+    // candidate's converged flow for every commodity whose endpoints and
+    // value are unchanged.
     std::vector<double> unit_cost(link_count, 1.0);
+    bool seeded = false;
     for (std::size_t k = 0; k < K; ++k) {
-        const auto path = cheapest_path(graphs[k], unit_cost, commodities[k].src_tile,
-                                        commodities[k].dst_tile);
+        const noc::Commodity& c = commodities[k];
+        if (use_warm && warm->valid && k < warm->prev.size() &&
+            warm->prev[k].src_tile == c.src_tile && warm->prev[k].dst_tile == c.dst_tile &&
+            warm->prev[k].value == c.value && warm->flows[k].size() == link_count) {
+            result.flows[k] = warm->flows[k];
+            for (std::size_t l = 0; l < link_count; ++l)
+                result.loads[l] += result.flows[k][l];
+            seeded = true;
+            continue;
+        }
+        const auto path = cheapest_path(adj_of(k), unit_cost, c.src_tile, c.dst_tile);
         if (path.empty())
             throw std::logic_error("mcf_approx: commodity has no admissible path");
         for (const noc::LinkId l : path) {
-            result.flows[k][static_cast<std::size_t>(l)] += commodities[k].value;
-            result.loads[static_cast<std::size_t>(l)] += commodities[k].value;
+            result.flows[k][static_cast<std::size_t>(l)] += c.value;
+            result.loads[static_cast<std::size_t>(l)] += c.value;
         }
     }
 
     const double demand = std::max(1.0, noc::total_value(commodities));
     std::vector<double> link_cost(link_count, 0.0);
-    std::vector<double> candidate(link_count, 0.0);
+
+    // A seeded start is already near the optimum: shift the Frank–Wolfe
+    // step schedule as if that many iterations had run, so the first blends
+    // refine rather than overwrite the seed.
+    const std::size_t step_offset = seeded ? 8 : 0;
+    double monitored_prev = std::numeric_limits<double>::infinity();
+    int flat_rounds = 0;
 
     const std::size_t iterations = std::max<std::size_t>(options.approx_iterations, 2);
     for (std::size_t t = 0; t < iterations; ++t) {
@@ -123,10 +186,9 @@ McfResult solve_mcf_approx(const noc::Topology& topo,
             link_cost[l] = cost;
         }
 
-        const double step = 2.0 / static_cast<double>(t + 3);
-        std::fill(candidate.begin(), candidate.end(), 0.0);
+        const double step = 2.0 / static_cast<double>(t + step_offset + 3);
         for (std::size_t k = 0; k < K; ++k) {
-            const auto path = cheapest_path(graphs[k], link_cost, commodities[k].src_tile,
+            const auto path = cheapest_path(adj_of(k), link_cost, commodities[k].src_tile,
                                             commodities[k].dst_tile);
             // Blend this commodity's flow toward the all-or-nothing path.
             for (double& f : result.flows[k]) f *= (1.0 - step);
@@ -139,6 +201,23 @@ McfResult solve_mcf_approx(const noc::Topology& topo,
         for (std::size_t k = 0; k < K; ++k)
             for (std::size_t l = 0; l < link_count; ++l)
                 result.loads[l] += result.flows[k][l];
+
+        // Warm-only early exit once the surrogate stops improving (the cold
+        // path always runs the full schedule so its iterate sequence — and
+        // therefore its results — stay bit-identical to the one-shot engine).
+        if (use_warm) {
+            const double monitored = monitored_objective(topo, options, result.loads);
+            if (options.objective == McfObjective::MinSlack &&
+                monitored <= 1e-6 * demand)
+                break;
+            if (t >= 4 && std::abs(monitored - monitored_prev) <=
+                              1e-4 * std::max(1.0, std::abs(monitored))) {
+                if (++flat_rounds >= 2) break;
+            } else {
+                flat_rounds = 0;
+            }
+            monitored_prev = monitored;
+        }
     }
 
     result.solved = true;
@@ -157,6 +236,12 @@ McfResult solve_mcf_approx(const noc::Topology& topo,
         result.objective = noc::max_load(result.loads);
         result.feasible = true;
         break;
+    }
+
+    if (use_warm) {
+        warm->valid = true;
+        warm->prev = commodities;
+        warm->flows = result.flows;
     }
     return result;
 }

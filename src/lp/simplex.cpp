@@ -2,82 +2,91 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <vector>
 
 namespace nocmap::lp {
 
+// --------------------------------------------------------------- TableauView
+
+void TableauView::pivot(std::size_t row, std::size_t col) {
+    double* pivot_row = cells_ + row * stride_;
+    const double inv = 1.0 / pivot_row[col];
+    for (std::size_t c = 0; c <= cols_; ++c) pivot_row[c] *= inv;
+    pivot_row[col] = 1.0; // kill round-off on the pivot cell
+
+    for (std::size_t r = 0; r < rows_; ++r) {
+        if (r == row) continue;
+        double* other = cells_ + r * stride_;
+        const double factor = other[col];
+        if (factor == 0.0) continue;
+        for (std::size_t c = 0; c <= cols_; ++c) other[c] -= factor * pivot_row[c];
+        other[col] = 0.0;
+    }
+    const double cost_factor = cost_[col];
+    if (cost_factor != 0.0) {
+        for (std::size_t c = 0; c < cols_; ++c) cost_[c] -= cost_factor * pivot_row[c];
+        cost_[cols_] -= cost_factor * pivot_row[cols_];
+        cost_[col] = 0.0;
+    }
+    basis_[row] = static_cast<std::int32_t>(col);
+}
+
+void TableauView::remove_row(std::size_t row) {
+    if (row + 1 < rows_) {
+        std::memmove(cells_ + row * stride_, cells_ + (row + 1) * stride_,
+                     (rows_ - row - 1) * stride_ * sizeof(double));
+        std::memmove(basis_ + row, basis_ + row + 1,
+                     (rows_ - row - 1) * sizeof(std::int32_t));
+    }
+    --rows_;
+}
+
+// ------------------------------------------------------------------- Tableau
+
+double* Tableau::cells() noexcept { return reinterpret_cast<double*>(buffer_.get()); }
+
+double* Tableau::cost_row() noexcept { return cells() + row_capacity_ * stride(); }
+
+std::int32_t* Tableau::basis() noexcept {
+    return reinterpret_cast<std::int32_t*>(cells() + (row_capacity_ + 1) * stride());
+}
+
+void Tableau::reserve(std::size_t row_capacity, std::size_t col_capacity) {
+    if (buffer_ && row_capacity <= row_capacity_ && col_capacity <= col_capacity_) return;
+    // Geometric growth so chained solves of slowly growing programs do not
+    // reallocate per solve.
+    row_capacity_ = std::max(row_capacity, row_capacity_ + row_capacity_ / 2);
+    col_capacity_ = std::max(col_capacity, col_capacity_ + col_capacity_ / 2);
+    const std::size_t doubles = (row_capacity_ + 1) * stride();
+    bytes_ = doubles * sizeof(double) + row_capacity_ * sizeof(std::int32_t);
+    buffer_ = std::make_unique<std::byte[]>(bytes_);
+}
+
+TableauView Tableau::reset(std::size_t rows, std::size_t cols) {
+    reserve(rows, cols);
+    rows_ = rows;
+    cols_ = cols;
+    std::fill(cells(), cells() + rows * stride(), 0.0);
+    std::fill(cost_row(), cost_row() + stride(), 0.0);
+    std::fill(basis(), basis() + rows, std::int32_t{-1});
+    return view();
+}
+
+TableauView Tableau::view() noexcept {
+    return TableauView(cells(), cost_row(), basis(), rows_, cols_, stride());
+}
+
+// ---------------------------------------------------------------- pivot loop
+
 namespace {
-
-// Dense tableau:
-//   rows 0..m-1   constraint rows (equality form, rhs >= 0)
-//   columns 0..n-1 structural+slack+artificial variables, column n = rhs
-// `basis[i]` is the variable basic in row i. The objective is kept as a
-// separate reduced-cost row `cost` with scalar `cost_rhs` (negated value).
-class Tableau {
-public:
-    Tableau(std::size_t rows, std::size_t cols)
-        : rows_(rows), cols_(cols), cells_(rows * (cols + 1), 0.0), basis_(rows, -1),
-          cost_(cols, 0.0) {}
-
-    double& at(std::size_t r, std::size_t c) { return cells_[r * (cols_ + 1) + c]; }
-    double at(std::size_t r, std::size_t c) const { return cells_[r * (cols_ + 1) + c]; }
-    double& rhs(std::size_t r) { return at(r, cols_); }
-    double rhs(std::size_t r) const { return at(r, cols_); }
-
-    std::size_t rows() const { return rows_; }
-    std::size_t cols() const { return cols_; }
-    std::vector<std::int32_t>& basis() { return basis_; }
-    const std::vector<std::int32_t>& basis() const { return basis_; }
-    std::vector<double>& cost() { return cost_; }
-    double& cost_rhs() { return cost_rhs_; }
-
-    /// Gauss pivot on (row, col); updates all rows and the cost row.
-    void pivot(std::size_t row, std::size_t col) {
-        double* pivot_row = &cells_[row * (cols_ + 1)];
-        const double inv = 1.0 / pivot_row[col];
-        for (std::size_t c = 0; c <= cols_; ++c) pivot_row[c] *= inv;
-        pivot_row[col] = 1.0; // kill round-off on the pivot cell
-
-        for (std::size_t r = 0; r < rows_; ++r) {
-            if (r == row) continue;
-            double* other = &cells_[r * (cols_ + 1)];
-            const double factor = other[col];
-            if (factor == 0.0) continue;
-            for (std::size_t c = 0; c <= cols_; ++c) other[c] -= factor * pivot_row[c];
-            other[col] = 0.0;
-        }
-        const double cost_factor = cost_[col];
-        if (cost_factor != 0.0) {
-            for (std::size_t c = 0; c < cols_; ++c) cost_[c] -= cost_factor * pivot_row[c];
-            cost_rhs_ -= cost_factor * pivot_row[cols_];
-            cost_[col] = 0.0;
-        }
-        basis_[row] = static_cast<std::int32_t>(col);
-    }
-
-    /// Deletes a (redundant) constraint row.
-    void remove_row(std::size_t row) {
-        cells_.erase(cells_.begin() + static_cast<std::ptrdiff_t>(row * (cols_ + 1)),
-                     cells_.begin() + static_cast<std::ptrdiff_t>((row + 1) * (cols_ + 1)));
-        basis_.erase(basis_.begin() + static_cast<std::ptrdiff_t>(row));
-        --rows_;
-    }
-
-private:
-    std::size_t rows_;
-    std::size_t cols_;
-    std::vector<double> cells_;
-    std::vector<std::int32_t> basis_;
-    std::vector<double> cost_;
-    double cost_rhs_ = 0.0;
-};
 
 enum class PivotOutcome { Optimal, Unbounded, IterationLimit };
 
-/// Runs the pivot loop to optimality of the current cost row.
+/// Runs the primal pivot loop to optimality of the current cost row.
 /// `allowed[c]` masks which columns may enter the basis.
-PivotOutcome optimize(Tableau& tab, const std::vector<char>& allowed,
+PivotOutcome optimize(TableauView& tab, const std::vector<char>& allowed,
                       const SimplexOptions& options, std::size_t max_iterations,
                       std::size_t& iterations_used) {
     const double eps = options.eps;
@@ -90,7 +99,7 @@ PivotOutcome optimize(Tableau& tab, const std::vector<char>& allowed,
         double best = -eps;
         for (std::size_t c = 0; c < tab.cols(); ++c) {
             if (!allowed[c]) continue;
-            const double reduced = tab.cost()[c];
+            const double reduced = tab.cost(c);
             if (reduced < best) {
                 entering = static_cast<std::int64_t>(c);
                 if (bland) break;
@@ -111,7 +120,7 @@ PivotOutcome optimize(Tableau& tab, const std::vector<char>& allowed,
             const double ratio = tab.rhs(r) / a;
             if (ratio < best_ratio - eps ||
                 (ratio < best_ratio + eps && leaving >= 0 &&
-                 tab.basis()[r] < tab.basis()[static_cast<std::size_t>(leaving)])) {
+                 tab.basis(r) < tab.basis(static_cast<std::size_t>(leaving)))) {
                 best_ratio = ratio;
                 leaving = static_cast<std::int64_t>(r);
             }
@@ -128,8 +137,158 @@ PivotOutcome optimize(Tableau& tab, const std::vector<char>& allowed,
 
 } // namespace
 
-LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
-    problem.validate();
+// ------------------------------------------------------------- SimplexSolver
+
+void SimplexSolver::invalidate() noexcept {
+    warm_valid_ = false;
+    warm_streak_ = 0;
+}
+
+SimplexSolver::Change SimplexSolver::classify(const LpProblem& problem) const {
+    if (problem.variable_count() != prev_problem_.variable_count() ||
+        problem.constraint_count() != prev_problem_.constraint_count())
+        return Change::Structure;
+    bool rhs_changed = false;
+    const auto& prev = prev_problem_.constraints();
+    const auto& next = problem.constraints();
+    for (std::size_t i = 0; i < next.size(); ++i) {
+        if (next[i].relation != prev[i].relation || next[i].terms != prev[i].terms)
+            return Change::Structure;
+        if (next[i].rhs != prev[i].rhs) rhs_changed = true;
+    }
+    const bool cost_changed = problem.objective() != prev_problem_.objective();
+    // A combined rhs+cost perturbation has no single-phase restart (neither
+    // primal nor dual feasibility survives); treat it as a structure change
+    // and solve cold.
+    if (rhs_changed && cost_changed) return Change::Structure;
+    if (rhs_changed) return Change::Rhs;
+    if (cost_changed) return Change::Cost;
+    return Change::None;
+}
+
+LpSolution SimplexSolver::extract(const LpProblem& problem, TableauView& tab) const {
+    LpSolution solution;
+    solution.status = LpStatus::Optimal;
+    solution.x.assign(problem.variable_count(), 0.0);
+    for (std::size_t r = 0; r < tab.rows(); ++r) {
+        const auto b = static_cast<std::size_t>(tab.basis(r));
+        if (b < n_struct_) solution.x[b] = tab.rhs(r);
+    }
+    // Clamp tiny negative round-off.
+    for (double& v : solution.x)
+        if (v < 0.0 && v > -1e-7) v = 0.0;
+    solution.objective = -tab.cost_rhs();
+    return solution;
+}
+
+bool SimplexSolver::try_warm(const LpProblem& problem, const SimplexOptions& options,
+                             Change change, LpSolution& solution) {
+    TableauView tab = tableau_.view();
+    const std::size_t m = tab.rows();
+    const double eps = options.eps;
+    const std::size_t cap =
+        options.warm_iteration_cap ? options.warm_iteration_cap : 4 * m + 64;
+
+    if (change == Change::Rhs) {
+        // Dual-simplex restart: the basis stays dual feasible (costs are
+        // unchanged), so only the basic solution b̂ = B⁻¹·b_new must be
+        // recomputed. B⁻¹ sits in the tableau columns that formed the
+        // initial identity (the slack/artificial column of each row).
+        const auto& constraints = problem.constraints();
+        std::vector<std::pair<std::size_t, double>> rhs_terms; // (row j, S_j * b_j)
+        for (std::size_t j = 0; j < m; ++j) {
+            const double b = row_sign_[j] * constraints[j].rhs;
+            if (b != 0.0) rhs_terms.emplace_back(static_cast<std::size_t>(init_basis_col_[j]), b);
+        }
+        for (std::size_t r = 0; r < m; ++r) {
+            double acc = 0.0;
+            for (const auto& [col, b] : rhs_terms) acc += tab.at(r, col) * b;
+            tab.rhs(r) = acc;
+        }
+        // Objective value of the restarted basis: z = c_B · b̂.
+        double z = 0.0;
+        for (std::size_t r = 0; r < m; ++r) {
+            const auto b = static_cast<std::size_t>(tab.basis(r));
+            if (b < n_struct_) z += problem.objective()[b] * tab.rhs(r);
+        }
+        tab.cost_rhs() = -z;
+
+        for (std::size_t iter = 0; iter < cap; ++iter) {
+            const bool bland = iter >= options.bland_threshold;
+            // Leaving row: most negative basic value (or the first, under
+            // the anti-cycling rule).
+            std::int64_t leaving = -1;
+            double most = -eps;
+            for (std::size_t r = 0; r < m; ++r) {
+                const double v = tab.rhs(r);
+                if (v < most) {
+                    leaving = static_cast<std::int64_t>(r);
+                    if (bland) break;
+                    most = v;
+                }
+            }
+            if (leaving < 0) {
+                solution = extract(problem, tab);
+                prev_problem_ = problem;
+                prev_solution_ = solution;
+                stats_.pivots += iter;
+                return true;
+            }
+            // Entering column: the dual ratio test — smallest reduced cost
+            // per unit of |pivot| among negative entries of the leaving row
+            // keeps the cost row dual feasible. Ties break to the smallest
+            // column index (deterministic, Bland-flavoured).
+            std::int64_t entering = -1;
+            double best_ratio = std::numeric_limits<double>::infinity();
+            for (std::size_t c = 0; c < n_total_; ++c) {
+                if (!allowed_[c]) continue;
+                const double a = tab.at(static_cast<std::size_t>(leaving), c);
+                if (a >= -eps) continue;
+                const double ratio = tab.cost(c) / (-a);
+                if (ratio < best_ratio - eps) {
+                    best_ratio = ratio;
+                    entering = static_cast<std::int64_t>(c);
+                }
+            }
+            // No admissible pivot: the row proves primal infeasibility (or
+            // the warm state has drifted) — let the cold path decide, so a
+            // warm solve never reports a status the cold path would not.
+            if (entering < 0) return false;
+            tab.pivot(static_cast<std::size_t>(leaving), static_cast<std::size_t>(entering));
+        }
+        stats_.pivots += cap;
+        return false; // stalled — fall back cold
+    }
+
+    // Cost-only change: the basic solution stays primal feasible; rebuild
+    // the reduced-cost row for the new objective and continue with phase-2
+    // primal pivots from the current basis.
+    for (std::size_t c = 0; c < n_total_; ++c)
+        tab.cost(c) = c < n_struct_ ? problem.objective()[c] : 0.0;
+    tab.cost_rhs() = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+        const auto b = static_cast<std::size_t>(tab.basis(r));
+        const double cost_b = tab.cost(b);
+        if (cost_b == 0.0) continue;
+        for (std::size_t c = 0; c < n_total_; ++c) tab.cost(c) -= cost_b * tab.at(r, c);
+        tab.cost_rhs() -= cost_b * tab.rhs(r);
+        tab.cost(b) = 0.0;
+    }
+    std::size_t iterations_used = 0;
+    const PivotOutcome outcome = optimize(tab, allowed_, options, cap, iterations_used);
+    stats_.pivots += iterations_used;
+    if (outcome != PivotOutcome::Optimal) return false; // unbounded/stall -> cold decides
+    solution = extract(problem, tab);
+    prev_problem_ = problem;
+    prev_solution_ = solution;
+    return true;
+}
+
+LpSolution SimplexSolver::solve_cold(const LpProblem& problem, const SimplexOptions& options) {
+    ++stats_.cold_solves;
+    warm_valid_ = false;
+    warm_streak_ = 0;
+
     const std::size_t n_struct = problem.variable_count();
     const std::size_t m = problem.constraint_count();
 
@@ -151,8 +310,15 @@ LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
     }
     const std::size_t n_total = n_struct + n_slack + n_artificial;
 
-    Tableau tab(m, n_total);
+    n_struct_ = n_struct;
+    n_slack_ = n_slack;
+    n_artificial_ = n_artificial;
+    n_total_ = n_total;
+
+    TableauView tab = tableau_.reset(m, n_total);
     std::vector<char> is_artificial(n_total, 0);
+    row_sign_.assign(m, 1.0);
+    init_basis_col_.assign(m, -1);
 
     std::size_t next_slack = n_struct;
     std::size_t next_artificial = n_struct + n_slack;
@@ -167,11 +333,13 @@ LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
         for (const auto& [var, coeff] : c.terms)
             tab.at(r, static_cast<std::size_t>(var)) += sign * coeff;
         tab.rhs(r) = sign * c.rhs;
+        row_sign_[r] = sign;
 
         switch (rel) {
         case Relation::LessEqual:
             tab.at(r, next_slack) = 1.0;
-            tab.basis()[r] = static_cast<std::int32_t>(next_slack);
+            tab.set_basis(r, static_cast<std::int32_t>(next_slack));
+            init_basis_col_[r] = static_cast<std::int32_t>(next_slack);
             ++next_slack;
             break;
         case Relation::GreaterEqual:
@@ -179,13 +347,15 @@ LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
             ++next_slack;
             tab.at(r, next_artificial) = 1.0;
             is_artificial[next_artificial] = 1;
-            tab.basis()[r] = static_cast<std::int32_t>(next_artificial);
+            tab.set_basis(r, static_cast<std::int32_t>(next_artificial));
+            init_basis_col_[r] = static_cast<std::int32_t>(next_artificial);
             ++next_artificial;
             break;
         case Relation::Equal:
             tab.at(r, next_artificial) = 1.0;
             is_artificial[next_artificial] = 1;
-            tab.basis()[r] = static_cast<std::int32_t>(next_artificial);
+            tab.set_basis(r, static_cast<std::int32_t>(next_artificial));
+            init_basis_col_[r] = static_cast<std::int32_t>(next_artificial);
             ++next_artificial;
             break;
         }
@@ -195,25 +365,27 @@ LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
                                           ? options.max_iterations
                                           : 64 * (m + n_total) + 4096;
     std::size_t iterations_used = 0;
-    std::vector<char> allowed(n_total, 1);
+    allowed_.assign(n_total, 1);
 
     LpSolution solution;
 
     // ---- Phase 1: minimize the sum of artificial variables. ----
     if (n_artificial > 0) {
-        std::fill(tab.cost().begin(), tab.cost().end(), 0.0);
+        for (std::size_t c = 0; c < n_total; ++c) tab.cost(c) = 0.0;
         tab.cost_rhs() = 0.0;
-        for (std::size_t c = n_struct + n_slack; c < n_total; ++c) tab.cost()[c] = 1.0;
+        for (std::size_t c = n_struct + n_slack; c < n_total; ++c) tab.cost(c) = 1.0;
         // Price out the artificial basis (they start basic with cost 1).
         for (std::size_t r = 0; r < tab.rows(); ++r) {
-            const auto b = static_cast<std::size_t>(tab.basis()[r]);
+            const auto b = static_cast<std::size_t>(tab.basis(r));
             if (!is_artificial[b]) continue;
-            for (std::size_t c = 0; c < n_total; ++c) tab.cost()[c] -= tab.at(r, c);
+            for (std::size_t c = 0; c < n_total; ++c) tab.cost(c) -= tab.at(r, c);
             tab.cost_rhs() -= tab.rhs(r);
         }
 
         const PivotOutcome outcome =
-            optimize(tab, allowed, options, iteration_cap, iterations_used);
+            optimize(tab, allowed_, options, iteration_cap, iterations_used);
+        stats_.pivots += iterations_used;
+        iterations_used = 0;
         if (outcome == PivotOutcome::IterationLimit) {
             solution.status = LpStatus::IterationLimit;
             return solution;
@@ -227,7 +399,7 @@ LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
 
         // Drive remaining artificials out of the basis (they sit at zero).
         for (std::size_t r = 0; r < tab.rows();) {
-            const auto b = static_cast<std::size_t>(tab.basis()[r]);
+            const auto b = static_cast<std::size_t>(tab.basis(r));
             if (!is_artificial[b]) {
                 ++r;
                 continue;
@@ -247,24 +419,25 @@ LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
             }
         }
         // Artificial columns may never re-enter.
-        for (std::size_t c = n_struct + n_slack; c < n_total; ++c) allowed[c] = 0;
+        for (std::size_t c = n_struct + n_slack; c < n_total; ++c) allowed_[c] = 0;
     }
 
     // ---- Phase 2: minimize the real objective. ----
-    std::fill(tab.cost().begin(), tab.cost().end(), 0.0);
+    for (std::size_t c = 0; c < n_total; ++c) tab.cost(c) = 0.0;
     tab.cost_rhs() = 0.0;
-    for (std::size_t c = 0; c < n_struct; ++c) tab.cost()[c] = problem.objective()[c];
+    for (std::size_t c = 0; c < n_struct; ++c) tab.cost(c) = problem.objective()[c];
     for (std::size_t r = 0; r < tab.rows(); ++r) {
-        const auto b = static_cast<std::size_t>(tab.basis()[r]);
-        const double cost_b = tab.cost()[b];
+        const auto b = static_cast<std::size_t>(tab.basis(r));
+        const double cost_b = tab.cost(b);
         if (cost_b == 0.0) continue;
-        for (std::size_t c = 0; c < n_total; ++c) tab.cost()[c] -= cost_b * tab.at(r, c);
+        for (std::size_t c = 0; c < n_total; ++c) tab.cost(c) -= cost_b * tab.at(r, c);
         tab.cost_rhs() -= cost_b * tab.rhs(r);
-        tab.cost()[b] = 0.0;
+        tab.cost(b) = 0.0;
     }
 
     const PivotOutcome outcome =
-        optimize(tab, allowed, options, iteration_cap, iterations_used);
+        optimize(tab, allowed_, options, iteration_cap, iterations_used);
+    stats_.pivots += iterations_used;
     if (outcome == PivotOutcome::IterationLimit) {
         solution.status = LpStatus::IterationLimit;
         return solution;
@@ -274,17 +447,59 @@ LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
         return solution;
     }
 
-    solution.status = LpStatus::Optimal;
-    solution.x.assign(n_struct, 0.0);
-    for (std::size_t r = 0; r < tab.rows(); ++r) {
-        const auto b = static_cast<std::size_t>(tab.basis()[r]);
-        if (b < n_struct) solution.x[b] = tab.rhs(r);
-    }
-    // Clamp tiny negative round-off.
-    for (double& v : solution.x)
-        if (v < 0.0 && v > -1e-7) v = 0.0;
-    solution.objective = -tab.cost_rhs();
+    solution = extract(problem, tab);
+    remember(problem, solution, tab);
     return solution;
+}
+
+void SimplexSolver::remember(const LpProblem& problem, const LpSolution& solution,
+                             TableauView& tab) {
+    // A warm restart re-enters the kept view; its row count must match the
+    // original constraint count (phase 1 may have removed redundant rows,
+    // which also desynchronizes row_sign_/init_basis_col_ indexing).
+    warm_valid_ = solution.status == LpStatus::Optimal &&
+                  tab.rows() == problem.constraint_count();
+    if (warm_valid_) {
+        // An artificial variable surviving in the basis would poison B⁻¹.
+        for (std::size_t r = 0; r < tab.rows() && warm_valid_; ++r)
+            warm_valid_ = static_cast<std::size_t>(tab.basis(r)) < n_struct_ + n_slack_;
+    }
+    if (warm_valid_) {
+        prev_problem_ = problem;
+        prev_solution_ = solution;
+    }
+}
+
+LpSolution SimplexSolver::solve(const LpProblem& problem, const SimplexOptions& options) {
+    problem.validate();
+    ++stats_.solves;
+    last_was_warm_ = false;
+    if (warm_valid_) {
+        const std::size_t refresh =
+            options.warm_refresh_interval ? options.warm_refresh_interval : 64;
+        const Change change = classify(problem);
+        if (change == Change::None) {
+            ++stats_.cached_solves;
+            last_was_warm_ = true;
+            return prev_solution_;
+        }
+        if (change != Change::Structure && warm_streak_ < refresh) {
+            LpSolution solution;
+            if (try_warm(problem, options, change, solution)) {
+                ++stats_.warm_solves;
+                ++warm_streak_;
+                last_was_warm_ = true;
+                return solution;
+            }
+            ++stats_.warm_fallbacks;
+        }
+    }
+    return solve_cold(problem, options);
+}
+
+LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& options) {
+    SimplexSolver solver;
+    return solver.solve(problem, options);
 }
 
 } // namespace nocmap::lp

@@ -12,6 +12,15 @@ namespace nocmap::nmap {
 
 namespace {
 
+bool use_exact_inner(const SplitOptions& options) {
+    switch (options.mcf_engine) {
+    case McfEngine::Exact: return true;
+    case McfEngine::Approx: return false;
+    case McfEngine::Auto: break;
+    }
+    return options.exact_inner_lp;
+}
+
 lp::McfOptions make_mcf_options(const SplitOptions& options, lp::McfObjective objective,
                                 bool exact) {
     lp::McfOptions mcf;
@@ -19,14 +28,47 @@ lp::McfOptions make_mcf_options(const SplitOptions& options, lp::McfObjective ob
     mcf.quadrant_restricted = options.mode == SplitMode::MinPaths;
     mcf.use_exact_lp = exact;
     mcf.approx_iterations = options.approx_iterations;
+    mcf.warm_start = options.warm_start;
     return mcf;
 }
 
-lp::McfResult run_mcf(const graph::CoreGraph& graph, const noc::Topology& topo,
-                      const noc::Mapping& mapping, const lp::McfOptions& mcf) {
-    const auto commodities = noc::build_commodities(graph, mapping);
-    return lp::solve_mcf(topo, commodities, mcf);
+/// Graph-side commodity skeleton (id, cores, value), built once per run;
+/// each candidate only rewrites the tile endpoints via remap_commodities.
+/// Remapped, this equals build_commodities(graph, mapping) exactly.
+std::vector<noc::Commodity> graph_commodities(const graph::CoreGraph& graph) {
+    std::vector<noc::Commodity> commodities;
+    commodities.reserve(graph.edge_count());
+    std::int32_t id = 0;
+    for (const graph::CoreEdge& e : graph.edges()) {
+        noc::Commodity c;
+        c.id = id++;
+        c.src_core = e.src;
+        c.dst_core = e.dst;
+        c.value = e.bandwidth;
+        commodities.push_back(c);
+    }
+    return commodities;
 }
+
+/// One inner MCF engine slot: a persistent warm McfSolver when the options
+/// ask for warm starts, the one-shot context solve otherwise.
+class InnerMcf {
+public:
+    InnerMcf(const noc::EvalContext& ctx, lp::McfOptions options)
+        : ctx_(ctx), options_(std::move(options)) {
+        if (options_.warm_start) solver_.emplace(ctx_, options_);
+    }
+
+    lp::McfResult solve(const std::vector<noc::Commodity>& commodities) {
+        if (solver_) return solver_->solve(commodities);
+        return lp::solve_mcf(ctx_, commodities, options_);
+    }
+
+private:
+    const noc::EvalContext& ctx_;
+    lp::McfOptions options_;
+    std::optional<lp::McfSolver> solver_;
+};
 
 /// Two-phase MCF sweep policy (the body of mappingwithsplitting()):
 /// phase 1 minimizes the MCF1 slack until some candidate satisfies the
@@ -37,24 +79,26 @@ lp::McfResult run_mcf(const graph::CoreGraph& graph, const noc::Topology& topo,
 /// mid-row), hence not parallel_safe.
 class SplitPolicy final : public engine::SweepPolicy {
 public:
-    SplitPolicy(const graph::CoreGraph& graph, const noc::Topology& topo,
+    SplitPolicy(const graph::CoreGraph& graph, const noc::EvalContext& ctx,
                 const lp::McfOptions& slack_mcf, const lp::McfOptions& flow_mcf,
                 bool routing_prefilter)
-        : graph_(graph), topo_(topo), slack_mcf_(slack_mcf), flow_mcf_(flow_mcf),
-          routing_prefilter_(routing_prefilter) {}
+        : graph_(graph), ctx_(ctx), slack_(ctx, slack_mcf), flow_(ctx, flow_mcf),
+          routing_prefilter_(routing_prefilter), commodities_(graph_commodities(graph)) {}
 
     engine::Score evaluate(const noc::Mapping& mapping) override {
         count_evaluation();
         if (!bw_satisfied_ && routed_feasible(mapping, noc::kInvalidTile, noc::kInvalidTile))
             bw_satisfied_ = true;
         if (!bw_satisfied_) {
-            const lp::McfResult slack = run_mcf(graph_, topo_, mapping, slack_mcf_);
+            noc::remap_commodities(commodities_, mapping);
+            const lp::McfResult slack = slack_.solve(commodities_);
             if (!slack.feasible)
                 return engine::Score{engine::kMaxValue, slack.objective, false};
             bw_satisfied_ = true;
         }
         count_evaluation();
-        const lp::McfResult cost = run_mcf(graph_, topo_, mapping, flow_mcf_);
+        noc::remap_commodities(commodities_, mapping);
+        const lp::McfResult cost = flow_.solve(commodities_);
         return feasible_score(cost);
     }
 
@@ -70,7 +114,8 @@ public:
                 bw_satisfied_ = true;
             } else {
                 count_evaluation();
-                const lp::McfResult slack = run_mcf(graph_, topo_, candidate, slack_mcf_);
+                noc::remap_commodities(commodities_, candidate);
+                const lp::McfResult slack = slack_.solve(commodities_);
                 if (!slack.feasible)
                     return engine::Score{engine::kMaxValue, slack.objective, false};
                 // First bandwidth-satisfying candidate: switch to the cost
@@ -79,14 +124,15 @@ public:
             }
         }
         count_evaluation();
-        const lp::McfResult cost = run_mcf(graph_, topo_, candidate, flow_mcf_);
+        noc::remap_commodities(commodities_, candidate);
+        const lp::McfResult cost = flow_.solve(commodities_);
         return feasible_score(cost);
     }
 
     void on_rebase(const noc::Mapping& placed, const engine::Score&) override {
         if (!routing_prefilter_ || bw_satisfied_) return;
         if (!router_)
-            router_.emplace(graph_, topo_, placed);
+            router_.emplace(graph_, ctx_.topology(), placed);
         else
             router_->rebase(placed);
     }
@@ -99,7 +145,7 @@ private:
     bool routed_feasible(const noc::Mapping& base, noc::TileId a, noc::TileId b) {
         if (!routing_prefilter_) return false;
         if (!router_)
-            router_.emplace(graph_, topo_, base);
+            router_.emplace(graph_, ctx_.topology(), base);
         if (a == noc::kInvalidTile) return router_->feasible();
         const bool feasible = router_->reroute_swap(a, b).feasible;
         router_->rollback();
@@ -117,10 +163,11 @@ private:
     }
 
     const graph::CoreGraph& graph_;
-    const noc::Topology& topo_;
-    const lp::McfOptions slack_mcf_;
-    const lp::McfOptions flow_mcf_;
+    const noc::EvalContext& ctx_;
+    InnerMcf slack_;
+    InnerMcf flow_;
     const bool routing_prefilter_;
+    std::vector<noc::Commodity> commodities_;
     std::optional<engine::IncrementalRouter> router_;
     bool bw_satisfied_ = false;
 };
@@ -129,14 +176,14 @@ private:
 /// bandwidth the design would need) under the split mode.
 class BandwidthPolicy final : public engine::SweepPolicy {
 public:
-    BandwidthPolicy(const graph::CoreGraph& graph, const noc::Topology& topo,
+    BandwidthPolicy(const graph::CoreGraph& graph, const noc::EvalContext& ctx,
                     const lp::McfOptions& minmax_mcf)
-        : graph_(graph), topo_(topo), minmax_mcf_(minmax_mcf) {}
+        : ctx_(ctx), minmax_(ctx, minmax_mcf), commodities_(graph_commodities(graph)) {}
 
     engine::Score evaluate(const noc::Mapping& mapping) override {
         count_evaluation();
-        return engine::Score{run_mcf(graph_, topo_, mapping, minmax_mcf_).objective, 0.0,
-                             true};
+        noc::remap_commodities(commodities_, mapping);
+        return engine::Score{minmax_.solve(commodities_).objective, 0.0, true};
     }
 
     engine::Score evaluate_swap(const noc::Mapping& base, const engine::Score&,
@@ -148,9 +195,9 @@ public:
     }
 
 private:
-    const graph::CoreGraph& graph_;
-    const noc::Topology& topo_;
-    const lp::McfOptions minmax_mcf_;
+    const noc::EvalContext& ctx_;
+    InnerMcf minmax_;
+    std::vector<noc::Commodity> commodities_;
 };
 
 engine::SwapSweepDriver make_driver(const SplitOptions& options) {
@@ -160,31 +207,37 @@ engine::SwapSweepDriver make_driver(const SplitOptions& options) {
     return engine::SwapSweepDriver(sweep);
 }
 
+/// Final exact scoring of the chosen mapping (one-shot, never warm).
+lp::McfResult polish_mcf(const graph::CoreGraph& graph, const noc::EvalContext& ctx,
+                         const noc::Mapping& mapping, const SplitOptions& options,
+                         lp::McfObjective objective, bool exact) {
+    return lp::solve_mcf(ctx, noc::build_commodities(graph, mapping),
+                         make_mcf_options(options, objective, exact));
+}
+
 MappingResult map_minimizing_bandwidth(const graph::CoreGraph& graph,
-                                       const noc::Topology& topo,
+                                       const noc::EvalContext& ctx,
                                        const SplitOptions& options) {
     BandwidthPolicy policy(
-        graph, topo,
-        make_mcf_options(options, lp::McfObjective::MinMaxLoad, options.exact_inner_lp));
+        graph, ctx,
+        make_mcf_options(options, lp::McfObjective::MinMaxLoad, use_exact_inner(options)));
     const engine::SweepOutcome outcome =
-        make_driver(options).sweep(initial_mapping(graph, topo), policy);
+        make_driver(options).sweep(initial_mapping(graph, ctx.topology()), policy);
 
     MappingResult result;
     result.mapping = outcome.best;
     result.evaluations = policy.evaluations();
 
     // Final (exact) scoring of the chosen mapping.
-    const bool exact = options.exact_final_polish || options.exact_inner_lp;
-    const lp::McfResult final_bw = run_mcf(
-        graph, topo, outcome.best,
-        make_mcf_options(options, lp::McfObjective::MinMaxLoad, exact));
+    const bool exact = options.exact_final_polish || use_exact_inner(options);
+    const lp::McfResult final_bw =
+        polish_mcf(graph, ctx, outcome.best, options, lp::McfObjective::MinMaxLoad, exact);
     ++result.evaluations;
     result.feasible = final_bw.solved;
     result.loads = final_bw.loads;
     result.flows = final_bw.flows;
-    const lp::McfResult final_cost = run_mcf(
-        graph, topo, outcome.best,
-        make_mcf_options(options, lp::McfObjective::MinFlow, exact));
+    const lp::McfResult final_cost =
+        polish_mcf(graph, ctx, outcome.best, options, lp::McfObjective::MinFlow, exact);
     ++result.evaluations;
     result.comm_cost = final_cost.feasible ? final_cost.objective : kMaxValue;
     return result;
@@ -192,17 +245,17 @@ MappingResult map_minimizing_bandwidth(const graph::CoreGraph& graph,
 
 } // namespace
 
-MappingResult map_with_splitting(const graph::CoreGraph& graph, const noc::Topology& topo,
+MappingResult map_with_splitting(const graph::CoreGraph& graph, const noc::EvalContext& ctx,
                                  const SplitOptions& options) {
-    if (options.optimize_bandwidth) return map_minimizing_bandwidth(graph, topo, options);
+    if (options.optimize_bandwidth) return map_minimizing_bandwidth(graph, ctx, options);
 
     SplitPolicy policy(
-        graph, topo,
-        make_mcf_options(options, lp::McfObjective::MinSlack, options.exact_inner_lp),
-        make_mcf_options(options, lp::McfObjective::MinFlow, options.exact_inner_lp),
+        graph, ctx,
+        make_mcf_options(options, lp::McfObjective::MinSlack, use_exact_inner(options)),
+        make_mcf_options(options, lp::McfObjective::MinFlow, use_exact_inner(options)),
         options.routing_prefilter);
     const engine::SweepOutcome outcome =
-        make_driver(options).sweep(initial_mapping(graph, topo), policy);
+        make_driver(options).sweep(initial_mapping(graph, ctx.topology()), policy);
     util::log_debug("nmap.split") << "sweeps " << outcome.sweeps
                                   << (policy.bw_satisfied() ? " cost " : " slack ")
                                   << (policy.bw_satisfied() ? outcome.best_score.primary
@@ -213,16 +266,14 @@ MappingResult map_with_splitting(const graph::CoreGraph& graph, const noc::Topol
     result.evaluations = policy.evaluations();
 
     // Final (exact) scoring of the chosen mapping.
-    const bool exact = options.exact_final_polish || options.exact_inner_lp;
-    const lp::McfResult final_slack = run_mcf(
-        graph, topo, outcome.best,
-        make_mcf_options(options, lp::McfObjective::MinSlack, exact));
+    const bool exact = options.exact_final_polish || use_exact_inner(options);
+    const lp::McfResult final_slack =
+        polish_mcf(graph, ctx, outcome.best, options, lp::McfObjective::MinSlack, exact);
     ++result.evaluations;
     result.feasible = final_slack.feasible;
     if (result.feasible) {
-        const lp::McfResult final_cost = run_mcf(
-            graph, topo, outcome.best,
-            make_mcf_options(options, lp::McfObjective::MinFlow, exact));
+        const lp::McfResult final_cost =
+            polish_mcf(graph, ctx, outcome.best, options, lp::McfObjective::MinFlow, exact);
         ++result.evaluations;
         if (final_cost.feasible) {
             result.comm_cost = final_cost.objective;
@@ -238,6 +289,12 @@ MappingResult map_with_splitting(const graph::CoreGraph& graph, const noc::Topol
     result.loads = final_slack.loads;
     result.flows = final_slack.flows;
     return result;
+}
+
+MappingResult map_with_splitting(const graph::CoreGraph& graph, const noc::Topology& topo,
+                                 const SplitOptions& options) {
+    const noc::EvalContext ctx = noc::EvalContext::borrow(topo);
+    return map_with_splitting(graph, ctx, options);
 }
 
 } // namespace nocmap::nmap

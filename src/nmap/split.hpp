@@ -23,6 +23,13 @@ enum class SplitMode {
     MinPaths, ///< NMAPTM (quadrant-restricted, Eq. 10)
 };
 
+/// Inner MCF engine selection for the per-swap evaluations.
+enum class McfEngine {
+    Auto,   ///< follow SplitOptions::exact_inner_lp (the legacy knob)
+    Exact,  ///< exact simplex on every swap
+    Approx, ///< Frank–Wolfe approximation on every swap
+};
+
 struct SplitOptions {
     SplitMode mode = SplitMode::AllPaths;
     /// Engine for the per-swap MCF evaluations. The exact simplex on every
@@ -30,6 +37,15 @@ struct SplitOptions {
     /// follows the paper's own speed/quality trade-off (cf. its ILP remark)
     /// and uses the Frank–Wolfe approximation inside the loop.
     bool exact_inner_lp = false;
+    /// Overrides exact_inner_lp when not Auto.
+    McfEngine mcf_engine = McfEngine::Auto;
+    /// Warm-start the inner engines across consecutive swap candidates: the
+    /// exact simplex re-solves a fixed LP skeleton from the previous optimal
+    /// basis, the Frank–Wolfe engine seeds flows from the previous
+    /// candidate's solution (see lp::McfSolver). Objectives and feasibility
+    /// verdicts match the cold engines; tie-breaking among cost-equal
+    /// optimal *flows* may differ, hence default off for bit-stable output.
+    bool warm_start = false;
     /// Iterations for the approximate inner engine.
     std::size_t approx_iterations = 32;
     /// Re-score the final mapping with the exact simplex LP (recommended;
@@ -63,6 +79,12 @@ struct SplitOptions {
 /// (total flow = bandwidth-weighted hops); `flows` carries the per-commodity
 /// split so routing tables can be generated.
 MappingResult map_with_splitting(const graph::CoreGraph& graph, const noc::Topology& topo,
+                                 const SplitOptions& options = {});
+
+/// Context-threaded variant: quadrant construction and the MCF engines use
+/// the shared EvalContext; the topology overload wraps a borrowed context.
+/// Bit-identical to the topology overload for every option set.
+MappingResult map_with_splitting(const graph::CoreGraph& graph, const noc::EvalContext& ctx,
                                  const SplitOptions& options = {});
 
 } // namespace nocmap::nmap

@@ -22,6 +22,13 @@ std::vector<Commodity> build_commodities(const graph::CoreGraph& graph,
     return commodities;
 }
 
+void remap_commodities(std::vector<Commodity>& commodities, const Mapping& mapping) {
+    for (Commodity& c : commodities) {
+        c.src_tile = mapping.tile_of(c.src_core); // throws when unplaced
+        c.dst_tile = mapping.tile_of(c.dst_core);
+    }
+}
+
 void sort_by_decreasing_value(std::vector<Commodity>& commodities) {
     // One comparator for the routing order, defined once in routing_order().
     std::vector<Commodity> sorted;

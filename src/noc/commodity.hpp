@@ -24,6 +24,12 @@ struct Commodity {
 std::vector<Commodity> build_commodities(const graph::CoreGraph& graph,
                                          const Mapping& mapping);
 
+/// Rewrites only the tile endpoints of an already-built commodity set for a
+/// new mapping of the same core graph — the per-candidate path of the swap
+/// sweeps, which perturb the mapping but never the graph-side fields
+/// (id/cores/value). Throws std::logic_error if any endpoint is unplaced.
+void remap_commodities(std::vector<Commodity>& commodities, const Mapping& mapping);
+
 /// Sorts by decreasing value (the order shortestpath() routes in); ties are
 /// broken by id so results are deterministic.
 void sort_by_decreasing_value(std::vector<Commodity>& commodities);

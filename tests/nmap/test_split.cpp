@@ -1,5 +1,7 @@
 #include "nmap/split.hpp"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "apps/registry.hpp"
@@ -161,6 +163,80 @@ TEST(Split, BandwidthModeReportsMcf2Cost) {
     // Eq.7 mapping cost.
     const auto d = noc::build_commodities(g, result.mapping);
     EXPECT_GE(result.comm_cost, noc::communication_cost(topo, d) - 1e-6);
+}
+
+TEST(Split, ContextOverloadBitIdenticalToTopologyOverload) {
+    const auto g = apps::make_application("dsp");
+    const auto topo = noc::Topology::mesh(3, 2, 1e9);
+    const auto ctx = noc::EvalContext::borrow(topo);
+    for (const SplitMode mode : {SplitMode::AllPaths, SplitMode::MinPaths}) {
+        SplitOptions opt;
+        opt.mode = mode;
+        const auto via_topo = map_with_splitting(g, topo, opt);
+        const auto via_ctx = map_with_splitting(g, ctx, opt);
+        EXPECT_EQ(via_topo.mapping, via_ctx.mapping);
+        EXPECT_EQ(via_topo.feasible, via_ctx.feasible);
+        EXPECT_EQ(via_topo.comm_cost, via_ctx.comm_cost);
+        EXPECT_EQ(via_topo.loads, via_ctx.loads);
+        EXPECT_EQ(via_topo.evaluations, via_ctx.evaluations);
+    }
+}
+
+TEST(Split, WarmStartMatchesColdVerdictAndCost) {
+    // Warm inner engines may pick different cost-equal flows mid-sweep, but
+    // feasibility and the final exact polish's cost must agree with the cold
+    // run on these ample-capacity instances (shortest-path optimum).
+    const auto g = apps::make_application("pip");
+    const auto topo = noc::Topology::mesh(4, 2, 1e9);
+    for (const auto engine : {McfEngine::Approx, McfEngine::Exact}) {
+        SplitOptions cold_opt;
+        cold_opt.mcf_engine = engine;
+        SplitOptions warm_opt = cold_opt;
+        warm_opt.warm_start = true;
+        const auto cold = map_with_splitting(g, topo, cold_opt);
+        const auto warm = map_with_splitting(g, topo, warm_opt);
+        EXPECT_EQ(warm.feasible, cold.feasible);
+        ASSERT_TRUE(warm.feasible);
+        EXPECT_NEAR(warm.comm_cost, cold.comm_cost,
+                    1e-6 * std::max(1.0, cold.comm_cost));
+    }
+}
+
+TEST(Split, WarmStartExactOnConstrainedInstance) {
+    // The 2x2/100-capacity instance from FeasibleWhereSinglePathIsNot, with
+    // the warm exact engine driving every swap evaluation.
+    graph::CoreGraph g;
+    g.add_node("a");
+    g.add_node("b");
+    g.add_edge("a", "b", 150.0);
+    const auto topo = noc::Topology::mesh(2, 2, 100.0);
+    SplitOptions opt;
+    opt.mcf_engine = McfEngine::Exact;
+    opt.warm_start = true;
+    const auto result = map_with_splitting(g, topo, opt);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_TRUE(noc::satisfies_bandwidth(topo, result.loads, 1e-4));
+}
+
+TEST(Split, McfEngineOverridesLegacyKnob) {
+    // mcf_engine=Approx must win over exact_inner_lp=true and vice versa;
+    // both runs stay feasible on an ample mesh and agree after polish.
+    const auto g = apps::make_application("dsp");
+    const auto topo = noc::Topology::mesh(3, 2, 1e9);
+    SplitOptions a;
+    a.exact_inner_lp = true;
+    a.mcf_engine = McfEngine::Approx;
+    SplitOptions b;
+    b.exact_inner_lp = false;
+    b.mcf_engine = McfEngine::Exact;
+    const auto ra = map_with_splitting(g, topo, a);
+    const auto rb = map_with_splitting(g, topo, b);
+    EXPECT_TRUE(ra.feasible);
+    EXPECT_TRUE(rb.feasible);
+    // The Approx-engine run equals the pure-default (approx) run.
+    const auto default_run = map_with_splitting(g, topo);
+    EXPECT_EQ(ra.mapping, default_run.mapping);
+    EXPECT_EQ(ra.comm_cost, default_run.comm_cost);
 }
 
 TEST(Split, ReportsInfeasibleWhenTrulyImpossible) {
