@@ -16,18 +16,30 @@
 // the cold daemon's — a warm cache may only change speed, never bytes.
 // `--smoke` additionally gates warm >= cold requests/sec and exits
 // non-zero on any violation (the CI assertion).
+//
+// The concurrent section serves the same stream to N parallel TCP clients
+// (shard::WorkerLink loopback connections against one serve_socket daemon)
+// — the multi-session shape the shard coordinator and --max-connections
+// exist for. Every client's responses must match the serial daemon's bytes
+// (sessions share one runner/cache but may never cross-contaminate);
+// aggregate requests/sec is reported per client count.
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
+#include <future>
 #include <iostream>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/registry.hpp"
+#include "service/protocol.hpp"
 #include "service/service.hpp"
+#include "shard/worker_link.hpp"
 #include "util/table.hpp"
 
 #include "bench_common.hpp"
@@ -118,6 +130,62 @@ bool same_reports(const std::vector<std::string>& a, const std::vector<std::stri
     return true;
 }
 
+struct ConcurrentMeasurement {
+    double wall_ms = 0.0;
+    bool parity = true;
+};
+
+/// `clients` parallel TCP sessions against one warm serve_socket daemon,
+/// each issuing the full request stream; every response is byte-compared
+/// (modulo cache counters) against the serial reference.
+ConcurrentMeasurement measure_concurrent(const std::vector<std::string>& requests,
+                                         std::size_t clients,
+                                         const std::vector<std::string>& reference) {
+    service::Service daemon = make_service(0);
+    std::promise<std::uint16_t> bound;
+    std::thread server([&] {
+        daemon.serve_socket(0, [&](std::uint16_t port) { bound.set_value(port); });
+    });
+    const std::uint16_t port = bound.get_future().get();
+    {
+        // Populate the shared cache outside the measured window (the warm
+        // steady state, same as the serial section).
+        const auto link = shard::connect_tcp("127.0.0.1", port);
+        for (const std::string& request : requests) link->exchange(request);
+    }
+
+    ConcurrentMeasurement m;
+    std::atomic<bool> parity{true};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+        pool.emplace_back([&] {
+            try {
+                const auto link = shard::connect_tcp("127.0.0.1", port);
+                for (std::size_t i = 0; i < requests.size(); ++i) {
+                    const std::string response = link->exchange(requests[i]);
+                    if (stable_part(response) != stable_part(reference[i]))
+                        parity = false;
+                }
+            } catch (const std::exception&) {
+                parity = false;
+            }
+        });
+    }
+    for (std::thread& t : pool) t.join();
+    m.wall_ms = ms_since(start);
+    m.parity = parity;
+
+    try {
+        shard::connect_tcp("127.0.0.1", port)->exchange(service::shutdown_request("bye"));
+    } catch (const std::exception&) {
+        // The daemon may already be torn down; join below either way.
+    }
+    server.join();
+    return m;
+}
+
 int run_report(bool smoke) {
     const auto requests = request_stream();
     const std::size_t repeats = smoke ? 9 : 5;
@@ -141,7 +209,30 @@ int run_report(bool smoke) {
     std::cout << "(acceptance: warm and eviction-pressure responses byte-identical to "
                  "cold; smoke gate: warm requests/sec >= cold)\n";
 
-    bool ok = same_reports(warm.responses, cold.responses, "warm") &&
+    // Concurrent TCP clients against one warm daemon: aggregate throughput
+    // and per-session byte parity with the serial responses.
+    util::Table concurrent_table("Concurrent TCP clients — one warm daemon, " +
+                                 std::to_string(requests.size()) + " requests/client");
+    concurrent_table.set_header({"clients", "wall (ms)", "aggregate requests/s", "parity"});
+    bool concurrent_ok = true;
+    for (const std::size_t clients : {std::size_t{1}, std::size_t{4}}) {
+        const auto c = measure_concurrent(requests, clients, cold.responses);
+        concurrent_table.add_row(
+            {util::Table::num(static_cast<long long>(clients)),
+             util::Table::num(c.wall_ms, 2),
+             util::Table::num(static_cast<double>(clients * requests.size()) * 1000.0 /
+                                  c.wall_ms,
+                              1),
+             c.parity ? "yes" : "NO"});
+        if (!c.parity) {
+            std::cerr << "concurrent: " << clients
+                      << "-client responses diverged from the serial daemon's bytes\n";
+            concurrent_ok = false;
+        }
+    }
+    concurrent_table.print(std::cout);
+
+    bool ok = concurrent_ok && same_reports(warm.responses, cold.responses, "warm") &&
               same_reports(evict.responses, cold.responses, "warm/evict");
     if (smoke && warm.wall_ms > cold.wall_ms) {
         std::cerr << "smoke: warm cache slower than cold (" << warm.wall_ms << " ms vs "

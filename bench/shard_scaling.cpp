@@ -1,0 +1,219 @@
+// Distributed sweep sharding: sweeps/sec of the rows-mode shard
+// coordinator at 1/2/4 workers on a >= 64-tile random graph (naive eval, so
+// candidate scoring — the scattered work — dominates the protocol
+// round-trips).
+//
+// Workers are in-process service::Service instances behind WorkerLink: the
+// coordinator's fan-out threads drive them concurrently, so the scaling
+// measured here is the scatter/merge pipeline itself, with the socket
+// transport (identical line protocol) as the only part not exercised.
+//
+// Correctness is asserted on every run, at every worker count: the merged
+// report must be byte-identical to a single-node PortfolioRunner run of the
+// same grid (the shard determinism contract). `--smoke` additionally gates
+// >= 1.5x sweeps/sec at 4 workers vs 1 — only when the host has >= 4
+// hardware threads (a 1-core CI box cannot scale; parity still must hold) —
+// and exits non-zero on any violation. Results land in shard_scaling.csv
+// and the BENCH_shard.json trajectory file.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/random_graph.hpp"
+#include "portfolio/report.hpp"
+#include "portfolio/runner.hpp"
+#include "portfolio/scenario.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/worker_link.hpp"
+#include "util/table.hpp"
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace nocmap;
+
+std::shared_ptr<const graph::CoreGraph> random_app(std::size_t cores) {
+    graph::RandomGraphConfig config;
+    config.core_count = cores;
+    config.average_out_degree = 2.5;
+    config.seed = 7;
+    return std::make_shared<const graph::CoreGraph>(graph::generate_random_core_graph(config));
+}
+
+std::vector<portfolio::Scenario> sweep_grid(
+    const std::shared_ptr<const graph::CoreGraph>& app, std::size_t cores) {
+    engine::Params params;
+    // Naive eval re-routes every candidate: compute-bound rows, the
+    // workload rows-mode sharding exists for.
+    params.set("eval", engine::ParamValue::of_string("naive"));
+    params.set("sweeps", engine::ParamValue::of_int(1));
+    std::vector<std::pair<std::string, std::shared_ptr<const graph::CoreGraph>>> apps;
+    apps.emplace_back("random" + std::to_string(cores), app);
+    return portfolio::make_grid(apps, portfolio::parse_topology_list("mesh", 1e9), "nmap",
+                                params, 0);
+}
+
+std::string stable_json(const std::vector<portfolio::ScenarioResult>& results) {
+    portfolio::JsonOptions json;
+    json.timings = false;
+    return portfolio::to_json(results, portfolio::PortfolioRunner::rank_topologies(results),
+                              json);
+}
+
+std::vector<std::unique_ptr<shard::WorkerLink>> in_process_links(std::size_t count) {
+    std::vector<std::unique_ptr<shard::WorkerLink>> links;
+    for (std::size_t i = 0; i < count; ++i) links.push_back(shard::in_process_worker());
+    return links;
+}
+
+struct ScaleRow {
+    std::size_t workers = 0;
+    double wall_ms = std::numeric_limits<double>::infinity();
+    double sweeps_per_sec = 0.0;
+    double speedup = 1.0; ///< vs the 1-worker row
+    bool parity = true;
+};
+
+/// Best-of-repeats wall time of one sharded sweep at `workers`, with the
+/// byte-parity check against `expected` applied to every repeat.
+ScaleRow measure(const std::vector<portfolio::Scenario>& grid, std::size_t workers,
+                 std::size_t repeats, const std::string& expected) {
+    ScaleRow row;
+    row.workers = workers;
+    for (std::size_t r = 0; r < repeats; ++r) {
+        shard::ShardOptions options;
+        options.mode = shard::ShardMode::Rows;
+        shard::Coordinator coordinator(in_process_links(workers), options);
+        const auto start = std::chrono::steady_clock::now();
+        const auto results = coordinator.run_grid(grid);
+        row.wall_ms = std::min(row.wall_ms, bench::ms_since(start));
+        if (stable_json(results) != expected) row.parity = false;
+    }
+    row.sweeps_per_sec = 1000.0 / row.wall_ms; // the grid runs exactly one sweep
+    return row;
+}
+
+void write_trajectory(const std::vector<ScaleRow>& rows, std::size_t tiles,
+                      std::size_t host_cores) {
+    std::ofstream out("BENCH_shard.json");
+    if (!out) {
+        std::cerr << "BENCH_shard.json: cannot open for writing\n";
+        return;
+    }
+    out << "{\n  \"bench\": \"shard_scaling\",\n"
+        << "  \"metric\": \"rows-mode sharded sweeps per second vs worker count\",\n"
+        << "  \"host_cores\": " << host_cores << ",\n  \"tiles\": " << tiles
+        << ",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ScaleRow& r = rows[i];
+        out << "    {\"workers\": " << r.workers << ", \"wall_ms\": " << r.wall_ms
+            << ", \"sweeps_per_sec\": " << r.sweeps_per_sec
+            << ", \"speedup_vs_1\": " << r.speedup
+            << ", \"byte_parity\": " << (r.parity ? "true" : "false") << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+}
+
+int run_report(bool smoke) {
+    const std::size_t cores = 64; // >= 64 tiles: the smoke gate's floor
+    const auto app = random_app(cores);
+    const auto grid = sweep_grid(app, cores);
+    const std::size_t repeats = smoke ? 2 : 3;
+    const std::size_t host_cores =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+    // The reference bytes every sharded run must reproduce.
+    portfolio::PortfolioRunner runner{portfolio::PortfolioOptions{}};
+    const std::string expected = stable_json(runner.run(grid));
+    const std::size_t tiles = 64;
+
+    std::vector<ScaleRow> rows;
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}})
+        rows.push_back(measure(grid, workers, repeats, expected));
+    for (ScaleRow& row : rows) row.speedup = rows.front().wall_ms / row.wall_ms;
+
+    util::Table table("Sharded swap-sweep scaling — random" + std::to_string(cores) +
+                      " on mesh (" + std::to_string(tiles) +
+                      " tiles, naive eval), rows mode");
+    table.set_header({"workers", "wall (ms)", "sweeps/s", "speedup vs 1", "byte parity"});
+    for (const ScaleRow& row : rows)
+        table.add_row({util::Table::num(static_cast<long long>(row.workers)),
+                       util::Table::num(row.wall_ms, 2),
+                       util::Table::num(row.sweeps_per_sec, 3),
+                       util::Table::num(row.speedup, 2), row.parity ? "yes" : "NO"});
+    table.print(std::cout);
+    std::cout << "(acceptance: every worker count byte-identical to single-node; smoke "
+                 "gate: >= 1.5x sweeps/sec at 4 workers on hosts with >= 4 threads; "
+                 "this host: "
+              << host_cores << ")\n";
+
+    bool ok = true;
+    for (const ScaleRow& row : rows)
+        if (!row.parity) {
+            std::cerr << "shard_scaling: " << row.workers
+                      << "-worker run diverged from the single-node bytes\n";
+            ok = false;
+        }
+    if (smoke) {
+        if (host_cores >= 4 && rows.back().speedup < 1.5) {
+            std::cerr << "smoke: 4-worker speedup " << rows.back().speedup
+                      << "x below the 1.5x gate\n";
+            ok = false;
+        } else if (host_cores < 4) {
+            std::cout << "smoke: speedup gate skipped (" << host_cores
+                      << " hardware threads < 4); byte parity enforced\n";
+        }
+    }
+
+    std::vector<std::vector<std::string>> csv;
+    for (const ScaleRow& row : rows)
+        csv.push_back({std::to_string(row.workers), util::Table::num(row.wall_ms, 3),
+                       util::Table::num(row.sweeps_per_sec, 4),
+                       util::Table::num(row.speedup, 3), row.parity ? "1" : "0"});
+    bench::try_write_csv("shard_scaling.csv",
+                         {"workers", "wall_ms", "sweeps_per_sec", "speedup", "parity"},
+                         csv);
+    write_trajectory(rows, tiles, host_cores);
+    return ok ? 0 : 1;
+}
+
+void bm_sharded_sweep(benchmark::State& state) {
+    const std::size_t workers = static_cast<std::size_t>(state.range(0));
+    const auto app = random_app(64);
+    const auto grid = sweep_grid(app, 64);
+    shard::ShardOptions options;
+    options.mode = shard::ShardMode::Rows;
+    shard::Coordinator coordinator(in_process_links(workers), options);
+    for (auto _ : state) benchmark::DoNotOptimize(coordinator.run_grid(grid));
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (smoke) return run_report(true);
+
+    const int status = run_report(false);
+    benchmark::RegisterBenchmark("shard64/rows", bm_sharded_sweep)
+        ->Arg(1)
+        ->Arg(2)
+        ->Arg(4)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return status;
+}

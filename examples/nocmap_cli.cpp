@@ -10,9 +10,14 @@
 //   nocmap_cli portfolio <app|graph-file>... [--topologies specs]
 //                     [--algo <name>] [--opt key=value]... [--seed N]
 //                     [--bw MBps] [--threads N] [--json path] [--json-stable]
-//   nocmap_cli serve  [--socket PORT] [--cache-topologies N] [--threads N]
+//   nocmap_cli serve  [--socket PORT] [--max-connections N]
+//                     [--cache-topologies N] [--threads N]
 //                     [--topologies specs] [--algo <name>] [--bw MBps]
 //                     [--opt key=value]... [--seed N]
+//   nocmap_cli shard  <app|graph-file>... (--workers host:port,... |
+//                     --spawn-workers N) [--shard-mode rows|scenarios]
+//                     [--topologies specs] [--algo <name>] [--bw MBps]
+//                     [--opt key=value]... [--seed N] [--json path]
 //   nocmap_cli apps
 //   nocmap_cli algos            (also: --list-algos anywhere)
 //   nocmap_cli --describe-algo <name> [--json]
@@ -41,8 +46,18 @@
 // Serve mode runs the long-lived mapping daemon: line-delimited JSON
 // requests on stdin (responses on stdout) or, with --socket, over TCP.
 // --cache-topologies bounds the persistent fabric cache (LRU eviction);
-// --topologies/--algo/--bw set the per-request defaults. See
+// --topologies/--algo/--bw set the per-request defaults; --max-connections
+// caps concurrent TCP sessions (default 64, 0 = unbounded). See
 // src/service/protocol.hpp for the request/response schema.
+//
+// Shard mode distributes a portfolio run over serve workers — either
+// already-running daemons (--workers host:port,...) or a fleet of local
+// subprocesses forked for the run (--spawn-workers N, which splits this
+// host's --threads budget over the children). --shard-mode picks the
+// granularity: "rows" scatters each swap sweep's candidate rows,
+// "scenarios" scatters whole scenarios weighted by advertised cores. Either
+// way the merged report is byte-identical to a single-node
+// `portfolio --json --json-stable` run; see src/shard/coordinator.hpp.
 
 #include <cmath>
 #include <cstdint>
@@ -55,6 +70,7 @@
 
 #include "apps/registry.hpp"
 #include "engine/mapper.hpp"
+#include "engine/thread_budget.hpp"
 #include "graph/graph_io.hpp"
 #include "lp/mcf.hpp"
 #include "nmap/shortest_path_router.hpp"
@@ -64,6 +80,7 @@
 #include "portfolio/report.hpp"
 #include "portfolio/runner.hpp"
 #include "service/service.hpp"
+#include "shard/coordinator.hpp"
 #include "sim/netlist.hpp"
 #include "sim/simulator.hpp"
 #include "util/string_util.hpp"
@@ -92,6 +109,10 @@ struct CliOptions {
     std::size_t threads = 1; ///< portfolio worker threads (0 = hardware)
     std::size_t cache_topologies = 0; ///< serve: fabric cache bound (0 = unbounded)
     std::size_t socket_port = 0;      ///< serve: TCP port (0 = stdin/stdout)
+    std::size_t max_connections = 64; ///< serve: concurrent TCP sessions (0 = unbounded)
+    std::string workers;              ///< shard: host:port,... of running daemons
+    std::size_t spawn_workers = 0;    ///< shard: fork N local serve workers
+    std::string shard_mode = "rows";  ///< shard: rows | scenarios
     bool socket_mode = false;
     bool json_stable = false; ///< portfolio JSON: deterministic document
     bool portfolio = false;
@@ -120,9 +141,14 @@ int usage() {
                  "[--topologies mesh,torus:4x4,ring,hypercube] [--algo name] "
                  "[--opt key=value]... [--seed N] "
                  "[--bw MBps] [--threads N] [--json path] [--json-stable]\n"
-                 "       nocmap_cli serve [--socket PORT] [--cache-topologies N] "
-                 "[--threads N] [--topologies specs] [--algo name] [--bw MBps] "
-                 "[--opt key=value]... [--seed N]\n"
+                 "       nocmap_cli serve [--socket PORT] [--max-connections N] "
+                 "[--cache-topologies N] [--threads N] [--topologies specs] "
+                 "[--algo name] [--bw MBps] [--opt key=value]... [--seed N]\n"
+                 "       nocmap_cli shard <app|graph-file>... "
+                 "(--workers host:port,... | --spawn-workers N) "
+                 "[--shard-mode rows|scenarios] [--topologies specs] "
+                 "[--algo name] [--opt key=value]... [--seed N] [--bw MBps] "
+                 "[--threads N] [--json path]\n"
                  "       nocmap_cli apps | algos\n"
                  "       nocmap_cli --describe-algo <name> [--json]\n";
     return 2;
@@ -331,10 +357,109 @@ int cmd_portfolio(const CliOptions& opt) {
     return 0;
 }
 
+/// Distributed portfolio run: the same grid as cmd_portfolio, scattered
+/// over serve workers by shard::Coordinator and merged deterministically.
+int cmd_shard(const CliOptions& opt) {
+    if (opt.json_stdout) {
+        std::cerr << "error: --json needs a path in shard mode\n";
+        return 2;
+    }
+    if (opt.workers.empty() == (opt.spawn_workers == 0)) {
+        std::cerr << "error: shard needs exactly one of --workers host:port,... "
+                     "or --spawn-workers N\n";
+        return 2;
+    }
+    shard::ShardOptions options;
+    if (opt.shard_mode == "rows") {
+        options.mode = shard::ShardMode::Rows;
+    } else if (opt.shard_mode == "scenarios") {
+        options.mode = shard::ShardMode::Scenarios;
+    } else {
+        std::cerr << "error: --shard-mode must be rows or scenarios\n";
+        return 2;
+    }
+    options.cache_topologies = opt.cache_topologies;
+
+    shard::LocalFleet fleet; // keeps --spawn-workers children alive for the run
+    std::vector<std::unique_ptr<shard::WorkerLink>> links;
+    if (!opt.workers.empty()) {
+        for (const std::string& entry : util::split(opt.workers, ',')) {
+            const std::size_t colon = entry.rfind(':');
+            std::size_t port = 0;
+            if (colon == std::string::npos || colon == 0 ||
+                !util::parse_size(entry.substr(colon + 1), port) || port == 0 ||
+                port > 65535) {
+                std::cerr << "error: --workers entry '" << entry << "' is not host:port\n";
+                return 2;
+            }
+            links.push_back(
+                shard::connect_tcp(entry.substr(0, colon), static_cast<std::uint16_t>(port)));
+        }
+    } else {
+        service::ServiceOptions worker;
+        worker.cache_topologies = opt.cache_topologies;
+        worker.default_topologies = opt.topologies;
+        worker.default_mapper = opt.algo;
+        worker.default_bandwidth = opt.bandwidth;
+        worker.default_params = opt.params;
+        worker.default_seed = opt.seed;
+        // One shared budget split over the children so a local fleet never
+        // oversubscribes this host (--threads 0 = all hardware threads).
+        std::vector<std::size_t> child_threads;
+        for (const auto& child : engine::ThreadBudget(opt.threads).split(opt.spawn_workers))
+            child_threads.push_back(child.cores());
+        fleet = shard::LocalFleet::spawn(opt.spawn_workers, worker, child_threads);
+        links = fleet.connect_all();
+    }
+    shard::Coordinator coordinator(std::move(links), options);
+
+    const double capacity = opt.bandwidth > 0 ? opt.bandwidth : 1e9;
+    const auto specs = portfolio::parse_topology_list(opt.topologies, capacity);
+    std::vector<std::pair<std::string, std::shared_ptr<const graph::CoreGraph>>> apps;
+    for (const std::string& target : opt.targets)
+        apps.emplace_back(target,
+                          std::make_shared<const graph::CoreGraph>(load_graph(target)));
+    const auto grid = portfolio::make_grid(apps, specs, opt.algo, opt.params, opt.seed);
+    const auto results = coordinator.run_grid(grid);
+    const auto fabric_ranking = portfolio::PortfolioRunner::rank_topologies(results);
+
+    portfolio::print_report(std::cout, results, fabric_ranking);
+    std::cout << "shard: " << coordinator.alive_count() << " of "
+              << coordinator.worker_count() << " workers alive, mode " << opt.shard_mode
+              << '\n';
+    if (!opt.json_path.empty()) {
+        std::ofstream out(opt.json_path);
+        if (!out) {
+            std::cerr << "error: cannot write " << opt.json_path << '\n';
+            return 1;
+        }
+        // Always the stable document: wall-clock timings are not reproduced
+        // across workers, and byte parity with a single-node
+        // `portfolio --json --json-stable` run is the contract.
+        portfolio::JsonOptions json;
+        json.timings = false;
+        portfolio::write_json(out, results, fabric_ranking, json);
+        std::cout << "wrote " << opt.json_path << '\n';
+    }
+    std::size_t failed = 0;
+    for (const auto& r : results) {
+        if (r.ok) continue;
+        ++failed;
+        std::cerr << "error: scenario " << r.name << ": " << r.error << '\n';
+    }
+    if (failed > 0) {
+        std::cerr << "error: " << failed << " of " << results.size()
+                  << " scenarios failed\n";
+        return 1;
+    }
+    return 0;
+}
+
 int cmd_serve(const CliOptions& opt) {
     service::ServiceOptions options;
     options.threads = opt.threads;
     options.cache_topologies = opt.cache_topologies;
+    options.max_connections = opt.max_connections;
     options.default_topologies = opt.topologies;
     options.default_mapper = opt.algo;
     options.default_bandwidth = opt.bandwidth;
@@ -433,6 +558,15 @@ int main(int argc, char** argv) {
         } else if (args[i] == "--socket" && i + 1 < args.size()) {
             if (!util::parse_size(args[++i], opt.socket_port)) return usage();
             opt.socket_mode = true;
+        } else if (args[i] == "--max-connections" && i + 1 < args.size()) {
+            if (!util::parse_size(args[++i], opt.max_connections)) return usage();
+        } else if (args[i] == "--workers" && i + 1 < args.size()) {
+            opt.workers = args[++i];
+        } else if (args[i] == "--spawn-workers" && i + 1 < args.size()) {
+            if (!util::parse_size(args[++i], opt.spawn_workers) || opt.spawn_workers == 0)
+                return usage();
+        } else if (args[i] == "--shard-mode" && i + 1 < args.size()) {
+            opt.shard_mode = util::to_lower(args[++i]);
         } else if (args[i] == "--json-stable") {
             opt.json_stable = true;
         } else if (args[i] == "--portfolio") {
@@ -448,6 +582,11 @@ int main(int argc, char** argv) {
         if (opt.command == "serve") {
             if (!positional.empty()) return usage();
             return cmd_serve(opt);
+        }
+        if (opt.command == "shard") {
+            if (positional.empty()) return usage();
+            opt.targets = positional;
+            return cmd_shard(opt);
         }
         if (opt.portfolio) {
             if (positional.empty()) return usage();

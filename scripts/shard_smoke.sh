@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Shard smoke: spawn two local serve workers and run the same 2-app x
+# 2-topology portfolio grid three ways — single-node `portfolio`, sharded
+# rows mode, sharded scenarios mode — then diff the stable JSON documents.
+# Byte identity across all three is the shard determinism contract: the
+# coordinator's scatter/merge must be invisible in the output.
+#
+# Both shard runs exercise the full stack: `--spawn-workers 2` forks two
+# `serve --socket` subprocesses on ephemeral loopback ports, speaks the
+# shard protocol verbs over TCP, and tears the fleet down afterwards.
+#
+# Usage: scripts/shard_smoke.sh [path/to/nocmap_cli] [work-dir]
+set -euo pipefail
+
+CLI=${1:-./build/nocmap_cli}
+OUT=${2:-shard-smoke}
+mkdir -p "$OUT"
+
+APPS="vopd mpeg4"
+TOPOLOGIES="mesh,torus"
+
+# shellcheck disable=SC2086 # APPS is a deliberate word list
+"$CLI" portfolio $APPS --topologies "$TOPOLOGIES" \
+    --json "$OUT/single-node.json" --json-stable > "$OUT/single-node.log"
+
+# shellcheck disable=SC2086
+"$CLI" shard $APPS --topologies "$TOPOLOGIES" \
+    --spawn-workers 2 --shard-mode rows \
+    --json "$OUT/shard-rows.json" > "$OUT/shard-rows.log"
+
+# shellcheck disable=SC2086
+"$CLI" shard $APPS --topologies "$TOPOLOGIES" \
+    --spawn-workers 2 --shard-mode scenarios \
+    --json "$OUT/shard-scenarios.json" > "$OUT/shard-scenarios.log"
+
+failures=0
+for mode in rows scenarios; do
+    if cmp -s "$OUT/single-node.json" "$OUT/shard-$mode.json"; then
+        echo "shard $mode: byte-identical to the single-node run"
+    else
+        echo "shard $mode: MISMATCH vs single-node bytes:"
+        diff "$OUT/single-node.json" "$OUT/shard-$mode.json" || true
+        failures=1
+    fi
+done
+
+exit_with=$failures
+[ "$exit_with" -eq 0 ] && echo "shard smoke OK (artifacts in $OUT/)"
+exit "$exit_with"

@@ -50,6 +50,11 @@ void IncrementalRouter::bind(noc::Mapping mapping) {
     incident_flag_.assign(commodities_.size(), 0);
     link_slot_.assign(topo_->link_count(), -1);
     modified_links_.clear();
+    base_prefix_.assign(topo_->link_count(), 0.0);
+    cand_prefix_.assign(topo_->link_count(), 0.0);
+    prefix_stamp_.assign(topo_->link_count(), 0);
+    prefix_epoch_ = 0; // stamps start stale: every link lazily initializes
+    prefix_first_ = 0;
     diff_flag_.assign(topo_->link_count(), 0);
     in_diff_list_.assign(topo_->link_count(), 0);
     diff_links_.clear();
@@ -162,6 +167,21 @@ RerouteEval IncrementalRouter::reroute_swap(noc::TileId a, noc::TileId b) {
     return pending_eval_;
 }
 
+void IncrementalRouter::ensure_prefix(std::size_t l) {
+    if (prefix_stamp_[l] == prefix_epoch_) return;
+    prefix_stamp_[l] = prefix_epoch_;
+    // The prefix load of link `l` right before the replay's first position:
+    // the in-order partial sum of its committed crossings below it —
+    // identical in both passes until an advance diverges them.
+    double sum = 0.0;
+    for (const Pos q : ledger_[l]) {
+        if (q >= prefix_first_) break;
+        sum += value_at_[static_cast<std::size_t>(q)];
+    }
+    base_prefix_[l] = sum;
+    cand_prefix_[l] = sum;
+}
+
 void IncrementalRouter::exact_eval() {
     // Replay the sequential routing pass from the first incident commodity
     // on, re-running the quadrant Dijkstra only where the candidate's
@@ -192,18 +212,15 @@ void IncrementalRouter::exact_eval() {
     const Pos first = pos_of_[incident_slots_.front()];
     const Pos last_incident = pos_of_[incident_slots_.back()];
 
-    // Prefix loads right before position `first`, identical in both passes:
-    // the in-order partial sums of the committed ledger.
-    cand_prefix_.assign(topo_->link_count(), 0.0);
-    for (std::size_t l = 0; l < ledger_.size(); ++l) {
-        double sum = 0.0;
-        for (const Pos q : ledger_[l]) {
-            if (q >= first) break;
-            sum += value_at_[static_cast<std::size_t>(q)];
-        }
-        cand_prefix_[l] = sum;
-    }
-    base_prefix_ = cand_prefix_;
+    // Prefix loads right before position `first` are identical in both
+    // passes: the in-order partial sums of the committed ledger. Filling
+    // them eagerly costs O(links + ledger entries below `first`) per
+    // candidate, yet the replay only ever reads the links on committed or
+    // re-routed routes plus the Dijkstra frontiers. Epoch-stamp instead of
+    // clearing: bump the epoch, and let ensure_prefix() initialize a
+    // link's pair of entries lazily on first touch.
+    ++prefix_epoch_;
+    prefix_first_ = first;
 
     const auto touch = [&](noc::LinkId l) {
         const auto i = static_cast<std::size_t>(l);
@@ -248,7 +265,11 @@ void IncrementalRouter::exact_eval() {
             ++dijkstras_;
             noc::Route route = noc::least_congested_min_path(
                 orc, src, dst,
-                [&](noc::LinkId l) { return cand_prefix_[static_cast<std::size_t>(l)]; },
+                [&](noc::LinkId l) {
+                    const auto i = static_cast<std::size_t>(l);
+                    ensure_prefix(i);
+                    return cand_prefix_[i];
+                },
                 scratch_);
             if (incident || route != committed) {
                 for (const noc::LinkId l : committed) {
@@ -270,17 +291,23 @@ void IncrementalRouter::exact_eval() {
         // array value an in-order prefix sum).
         if (chosen == &committed) {
             for (const noc::LinkId l : committed) {
-                base_prefix_[static_cast<std::size_t>(l)] += value;
-                cand_prefix_[static_cast<std::size_t>(l)] += value;
+                const auto i = static_cast<std::size_t>(l);
+                ensure_prefix(i);
+                base_prefix_[i] += value;
+                cand_prefix_[i] += value;
                 touch(l);
             }
         } else {
             for (const noc::LinkId l : committed) {
-                base_prefix_[static_cast<std::size_t>(l)] += value;
+                const auto i = static_cast<std::size_t>(l);
+                ensure_prefix(i);
+                base_prefix_[i] += value;
                 touch(l);
             }
             for (const noc::LinkId l : *chosen) {
-                cand_prefix_[static_cast<std::size_t>(l)] += value;
+                const auto i = static_cast<std::size_t>(l);
+                ensure_prefix(i);
+                cand_prefix_[i] += value;
                 touch(l);
             }
         }

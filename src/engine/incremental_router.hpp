@@ -173,6 +173,7 @@ private:
     double ledger_sum(const std::vector<Pos>& crossings) const;
     PendingLink& pending_link(noc::LinkId l);
     void collect_incident(noc::TileId a, noc::TileId b);
+    void ensure_prefix(std::size_t l); ///< lazy per-link replay prefix init
     void exact_eval();
     void fast_eval();
     void score_pending();         ///< cost/max/feasible of the pending state
@@ -223,8 +224,15 @@ private:
     noc::LinkLoads fast_loads_;         ///< Fast mode: absolute loads during rip-up
     // Exact-mode replay: prefix loads of the committed pass and of the
     // candidate pass, plus the set of links where they currently differ.
+    // The prefix pair is epoch-stamped: exact_eval() bumps prefix_epoch_
+    // instead of walking every link's ledger eagerly, and ensure_prefix()
+    // computes the committed prefix below prefix_first_ on first touch —
+    // replays that visit few links never pay the O(links) sweep.
     std::vector<double> base_prefix_;
     std::vector<double> cand_prefix_;
+    std::vector<std::uint64_t> prefix_stamp_; ///< per link: epoch initialized for
+    std::uint64_t prefix_epoch_ = 0;
+    Pos prefix_first_ = 0; ///< replay start of the open exact_eval
     std::vector<char> diff_flag_;       ///< per link: prefixes differ right now
     std::vector<char> in_diff_list_;    ///< per link: already in diff_links_
     std::vector<noc::LinkId> diff_links_;

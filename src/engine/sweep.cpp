@@ -6,6 +6,7 @@
 #include <exception>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -13,6 +14,96 @@
 #include "util/rng.hpp"
 
 namespace nocmap::engine {
+
+namespace {
+
+/// Worker pool scoring one candidate row at a time, shared by sweep() and
+/// score_rows(). One pool per driver call (not per row): a row's scoring
+/// is often microseconds under incremental pruning, where per-row thread
+/// spawn and join would dominate. Workers only touch the row state between
+/// the two barriers of a row; the owner only mutates it outside that
+/// window, so the barriers are the only synchronization needed.
+class RowScoringPool {
+public:
+    RowScoringPool(SweepPolicy& policy, std::size_t workers)
+        : policy_(policy), row_start_(static_cast<std::ptrdiff_t>(workers)),
+          row_finish_(static_cast<std::ptrdiff_t>(workers)) {
+        pool_.reserve(workers - 1);
+        for (std::size_t w = 0; w + 1 < workers; ++w)
+            pool_.emplace_back([this] {
+                while (true) {
+                    row_start_.arrive_and_wait();
+                    if (done_) return;
+                    score_claimed();
+                    row_finish_.arrive_and_wait();
+                }
+            });
+    }
+
+    ~RowScoringPool() { shutdown(); }
+
+    /// Scores candidates (i, js[k]) of `placed` into scores[k], every
+    /// candidate against the same fixed `incumbent`. `scores` must be
+    /// pre-sized to js.size(). A policy throw during scoring must reach
+    /// the caller, not std::terminate: workers capture the first exception
+    /// and keep the barrier protocol intact; this rethrows after the row.
+    void score_row(const noc::Mapping& placed, const Score& placed_score,
+                   const Score& incumbent, noc::TileId i, const std::vector<noc::TileId>& js,
+                   std::vector<Score>& scores) {
+        placed_ = &placed;
+        placed_score_ = &placed_score;
+        incumbent_ = &incumbent;
+        row_i_ = i;
+        js_ = &js;
+        scores_ = &scores;
+        next_.store(0, std::memory_order_relaxed);
+        row_start_.arrive_and_wait();
+        score_claimed(); // the owning thread pulls its weight too
+        row_finish_.arrive_and_wait();
+        if (scoring_error_) std::rethrow_exception(scoring_error_);
+    }
+
+    /// Orderly teardown, usable from both the success path and the unwind
+    /// path (the destructor): release workers into their exit branch, then
+    /// join, so an owner-thread throw never destroys joinable threads.
+    void shutdown() {
+        if (!pool_.empty() && !done_) {
+            done_ = true;
+            row_start_.arrive_and_wait();
+        }
+        for (auto& worker : pool_) worker.join();
+        pool_.clear();
+    }
+
+private:
+    void score_claimed() noexcept {
+        try {
+            for (std::size_t k = next_.fetch_add(1); k < js_->size(); k = next_.fetch_add(1))
+                (*scores_)[k] = policy_.evaluate_swap(*placed_, *placed_score_, *incumbent_,
+                                                      row_i_, (*js_)[k]);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mutex_);
+            if (!scoring_error_) scoring_error_ = std::current_exception();
+        }
+    }
+
+    SweepPolicy& policy_;
+    const noc::Mapping* placed_ = nullptr;
+    const Score* placed_score_ = nullptr;
+    const Score* incumbent_ = nullptr;
+    noc::TileId row_i_ = 0;
+    const std::vector<noc::TileId>* js_ = nullptr;
+    std::vector<Score>* scores_ = nullptr;
+    std::atomic<std::size_t> next_{0};
+    bool done_ = false;
+    std::mutex error_mutex_;
+    std::exception_ptr scoring_error_;
+    std::barrier<> row_start_;
+    std::barrier<> row_finish_;
+    std::vector<std::thread> pool_;
+};
+
+} // namespace
 
 void SweepPolicy::on_commit(const noc::Mapping&, const Score&) {}
 void SweepPolicy::on_rebase(const noc::Mapping&, const Score&) {}
@@ -52,65 +143,14 @@ SweepOutcome SwapSweepDriver::sweep(const noc::Mapping& initial, SweepPolicy& po
         }
     };
 
-    // Shared row state for the worker pool. Workers only touch it between
-    // the two barriers of a row; the main thread only mutates it outside
-    // that window, so the barriers are the only synchronization needed.
     const std::size_t workers = std::max<std::size_t>(
         1, std::min(worker_count(policy), placed.tile_count()));
     std::vector<noc::TileId> row; // inner-row candidate partners j
     std::vector<Score> scores;
-    std::atomic<std::size_t> next{0};
-    noc::TileId row_i = 0;
-    Score row_incumbent;
-    bool done = false;
-
-    // A policy throw during row scoring must reach the caller, not
-    // std::terminate: workers capture the first exception and keep the
-    // barrier protocol intact; the main thread rethrows after the row.
-    std::mutex error_mutex;
-    std::exception_ptr scoring_error;
-    const auto score_claimed = [&]() noexcept {
-        try {
-            for (std::size_t k = next.fetch_add(1); k < row.size(); k = next.fetch_add(1))
-                scores[k] = policy.evaluate_swap(placed, placed_score, row_incumbent, row_i,
-                                                 row[k]);
-        } catch (...) {
-            const std::lock_guard<std::mutex> lock(error_mutex);
-            if (!scoring_error) scoring_error = std::current_exception();
-        }
-    };
-
-    // One pool for the whole call (not per row): a row's scoring is often
-    // microseconds under incremental pruning, where per-row thread spawn
-    // and join would dominate.
-    std::barrier row_start(static_cast<std::ptrdiff_t>(workers));
-    std::barrier row_finish(static_cast<std::ptrdiff_t>(workers));
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    for (std::size_t w = 0; w + 1 < workers; ++w)
-        pool.emplace_back([&]() {
-            while (true) {
-                row_start.arrive_and_wait();
-                if (done) return;
-                score_claimed();
-                row_finish.arrive_and_wait();
-            }
-        });
-
-    // Orderly pool teardown, usable from both the success path and the
-    // unwind path: release workers into their exit branch, then join, so a
-    // main-thread throw never destroys joinable threads.
-    const auto shutdown_pool = [&]() {
-        if (!pool.empty() && !done) {
-            done = true;
-            row_start.arrive_and_wait();
-        }
-        for (auto& worker : pool) worker.join();
-        pool.clear();
-    };
+    std::optional<RowScoringPool> pool;
+    if (workers > 1) pool.emplace(policy, workers);
 
     bool cancelled = false;
-    try {
     for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
         bool improved = false;
         for (noc::TileId i = 0; i < tiles; ++i) {
@@ -121,7 +161,7 @@ SweepOutcome SwapSweepDriver::sweep(const noc::Mapping& initial, SweepPolicy& po
                 cancelled = true;
                 break;
             }
-            if (workers > 1) {
+            if (pool) {
                 // Greedy only (first-improvement forces workers == 1), so
                 // `placed` — and with it tile occupancy — is fixed for the
                 // whole row and the candidate list can be precomputed.
@@ -137,13 +177,7 @@ SweepOutcome SwapSweepDriver::sweep(const noc::Mapping& initial, SweepPolicy& po
                 // (weaker) incumbent only over-approximates the candidate
                 // set, and acceptance below re-compares exactly.
                 scores.assign(row.size(), Score{});
-                next.store(0, std::memory_order_relaxed);
-                row_i = i;
-                row_incumbent = outcome.best_score;
-                row_start.arrive_and_wait();
-                score_claimed(); // the main thread pulls its weight too
-                row_finish.arrive_and_wait();
-                if (scoring_error) std::rethrow_exception(scoring_error);
+                pool->score_row(placed, placed_score, outcome.best_score, i, row, scores);
                 for (std::size_t k = 0; k < row.size(); ++k) {
                     if (scores[k].better_than(outcome.best_score)) {
                         commit(i, row[k], scores[k]);
@@ -175,13 +209,69 @@ SweepOutcome SwapSweepDriver::sweep(const noc::Mapping& initial, SweepPolicy& po
         ++outcome.sweeps;
         if (!improved) break;
     }
-    } catch (...) {
-        shutdown_pool();
-        throw;
-    }
-
-    shutdown_pool();
     return outcome;
+}
+
+RowSliceOutcome SwapSweepDriver::score_rows(const noc::Mapping& placed, SweepPolicy& policy,
+                                            const RowWindow& window) const {
+    if (options_.acceptance != Acceptance::Greedy)
+        throw std::logic_error(
+            "SwapSweepDriver::score_rows: only greedy acceptance can be sharded "
+            "(first-improvement re-bases mid-row)");
+    RowSliceOutcome out;
+    const std::size_t evals_before = policy.evaluations();
+    const Score placed_score = policy.evaluate(placed);
+    out.placed_score = placed_score;
+    policy.on_rebase(placed, placed_score);
+
+    const auto tiles = static_cast<noc::TileId>(placed.tile_count());
+    const noc::TileId row_end = std::min<noc::TileId>(window.row_end, tiles);
+    const std::size_t workers = std::max<std::size_t>(
+        1, std::min(worker_count(policy), placed.tile_count()));
+    std::optional<RowScoringPool> pool;
+    if (workers > 1) pool.emplace(policy, workers);
+
+    std::vector<noc::TileId> js;
+    std::vector<Score> scores;
+    for (noc::TileId i = window.row_begin; i < row_end; ++i) {
+        js.clear();
+        const noc::TileId j_lo = std::max<noc::TileId>(window.col_begin,
+                                                       static_cast<noc::TileId>(i + 1));
+        const noc::TileId j_hi =
+            window.col_end == 0 ? tiles : std::min<noc::TileId>(window.col_end, tiles);
+        for (noc::TileId j = j_lo; j < j_hi; ++j) {
+            // Swapping two empty tiles is a no-op; skip it (same rule as
+            // sweep(), so windows tile the identical candidate set).
+            if (!placed.is_occupied(i) && !placed.is_occupied(j)) continue;
+            js.push_back(j);
+        }
+        RowBest best;
+        best.row = i;
+        // The running incumbent tightens within the row exactly like the
+        // serial sweep; the final best is the first j attaining the row
+        // minimum, which is chunk-boundary independent (a later equal
+        // score never replaces it — better_than is strict).
+        Score incumbent = placed_score;
+        const auto consider = [&](noc::TileId j, const Score& score) {
+            if (!score.better_than(incumbent)) return;
+            incumbent = score;
+            best.improved = true;
+            best.partner = j;
+            best.score = score;
+        };
+        if (pool) {
+            scores.assign(js.size(), Score{});
+            pool->score_row(placed, placed_score, placed_score, i, js, scores);
+            for (std::size_t k = 0; k < js.size(); ++k) consider(js[k], scores[k]);
+        } else {
+            for (const noc::TileId j : js)
+                consider(j, policy.evaluate_swap(placed, placed_score, incumbent, i, j));
+        }
+        out.rows.push_back(best);
+        if (best.improved) break;
+    }
+    out.evaluations = policy.evaluations() - evals_before;
+    return out;
 }
 
 namespace {

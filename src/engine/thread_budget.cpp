@@ -1,0 +1,60 @@
+#include "engine/thread_budget.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace nocmap::engine {
+
+ThreadBudget::ThreadBudget(std::size_t cores) : cores_(cores) {
+    if (cores_ == 0) cores_ = std::max<unsigned>(1, std::thread::hardware_concurrency());
+}
+
+std::vector<ThreadBudget> ThreadBudget::split(std::size_t ways) const {
+    std::vector<ThreadBudget> children;
+    if (ways == 0) return children;
+    children.reserve(ways);
+    const std::size_t base = cores_ / ways;
+    const std::size_t extra = cores_ % ways;
+    for (std::size_t i = 0; i < ways; ++i)
+        children.push_back(ThreadBudget(std::max<std::size_t>(1, base + (i < extra ? 1 : 0))));
+    return children;
+}
+
+std::size_t ThreadBudget::threads_for(std::size_t work_items) const {
+    return std::max<std::size_t>(1, std::min(cores_, work_items));
+}
+
+std::vector<std::size_t> ThreadBudget::partition(std::size_t items,
+                                                 const std::vector<std::size_t>& weights) {
+    std::vector<std::size_t> counts(weights.size(), 0);
+    if (weights.empty()) return counts;
+    std::size_t total = 0;
+    for (const std::size_t w : weights) total += w;
+    // All-zero capacities degrade to an even split instead of dividing by
+    // zero: a handshake that failed to advertise cores still gets work.
+    const auto weight_of = [&](std::size_t i) { return total == 0 ? 1 : weights[i]; };
+    const std::size_t denom = total == 0 ? weights.size() : total;
+
+    std::size_t assigned = 0;
+    std::vector<std::size_t> remainder_num(weights.size(), 0); // items*w mod denom
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const std::size_t num = items * weight_of(i);
+        counts[i] = num / denom;
+        remainder_num[i] = num % denom;
+        assigned += counts[i];
+    }
+    // Largest remainder, ties to the lowest index: deterministic for any
+    // permutation-equal weight vector.
+    std::vector<std::size_t> order(weights.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return remainder_num[a] > remainder_num[b];
+    });
+    for (std::size_t k = 0; assigned < items; ++k) {
+        ++counts[order[k % order.size()]];
+        ++assigned;
+    }
+    return counts;
+}
+
+} // namespace nocmap::engine

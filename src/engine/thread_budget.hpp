@@ -1,0 +1,52 @@
+#pragma once
+// engine::ThreadBudget — one shared core-accounting policy for nested
+// parallelism.
+//
+// Three layers of this system can each spin up threads: the portfolio
+// runner (scenario-level workers), the sweep driver (row-level candidate
+// scoring), and the shard coordinator (several serve workers on one host,
+// each with both of the above inside). Left to their own "threads = N"
+// knobs they multiply — 4 workers × 4 scenario threads × 4 sweep threads
+// oversubscribes a 4-core host 16-fold. A ThreadBudget names how many
+// cores a component may use in total; split() divides it between children
+// (spawned worker processes, scenario slots) so the sum never exceeds the
+// parent, and threads_for() clamps a leaf's thread count to the work
+// available. Workers advertise their budget's core count in the shard
+// handshake; the coordinator partitions scenarios proportionally with
+// partition().
+
+#include <cstddef>
+#include <vector>
+
+namespace nocmap::engine {
+
+class ThreadBudget {
+public:
+    /// `cores` = 0 means "all hardware threads" (at least 1).
+    explicit ThreadBudget(std::size_t cores = 0);
+
+    std::size_t cores() const noexcept { return cores_; }
+
+    /// Divides the budget into `ways` child budgets whose cores sum to
+    /// max(cores(), ways): child i gets floor(cores/ways) (+1 for the first
+    /// cores % ways children), and never less than 1 — callers asking for
+    /// more children than cores accept that oversubscription explicitly.
+    std::vector<ThreadBudget> split(std::size_t ways) const;
+
+    /// Thread count a leaf loop should use for `work_items` independent
+    /// items: min(cores, work_items), at least 1.
+    std::size_t threads_for(std::size_t work_items) const;
+
+    /// Deterministic proportional partition: splits `items` work items over
+    /// consumers with the given `weights` (e.g. advertised worker core
+    /// counts) by largest remainder, ties to the lowest index; the returned
+    /// counts sum to `items`. All-zero weights partition evenly. Empty
+    /// weights return an empty vector (callers must have a consumer).
+    static std::vector<std::size_t> partition(std::size_t items,
+                                              const std::vector<std::size_t>& weights);
+
+private:
+    std::size_t cores_ = 1;
+};
+
+} // namespace nocmap::engine

@@ -70,7 +70,8 @@ ScenarioResult PortfolioRunner::run_one(const Scenario& scenario, std::size_t in
     return r;
 }
 
-void PortfolioRunner::scalarize(std::vector<ScenarioResult>& results) const {
+void PortfolioRunner::scalarize(std::vector<ScenarioResult>& results,
+                                const ScalarizationWeights& weights) {
     // Per-application feasible minima of each metric.
     struct Minima {
         double cost = std::numeric_limits<double>::infinity();
@@ -91,7 +92,7 @@ void PortfolioRunner::scalarize(std::vector<ScenarioResult>& results) const {
     const auto term = [](double value, double minimum) {
         return minimum > 0.0 ? value / minimum : 1.0;
     };
-    const ScalarizationWeights& w = options_.weights;
+    const ScalarizationWeights& w = weights;
     for (ScenarioResult& r : results) {
         if (!r.ok || !r.result.feasible) continue;
         const Minima& m = minima[r.app];
@@ -162,7 +163,7 @@ void PortfolioRunner::map_grids(const std::vector<const std::vector<Scenario>*>&
 std::vector<ScenarioResult> PortfolioRunner::run(const std::vector<Scenario>& grid) {
     std::vector<std::vector<ScenarioResult>> out;
     map_grids({&grid}, out);
-    scalarize(out[0]);
+    scalarize(out[0], options_.weights);
     return std::move(out[0]);
 }
 
@@ -173,7 +174,7 @@ std::vector<std::vector<ScenarioResult>> PortfolioRunner::run_batch(
     for (const std::vector<Scenario>& grid : grids) refs.push_back(&grid);
     std::vector<std::vector<ScenarioResult>> out;
     map_grids(refs, out);
-    for (std::vector<ScenarioResult>& results : out) scalarize(results);
+    for (std::vector<ScenarioResult>& results : out) scalarize(results, options_.weights);
     return out;
 }
 

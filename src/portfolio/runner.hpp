@@ -114,12 +114,20 @@ public:
     static std::vector<TopologyRanking> rank_topologies(
         const std::vector<ScenarioResult>& results);
 
+    /// The scalarization post-pass as a pure function: fills
+    /// ScenarioResult::scalar_score from the finished metrics under
+    /// `weights` (the instance run()/run_batch() paths call this with
+    /// their own options). Public so the shard coordinator can score
+    /// results it rebuilt from worker replies exactly as a local run
+    /// would.
+    static void scalarize(std::vector<ScenarioResult>& results,
+                          const ScalarizationWeights& weights);
+
 private:
     ScenarioResult run_one(const Scenario& scenario, std::size_t index);
     /// Fills `out[r][i]` for every grid; scalarization is the caller's.
     void map_grids(const std::vector<const std::vector<Scenario>*>& grids,
                    std::vector<std::vector<ScenarioResult>>& out);
-    void scalarize(std::vector<ScenarioResult>& results) const;
 
     PortfolioOptions options_;
     TopologyCache cache_;

@@ -1,6 +1,7 @@
 #include "service/protocol.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "util/json.hpp"
@@ -26,6 +27,107 @@ double get_number(const Value& request, const char* key, double fallback) {
     if (!v->is_number())
         throw std::invalid_argument(std::string("field '") + key + "' must be a number");
     return v->as_number();
+}
+
+/// Typed JSON scalars keep their carrier; strings go through the same
+/// inference as CLI --opt text, so every front end means the same request.
+engine::Params parse_params_object(const Value& doc) {
+    engine::Params out;
+    const Value* params = doc.find("params");
+    if (!params || params->is_null()) return out;
+    if (!params->is_object()) throw std::invalid_argument("'params' must be an object");
+    for (const auto& [key, value] : params->as_object()) {
+        if (value.is_bool())
+            out.set(key, engine::ParamValue::of_bool(value.as_bool()));
+        else if (value.is_number()) {
+            // Integral doubles inside the exact range ride the Int carrier
+            // (the magnitude guard keeps the cast defined); everything else
+            // stays Double and lets validation judge it against the spec.
+            const double number = value.as_number();
+            const bool integral = std::fabs(number) <= 9007199254740992.0 &&
+                                  static_cast<double>(static_cast<std::int64_t>(number)) ==
+                                      number;
+            out.set(key, integral
+                             ? engine::ParamValue::of_int(static_cast<std::int64_t>(number))
+                             : engine::ParamValue::of_double(number));
+        } else if (value.is_string())
+            out.set(key, engine::ParamValue::from_text(value.as_string()));
+        else
+            throw std::invalid_argument("'params' values must be scalars");
+    }
+    return out;
+}
+
+std::string params_json(const engine::Params& params) {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [key, value] : params) {
+        if (!first) out += ", ";
+        first = false;
+        out += quoted(key) + ": ";
+        switch (value.type()) {
+        case engine::ParamType::Bool: out += value.as_bool() ? "true" : "false"; break;
+        case engine::ParamType::Int: out += std::to_string(value.as_int()); break;
+        case engine::ParamType::Double: {
+            // %.17g (not the report-facing %.6g): shortest-or-not, 17
+            // significant digits round-trip doubles exactly through the
+            // parser's strtod, so workers see the coordinator's value bit
+            // for bit.
+            char buffer[32];
+            std::snprintf(buffer, sizeof buffer, "%.17g", value.as_double());
+            out += buffer;
+            break;
+        }
+        case engine::ParamType::String:
+        case engine::ParamType::Enum: out += quoted(value.as_string()); break;
+        }
+    }
+    return out + "}";
+}
+
+std::uint64_t get_uint(const Value& request, const char* key, std::uint64_t fallback) {
+    const double raw = get_number(request, key, static_cast<double>(fallback));
+    // Bound first (2^53, the largest exact double integer): casting an
+    // out-of-range double is undefined behavior.
+    if (raw < 0.0 || raw > 9007199254740992.0 ||
+        raw != static_cast<double>(static_cast<std::uint64_t>(raw)))
+        throw std::invalid_argument(std::string("field '") + key +
+                                    "' must be a non-negative integer");
+    return static_cast<std::uint64_t>(raw);
+}
+
+double get_hex(const Value& doc, const char* key) {
+    const Value* v = doc.find(key);
+    if (!v || !v->is_string())
+        throw std::invalid_argument(std::string("field '") + key +
+                                    "' must be a hex-float string");
+    return util::json::parse_hex_number(v->as_string());
+}
+
+bool get_bool(const Value& doc, const char* key, bool fallback) {
+    const Value* v = doc.find(key);
+    if (!v || v->is_null()) return fallback;
+    if (!v->is_bool())
+        throw std::invalid_argument(std::string("field '") + key + "' must be a bool");
+    return v->as_bool();
+}
+
+/// Shared shape of a worker reply: parses the line, verifies "status",
+/// rethrowing an "error" status as std::runtime_error with the worker's
+/// message (transport succeeded; the task itself failed).
+Value parse_response_document(const std::string& line) {
+    Value doc;
+    try {
+        doc = util::json::parse(line);
+    } catch (const std::exception& e) {
+        throw std::invalid_argument(std::string("malformed response: ") + e.what());
+    }
+    if (!doc.is_object()) throw std::invalid_argument("response must be a JSON object");
+    const std::string status = get_string(doc, "status", "");
+    if (status == "ok") return doc;
+    if (status == "error")
+        throw std::runtime_error("worker error: " + get_string(doc, "error", "(no message)"));
+    throw std::invalid_argument("response 'status' must be ok|error");
 }
 
 std::string cache_json(const portfolio::TopologyCacheStats& cache) {
@@ -77,35 +179,7 @@ Request parse_request(const std::string& line) {
             seed != static_cast<double>(static_cast<std::uint64_t>(seed)))
             throw std::invalid_argument("'seed' must be a non-negative integer");
         request.map.seed = static_cast<std::uint64_t>(seed);
-        if (const Value* params = doc.find("params"); params && !params->is_null()) {
-            if (!params->is_object())
-                throw std::invalid_argument("'params' must be an object");
-            for (const auto& [key, value] : params->as_object()) {
-                // Typed JSON scalars keep their carrier; strings go through
-                // the same inference as CLI --opt text, so the two front
-                // ends mean the same request.
-                if (value.is_bool())
-                    request.map.params.set(key, engine::ParamValue::of_bool(value.as_bool()));
-                else if (value.is_number()) {
-                    // Integral doubles inside the exact range ride the Int
-                    // carrier (the magnitude guard keeps the cast defined);
-                    // everything else stays Double and lets validation
-                    // judge it against the spec.
-                    const double number = value.as_number();
-                    const bool integral =
-                        std::fabs(number) <= 9007199254740992.0 &&
-                        static_cast<double>(static_cast<std::int64_t>(number)) == number;
-                    request.map.params.set(
-                        key, integral ? engine::ParamValue::of_int(
-                                            static_cast<std::int64_t>(number))
-                                      : engine::ParamValue::of_double(number));
-                } else if (value.is_string())
-                    request.map.params.set(key,
-                                           engine::ParamValue::from_text(value.as_string()));
-                else
-                    throw std::invalid_argument("'params' values must be scalars");
-            }
-        }
+        request.map.params = parse_params_object(doc);
     } else if (method == "describe") {
         request.kind = Request::Kind::Describe;
         request.describe_algo = get_string(doc, "algo", "");
@@ -115,12 +189,64 @@ Request parse_request(const std::string& line) {
         request.kind = Request::Kind::Ping;
     } else if (method == "shutdown") {
         request.kind = Request::Kind::Shutdown;
+    } else if (method == "hello") {
+        request.kind = Request::Kind::Hello;
+    } else if (method == "shard-rows") {
+        request.kind = Request::Kind::ShardRows;
+        ShardRowsRequest& t = request.shard_rows;
+        t.graph_text = get_string(doc, "graph", "");
+        if (t.graph_text.empty())
+            throw std::invalid_argument("shard-rows request needs a 'graph' text");
+        t.topology = get_string(doc, "topology", "");
+        if (t.topology.empty())
+            throw std::invalid_argument("shard-rows request needs a 'topology'");
+        t.bandwidth = get_number(doc, "bandwidth", 1e9);
+        if (t.bandwidth <= 0.0) throw std::invalid_argument("'bandwidth' must be > 0");
+        const Value* mapping = doc.find("mapping");
+        if (!mapping || !mapping->is_array() || mapping->as_array().empty())
+            throw std::invalid_argument("shard-rows request needs a non-empty 'mapping' array");
+        for (const Value& entry : mapping->as_array()) {
+            if (!entry.is_number())
+                throw std::invalid_argument("'mapping' entries must be numbers");
+            t.tile_cores.push_back(static_cast<std::int64_t>(entry.as_number()));
+        }
+        t.window.row_begin = static_cast<noc::TileId>(get_uint(doc, "row_begin", 0));
+        t.window.row_end = static_cast<noc::TileId>(get_uint(doc, "row_end", 0));
+        t.window.col_begin = static_cast<noc::TileId>(get_uint(doc, "col_begin", 0));
+        t.window.col_end = static_cast<noc::TileId>(get_uint(doc, "col_end", 0));
+        t.params = parse_params_object(doc);
+    } else if (method == "shard-map") {
+        request.kind = Request::Kind::ShardMap;
+        const Value* scenarios = doc.find("scenarios");
+        if (!scenarios || !scenarios->is_array() || scenarios->as_array().empty())
+            throw std::invalid_argument(
+                "shard-map request needs a non-empty 'scenarios' array");
+        for (const Value& entry : scenarios->as_array()) {
+            if (!entry.is_object())
+                throw std::invalid_argument("'scenarios' entries must be objects");
+            ShardMapScenario s;
+            s.app = get_string(entry, "app", "");
+            s.graph_text = get_string(entry, "graph", "");
+            if (s.graph_text.empty())
+                throw std::invalid_argument("shard-map scenarios need a 'graph' text");
+            s.topology = get_string(entry, "topology", "");
+            if (s.topology.empty())
+                throw std::invalid_argument("shard-map scenarios need a 'topology'");
+            s.bandwidth = get_number(entry, "bandwidth", 1e9);
+            if (s.bandwidth <= 0.0) throw std::invalid_argument("'bandwidth' must be > 0");
+            s.mapper = get_string(entry, "mapper", "nmap");
+            s.params = parse_params_object(entry);
+            s.seed = get_uint(entry, "seed", 0);
+            request.shard_scenarios.push_back(std::move(s));
+        }
     } else if (method.empty()) {
         throw std::invalid_argument(
-            "request needs a 'method' (map|describe|stats|ping|shutdown)");
+            "request needs a 'method' (map|describe|stats|ping|shutdown|hello|"
+            "shard-rows|shard-map)");
     } else {
         throw std::invalid_argument("unknown method '" + method +
-                                    "' (expected map|describe|stats|ping|shutdown)");
+                                    "' (expected map|describe|stats|ping|shutdown|hello|"
+                                    "shard-rows|shard-map)");
     }
     return request;
 }
@@ -157,6 +283,160 @@ std::string ping_response(const std::string& id) {
 
 std::string shutdown_response(const std::string& id) {
     return response_head(id, "ok") + ", \"shutdown\": true}";
+}
+
+std::string hello_response(const std::string& id, std::size_t cores) {
+    return response_head(id, "ok") + ", \"role\": \"worker\", \"cores\": " +
+           std::to_string(cores) + "}";
+}
+
+std::string shard_rows_response(const std::string& id, const engine::RowSliceOutcome& slice) {
+    using util::json::hex_number;
+    std::string out = response_head(id, "ok") +
+                      ", \"placed\": {\"primary\": " + hex_number(slice.placed_score.primary) +
+                      ", \"secondary\": " + hex_number(slice.placed_score.secondary) +
+                      ", \"feasible\": " + (slice.placed_score.feasible ? "true" : "false") +
+                      "}, \"rows\": [";
+    for (std::size_t i = 0; i < slice.rows.size(); ++i) {
+        const engine::RowBest& row = slice.rows[i];
+        if (i > 0) out += ", ";
+        out += "{\"row\": " + std::to_string(row.row) +
+               ", \"improved\": " + (row.improved ? "true" : "false");
+        if (row.improved)
+            out += ", \"partner\": " + std::to_string(row.partner) +
+                   ", \"primary\": " + hex_number(row.score.primary) +
+                   ", \"secondary\": " + hex_number(row.score.secondary) +
+                   ", \"feasible\": " + (row.score.feasible ? "true" : "false");
+        out += "}";
+    }
+    return out + "], \"evaluations\": " + std::to_string(slice.evaluations) + "}";
+}
+
+std::string shard_map_response(const std::string& id,
+                               const std::vector<ShardMapMetrics>& results) {
+    using util::json::hex_number;
+    std::string out = response_head(id, "ok") + ", \"results\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ShardMapMetrics& m = results[i];
+        if (i > 0) out += ", ";
+        out += "{\"ok\": " + std::string(m.ok ? "true" : "false") +
+               ", \"error\": " + (m.error.empty() ? "null" : quoted(m.error)) +
+               ", \"error_code\": " + (m.error_code.empty() ? "null" : quoted(m.error_code)) +
+               ", \"feasible\": " + (m.feasible ? "true" : "false") +
+               ", \"tiles\": " + std::to_string(m.tiles) +
+               ", \"links\": " + std::to_string(m.links) +
+               ", \"comm_cost\": " + hex_number(m.comm_cost) +
+               ", \"energy_mw\": " + hex_number(m.energy_mw) +
+               ", \"area_mm2\": " + hex_number(m.area_mm2) +
+               ", \"avg_hops\": " + hex_number(m.avg_hops) + "}";
+    }
+    return out + "]}";
+}
+
+std::string hello_request(const std::string& id) {
+    return "{\"id\": " + quoted(id) + ", \"method\": \"hello\"}";
+}
+
+std::string shutdown_request(const std::string& id) {
+    return "{\"id\": " + quoted(id) + ", \"method\": \"shutdown\"}";
+}
+
+std::string shard_rows_request(const std::string& id, const ShardRowsRequest& task) {
+    std::string out = "{\"id\": " + quoted(id) + ", \"method\": \"shard-rows\"" +
+                      ", \"graph\": " + quoted(task.graph_text) +
+                      ", \"topology\": " + quoted(task.topology);
+    char bw[32];
+    std::snprintf(bw, sizeof bw, "%.17g", task.bandwidth);
+    out += std::string(", \"bandwidth\": ") + bw + ", \"mapping\": [";
+    for (std::size_t i = 0; i < task.tile_cores.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::to_string(task.tile_cores[i]);
+    }
+    out += "], \"row_begin\": " + std::to_string(task.window.row_begin) +
+           ", \"row_end\": " + std::to_string(task.window.row_end) +
+           ", \"col_begin\": " + std::to_string(task.window.col_begin) +
+           ", \"col_end\": " + std::to_string(task.window.col_end) +
+           ", \"params\": " + params_json(task.params) + "}";
+    return out;
+}
+
+std::string shard_map_request(const std::string& id,
+                              const std::vector<ShardMapScenario>& scenarios) {
+    std::string out = "{\"id\": " + quoted(id) + ", \"method\": \"shard-map\"" +
+                      ", \"scenarios\": [";
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const ShardMapScenario& s = scenarios[i];
+        if (i > 0) out += ", ";
+        char bw[32];
+        std::snprintf(bw, sizeof bw, "%.17g", s.bandwidth);
+        out += "{\"app\": " + quoted(s.app) + ", \"graph\": " + quoted(s.graph_text) +
+               ", \"topology\": " + quoted(s.topology) + ", \"bandwidth\": " + bw +
+               ", \"mapper\": " + quoted(s.mapper) + ", \"params\": " + params_json(s.params) +
+               ", \"seed\": " + std::to_string(s.seed) + "}";
+    }
+    return out + "]}";
+}
+
+std::size_t parse_hello_response(const std::string& line) {
+    const Value doc = parse_response_document(line);
+    const std::uint64_t cores = get_uint(doc, "cores", 0);
+    if (cores == 0) throw std::invalid_argument("hello response needs a positive 'cores'");
+    return static_cast<std::size_t>(cores);
+}
+
+engine::RowSliceOutcome parse_shard_rows_response(const std::string& line) {
+    const Value doc = parse_response_document(line);
+    engine::RowSliceOutcome out;
+    const Value* placed = doc.find("placed");
+    if (!placed || !placed->is_object())
+        throw std::invalid_argument("shard-rows response needs a 'placed' score");
+    out.placed_score.primary = get_hex(*placed, "primary");
+    out.placed_score.secondary = get_hex(*placed, "secondary");
+    out.placed_score.feasible = get_bool(*placed, "feasible", false);
+    const Value* rows = doc.find("rows");
+    if (!rows || !rows->is_array())
+        throw std::invalid_argument("shard-rows response needs a 'rows' array");
+    for (const Value& entry : rows->as_array()) {
+        if (!entry.is_object())
+            throw std::invalid_argument("'rows' entries must be objects");
+        engine::RowBest row;
+        row.row = static_cast<noc::TileId>(get_uint(entry, "row", 0));
+        row.improved = get_bool(entry, "improved", false);
+        if (row.improved) {
+            row.partner = static_cast<noc::TileId>(get_uint(entry, "partner", 0));
+            row.score.primary = get_hex(entry, "primary");
+            row.score.secondary = get_hex(entry, "secondary");
+            row.score.feasible = get_bool(entry, "feasible", false);
+        }
+        out.rows.push_back(row);
+    }
+    out.evaluations = static_cast<std::size_t>(get_uint(doc, "evaluations", 0));
+    return out;
+}
+
+std::vector<ShardMapMetrics> parse_shard_map_response(const std::string& line) {
+    const Value doc = parse_response_document(line);
+    const Value* results = doc.find("results");
+    if (!results || !results->is_array())
+        throw std::invalid_argument("shard-map response needs a 'results' array");
+    std::vector<ShardMapMetrics> out;
+    for (const Value& entry : results->as_array()) {
+        if (!entry.is_object())
+            throw std::invalid_argument("'results' entries must be objects");
+        ShardMapMetrics m;
+        m.ok = get_bool(entry, "ok", true);
+        m.error = get_string(entry, "error", "");
+        m.error_code = get_string(entry, "error_code", "");
+        m.feasible = get_bool(entry, "feasible", false);
+        m.tiles = get_uint(entry, "tiles", 0);
+        m.links = get_uint(entry, "links", 0);
+        m.comm_cost = get_hex(entry, "comm_cost");
+        m.energy_mw = get_hex(entry, "energy_mw");
+        m.area_mm2 = get_hex(entry, "area_mm2");
+        m.avg_hops = get_hex(entry, "avg_hops");
+        out.push_back(std::move(m));
+    }
+    return out;
 }
 
 } // namespace nocmap::service

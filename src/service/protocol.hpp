@@ -28,12 +28,32 @@
 // absent = all), each embedding the deterministic document of
 // engine::describe_json as the escaped string field "describe" —
 // byte-identical to `nocmap_cli --describe-algo <name> --json`.
+//
+// Shard verbs (coordinator <-> worker, see shard/coordinator.hpp):
+//
+//   {"id":"h1","method":"hello"}
+//   {"id":"t1","method":"shard-rows","graph":"...","topology":"mesh:4x4",
+//    "bandwidth":1000,"mapping":[0,1,-1,...],"row_begin":3,"row_end":4,
+//    "col_begin":8,"col_end":12,"params":{"eval":"ledger-exact"}}
+//   {"id":"t2","method":"shard-map","scenarios":[{"app":"vopd",
+//    "graph":"...","topology":"torus:4x4","bandwidth":1000,"mapper":"nmap",
+//    "params":{},"seed":7}, ...]}
+//
+// hello advertises the worker's core budget for weighted partitioning. A
+// shard-rows task scores one window of the swap-sweep candidate triangle
+// against the carried mapping; a shard-map task runs whole scenarios.
+// Both replies ship every floating-point metric as a hex-float string
+// (util::json::hex_number): the report-facing number() is %.6g, which is
+// lossy, and the coordinator must rebuild byte-identical documents from
+// worker replies.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "engine/mapper.hpp"
 #include "engine/params.hpp"
+#include "engine/sweep.hpp"
 #include "portfolio/topology_cache.hpp"
 
 namespace nocmap::service {
@@ -48,12 +68,55 @@ struct MapRequest {
     std::uint64_t seed = 0;        ///< MapRequest::seed (0 = algorithm default)
 };
 
+/// One "shard-rows" task: score a window of the swap-sweep candidate
+/// triangle against a fixed placed mapping (engine::SwapSweepDriver::
+/// score_rows through the single-minimum-path policy).
+struct ShardRowsRequest {
+    std::string graph_text;  ///< graph::core_graph_to_string of the app
+    std::string topology;    ///< resolved TopologySpec token ("torus:4x4")
+    double bandwidth = 1e9;  ///< uniform link capacity, MB/s
+    /// The placed mapping, per tile: core id or -1 when the tile is empty.
+    std::vector<std::int64_t> tile_cores;
+    engine::RowWindow window;
+    engine::Params params;   ///< nmap knobs ("eval", "threads")
+};
+
+/// One scenario of a "shard-map" task. The graph rides along as text so a
+/// worker never depends on the coordinator's filesystem.
+struct ShardMapScenario {
+    std::string app;         ///< display name (file path or benchmark key)
+    std::string graph_text;
+    std::string topology;    ///< TopologySpec token (auto sizes allowed)
+    double bandwidth = 1e9;
+    std::string mapper = "nmap";
+    engine::Params params;
+    std::uint64_t seed = 0;
+};
+
+/// Raw per-scenario metrics of a shard-map reply — exactly the fields the
+/// coordinator cannot recompute locally (everything identity-like it
+/// derives from its own grid).
+struct ShardMapMetrics {
+    bool ok = true;
+    std::string error;      ///< failure text when !ok
+    std::string error_code; ///< stable engine::MapErrorCode name ("" = none)
+    bool feasible = false;
+    std::uint64_t tiles = 0;
+    std::uint64_t links = 0;
+    double comm_cost = 0.0;
+    double energy_mw = 0.0;
+    double area_mm2 = 0.0;
+    double avg_hops = 0.0;
+};
+
 struct Request {
-    enum class Kind { Map, Describe, Stats, Ping, Shutdown };
+    enum class Kind { Map, Describe, Stats, Ping, Shutdown, Hello, ShardRows, ShardMap };
     Kind kind = Kind::Ping;
     std::string id;            ///< echoed verbatim in the response ("" when absent)
     MapRequest map;            ///< populated when kind == Kind::Map
     std::string describe_algo; ///< Kind::Describe: registry key; "" = all
+    ShardRowsRequest shard_rows;                 ///< Kind::ShardRows
+    std::vector<ShardMapScenario> shard_scenarios; ///< Kind::ShardMap
 };
 
 /// Parses one request line. Throws std::invalid_argument on malformed
@@ -71,5 +134,25 @@ std::string stats_response(const std::string& id,
                            const portfolio::TopologyCacheStats& cache);
 std::string ping_response(const std::string& id);
 std::string shutdown_response(const std::string& id);
+std::string hello_response(const std::string& id, std::size_t cores);
+std::string shard_rows_response(const std::string& id, const engine::RowSliceOutcome& slice);
+std::string shard_map_response(const std::string& id,
+                               const std::vector<ShardMapMetrics>& results);
+
+/// Request serializers — the coordinator's side of the shard verbs (one
+/// line each, no trailing '\n'). shard_rows_request/shard_map_request
+/// round-trip through parse_request bit-exactly (hex-float transport).
+std::string hello_request(const std::string& id);
+std::string shutdown_request(const std::string& id);
+std::string shard_rows_request(const std::string& id, const ShardRowsRequest& task);
+std::string shard_map_request(const std::string& id,
+                              const std::vector<ShardMapScenario>& scenarios);
+
+/// Response parsers — the coordinator's view of worker replies. Each
+/// throws std::invalid_argument on malformed lines and std::runtime_error
+/// carrying the worker's message on an "error" status.
+std::size_t parse_hello_response(const std::string& line);
+engine::RowSliceOutcome parse_shard_rows_response(const std::string& line);
+std::vector<ShardMapMetrics> parse_shard_map_response(const std::string& line);
 
 } // namespace nocmap::service

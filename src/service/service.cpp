@@ -1,5 +1,6 @@
 #include "service/service.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
@@ -18,6 +19,8 @@
 
 #include "apps/registry.hpp"
 #include "engine/mapper.hpp"
+#include "graph/graph_io.hpp"
+#include "nmap/single_path.hpp"
 #include "portfolio/report.hpp"
 #include "portfolio/scenario.hpp"
 #include "util/json.hpp"
@@ -127,6 +130,20 @@ std::shared_ptr<const graph::CoreGraph> Service::graph_for(const std::string& ta
     return slot;
 }
 
+std::shared_ptr<const graph::CoreGraph> Service::graph_from_text(const std::string& text) {
+    {
+        std::lock_guard<std::mutex> lock(graphs_mutex_);
+        const auto it = text_graphs_.find(text);
+        if (it != text_graphs_.end()) return it->second;
+    }
+    auto loaded =
+        std::make_shared<const graph::CoreGraph>(graph::core_graph_from_string(text));
+    std::lock_guard<std::mutex> lock(graphs_mutex_);
+    auto& slot = text_graphs_[text];
+    if (!slot) slot = std::move(loaded);
+    return slot;
+}
+
 std::string Service::handle_line(const std::string& line) {
     return handle_batch({line}).front();
 }
@@ -198,6 +215,71 @@ std::vector<std::string> Service::handle_batch(const std::vector<std::string>& l
                 shutdown_ = true;
                 p.response = shutdown_response(request.id);
                 break;
+            case Request::Kind::Hello: {
+                // Advertised core budget for the coordinator's weighted
+                // scenario partition: the configured runner width, or the
+                // whole machine when threads = 0.
+                const std::size_t cores =
+                    options_.threads != 0
+                        ? options_.threads
+                        : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+                p.response = hello_response(request.id, cores);
+                break;
+            }
+            case Request::Kind::ShardRows: {
+                const ShardRowsRequest& t = request.shard_rows;
+                const auto graph = graph_from_text(t.graph_text);
+                const auto spec = portfolio::TopologySpec::parse(t.topology, t.bandwidth);
+                const auto ctx = runner_.cache().get(spec, graph->node_count());
+                noc::Mapping placed(graph->node_count(), t.tile_cores.size());
+                for (std::size_t tile = 0; tile < t.tile_cores.size(); ++tile)
+                    if (t.tile_cores[tile] >= 0)
+                        placed.place(static_cast<graph::NodeId>(t.tile_cores[tile]),
+                                     static_cast<noc::TileId>(tile));
+                nmap::SinglePathOptions opt;
+                opt.threads = static_cast<std::size_t>(t.params.int_or("threads", 1));
+                const std::string eval = t.params.string_or("eval", "ledger-exact");
+                if (eval == "naive") opt.eval = nmap::SweepEval::Naive;
+                else if (eval == "incremental") opt.eval = nmap::SweepEval::Incremental;
+                else if (eval == "ledger-fast") opt.eval = nmap::SweepEval::LedgerFast;
+                else opt.eval = nmap::SweepEval::LedgerExact;
+                p.response = shard_rows_response(
+                    request.id,
+                    nmap::score_single_path_rows(*graph, *ctx, placed, opt, t.window));
+                break;
+            }
+            case Request::Kind::ShardMap: {
+                std::vector<portfolio::Scenario> grid;
+                for (const ShardMapScenario& s : request.shard_scenarios) {
+                    portfolio::Scenario scenario;
+                    scenario.app = s.app;
+                    scenario.graph = graph_from_text(s.graph_text);
+                    scenario.topology = portfolio::TopologySpec::parse(s.topology, s.bandwidth);
+                    scenario.mapper = s.mapper;
+                    scenario.params = s.params;
+                    scenario.seed = s.seed;
+                    grid.push_back(std::move(scenario));
+                }
+                const auto results = runner_.run(grid);
+                std::vector<ShardMapMetrics> metrics;
+                metrics.reserve(results.size());
+                for (const portfolio::ScenarioResult& r : results) {
+                    ShardMapMetrics m;
+                    m.ok = r.ok;
+                    m.error = r.error;
+                    m.error_code = r.error_code;
+                    m.feasible = r.ok && r.result.feasible;
+                    m.tiles = r.tiles;
+                    m.links = r.links;
+                    m.comm_cost = r.result.comm_cost;
+                    m.energy_mw = r.energy_mw;
+                    m.area_mm2 = r.area_mm2;
+                    m.avg_hops = r.avg_hops;
+                    metrics.push_back(std::move(m));
+                }
+                p.response = shard_map_response(request.id, metrics);
+                break;
+            }
             }
         } catch (const std::exception& e) {
             p.response = error_response(request.id, e.what());
@@ -301,6 +383,23 @@ int Service::serve_socket(std::uint16_t port,
         }
         {
             std::lock_guard<std::mutex> lock(registry.mutex);
+            if (options_.max_connections != 0 &&
+                registry.active >= options_.max_connections) {
+                // Over the cap: answer with one structured error line and
+                // close — the client sees why instead of a hang, and the
+                // daemon's descriptor/thread budget stays bounded.
+                const std::string line =
+                    error_response("", "connection limit reached (" +
+                                           std::to_string(options_.max_connections) +
+                                           " active sessions)") +
+                    "\n";
+                ssize_t n;
+                do {
+                    n = ::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+                } while (n < 0 && errno == EINTR);
+                ::close(fd);
+                continue;
+            }
             registry.fds.insert(fd);
             ++registry.active;
         }

@@ -41,6 +41,11 @@ struct ServiceOptions {
     std::size_t threads = 1;
     /// TopologyCache bound (fabrics kept, LRU; 0 = unbounded).
     std::size_t cache_topologies = 0;
+    /// serve_socket: concurrent session cap. A connection accepted over
+    /// the limit is answered with one error line and closed immediately
+    /// (never silently dropped), so a runaway client cannot exhaust the
+    /// daemon's descriptors or threads. 0 = unbounded.
+    std::size_t max_connections = 64;
     /// Defaults applied when a map request omits the field. An explicit
     /// "params" object replaces default_params wholesale (no key merge);
     /// a request "seed" likewise outranks default_seed.
@@ -89,11 +94,17 @@ private:
     /// App graphs parsed once per daemon (keyed by the request's target
     /// string); shared_ptr'd into scenarios like the CLI's portfolio mode.
     std::shared_ptr<const graph::CoreGraph> graph_for(const std::string& target);
+    /// Shard-verb graphs, parsed once per distinct text payload (shard
+    /// tasks carry the graph inline so workers never touch the
+    /// coordinator's filesystem; rows tasks repeat the same text every
+    /// row, so parsing must not).
+    std::shared_ptr<const graph::CoreGraph> graph_from_text(const std::string& text);
 
     ServiceOptions options_;
     portfolio::PortfolioRunner runner_;
     std::mutex graphs_mutex_;
     std::map<std::string, std::shared_ptr<const graph::CoreGraph>> graphs_;
+    std::map<std::string, std::shared_ptr<const graph::CoreGraph>> text_graphs_;
     std::atomic<bool> shutdown_{false};
 };
 

@@ -1,0 +1,132 @@
+#pragma once
+// shard::Coordinator — scatters mapping work over serve workers and merges
+// the replies deterministically.
+//
+// Two sharding granularities (ShardMode):
+//
+//   * Rows — one mapping run at a time, with the swap sweep's O(|U|^2)
+//     candidate triangle scattered row by row: the coordinator owns the
+//     greedy sweep loop (commit best row candidate, re-base, continue),
+//     and each row's inner j-range is split into up to `alive` contiguous
+//     chunks that workers score with SwapSweepDriver::score_rows against
+//     the carried placed mapping. The merge scans chunk bests in ascending
+//     column order under the strict Score::better_than — exactly the
+//     serial sweep's lowest-index-first reduction — so the committed swap,
+//     and therefore the final mapping and every report byte, is identical
+//     to a single-node run at ANY worker count, reply order, or
+//     failure/retry interleaving. Rows shorter than one chunk ride a
+//     single multi-row task that early-stops at the first improving row
+//     (the tail of a pass costs one round-trip, not one per row).
+//     Requires mapper "nmap" with a path-independent eval (naive,
+//     incremental or ledger-exact; ledger-fast is rejected — its router
+//     state depends on the commit history a worker does not have).
+//
+//   * Scenarios — whole portfolio scenarios partitioned contiguously over
+//     workers, weighted by the core counts advertised in the hello
+//     handshake (engine::ThreadBudget::partition). Workers return raw
+//     hex-float metrics; the coordinator rebuilds ScenarioResults —
+//     identity fields from its own grid, metrics bit-exact from the wire —
+//     and scalarizes locally, so the JSON document equals a single-node
+//     `portfolio --json --json-stable` run byte for byte.
+//
+// Failure model: a link that throws on exchange marks its worker dead and
+// the task is re-dispatched to a survivor (tasks are idempotent — rows
+// tasks are pure functions of the carried mapping, scenario tasks of the
+// scenario). ShardOptions::max_attempts bounds the retries; when every
+// worker is dead the affected scenario carries a structured error, like
+// any other per-scenario failure.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "portfolio/runner.hpp"
+#include "portfolio/scenario.hpp"
+#include "portfolio/topology_cache.hpp"
+#include "shard/worker_link.hpp"
+
+namespace nocmap::shard {
+
+enum class ShardMode {
+    Rows,      ///< scatter swap-sweep rows within each mapping run
+    Scenarios, ///< scatter whole scenarios across workers
+};
+
+struct ShardOptions {
+    ShardMode mode = ShardMode::Rows;
+    /// Rows mode: minimum candidate swaps per dispatched chunk. Rows with
+    /// fewer than 2*min_chunk candidates are not worth splitting — they
+    /// join a multi-row early-stop task instead.
+    std::size_t min_chunk = 8;
+    /// Dispatch attempts per task (first try plus retries on surviving
+    /// workers after transport failures).
+    std::size_t max_attempts = 3;
+    /// Scalarization and energy settings of the rebuilt report — must
+    /// match the single-node run being reproduced (defaults match
+    /// PortfolioOptions defaults).
+    portfolio::ScalarizationWeights weights;
+    noc::EnergyModel energy_model;
+    /// Coordinator-local TopologyCache bound (0 = unbounded).
+    std::size_t cache_topologies = 0;
+};
+
+class Coordinator {
+public:
+    /// Takes ownership of the links and performs the hello handshake:
+    /// every worker advertises its core budget (used as the scenario
+    /// partition weight). A link that fails the handshake is marked dead;
+    /// throws std::runtime_error when none survives.
+    explicit Coordinator(std::vector<std::unique_ptr<WorkerLink>> links,
+                         ShardOptions options = {});
+
+    const ShardOptions& options() const noexcept { return options_; }
+    std::size_t worker_count() const noexcept { return workers_.size(); }
+    std::size_t alive_count() const noexcept;
+    /// Advertised core budget of worker `i` (1 when the handshake failed).
+    std::size_t worker_cores(std::size_t i) const { return workers_.at(i).cores; }
+
+    /// Runs the grid sharded under options().mode. Results are in grid
+    /// order with scalar scores filled in, byte-compatible (through
+    /// portfolio::to_json with timings off) with PortfolioRunner::run on
+    /// the same grid. Per-scenario failures land in ScenarioResult::error,
+    /// never throw.
+    std::vector<portfolio::ScenarioResult> run_grid(
+        const std::vector<portfolio::Scenario>& grid);
+
+private:
+    struct Worker {
+        std::unique_ptr<WorkerLink> link;
+        std::size_t cores = 1;
+        bool alive = true;
+    };
+
+    std::string next_id(const char* tag);
+    std::vector<std::size_t> live_workers() const;
+    /// One task with retry: tries live workers round-robin, marking
+    /// transport failures dead; throws std::runtime_error when attempts
+    /// run out.
+    std::string dispatch(const std::string& line);
+    /// A batch of tasks fanned out over the live workers (one thread per
+    /// worker, each draining its queue in order; replies land slot-indexed
+    /// so completion order is irrelevant). Tasks stranded by a transport
+    /// failure are retried through dispatch(); a task that cannot be
+    /// delivered at all yields a synthesized error-response line, which the
+    /// response parsers surface as a per-scenario error (never a throw).
+    std::vector<std::string> dispatch_all(const std::vector<std::string>& lines);
+
+    portfolio::ScenarioResult rows_scenario(const portfolio::Scenario& scenario,
+                                            std::size_t index);
+    std::vector<portfolio::ScenarioResult> run_rows(
+        const std::vector<portfolio::Scenario>& grid);
+    std::vector<portfolio::ScenarioResult> run_scenarios(
+        const std::vector<portfolio::Scenario>& grid);
+
+    ShardOptions options_;
+    std::vector<Worker> workers_;
+    portfolio::TopologyCache cache_;
+    std::size_t id_counter_ = 0;
+    std::size_t rr_ = 0; ///< round-robin cursor of dispatch()
+};
+
+} // namespace nocmap::shard

@@ -1,0 +1,216 @@
+#include "shard/worker_link.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "service/protocol.hpp"
+
+namespace nocmap::shard {
+
+namespace {
+
+class InProcessLink final : public WorkerLink {
+public:
+    explicit InProcessLink(service::ServiceOptions options)
+        : service_(std::move(options)) {}
+
+    const std::string& name() const noexcept override { return name_; }
+
+    std::string exchange(const std::string& request_line) override {
+        return service_.handle_line(request_line);
+    }
+
+private:
+    service::Service service_;
+    std::string name_ = "in-process";
+};
+
+sockaddr_in loopback_address(const std::string& host, std::uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    const std::string literal = host == "localhost" ? "127.0.0.1" : host;
+    if (::inet_pton(AF_INET, literal.c_str(), &addr.sin_addr) != 1)
+        throw std::runtime_error("shard: invalid worker host '" + host +
+                                 "' (IPv4 literal or localhost)");
+    return addr;
+}
+
+class TcpLink final : public WorkerLink {
+public:
+    TcpLink(const std::string& host, std::uint16_t port)
+        : name_(host + ":" + std::to_string(port)) {
+        const sockaddr_in addr = loopback_address(host, port);
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0) throw std::runtime_error("shard: socket() failed");
+        if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+            const int err = errno;
+            ::close(fd_);
+            fd_ = -1;
+            throw std::runtime_error("shard: cannot connect to " + name_ + ": " +
+                                     std::strerror(err));
+        }
+    }
+
+    ~TcpLink() override {
+        if (fd_ >= 0) ::close(fd_);
+    }
+
+    const std::string& name() const noexcept override { return name_; }
+
+    std::string exchange(const std::string& request_line) override {
+        if (fd_ < 0) throw std::runtime_error("shard: link to " + name_ + " is closed");
+        std::string out = request_line;
+        out += '\n';
+        const char* data = out.data();
+        std::size_t left = out.size();
+        while (left > 0) {
+            ssize_t n;
+            do {
+                n = ::send(fd_, data, left, MSG_NOSIGNAL);
+            } while (n < 0 && errno == EINTR);
+            if (n <= 0) throw std::runtime_error("shard: write to " + name_ + " failed");
+            data += n;
+            left -= static_cast<std::size_t>(n);
+        }
+        // One response line per request; read() chunks may split it.
+        while (true) {
+            const std::size_t nl = buffer_.find('\n');
+            if (nl != std::string::npos) {
+                std::string line = buffer_.substr(0, nl);
+                buffer_.erase(0, nl + 1);
+                return line;
+            }
+            char chunk[4096];
+            ssize_t n;
+            do {
+                n = ::read(fd_, chunk, sizeof chunk);
+            } while (n < 0 && errno == EINTR);
+            if (n <= 0)
+                throw std::runtime_error("shard: worker " + name_ +
+                                         " closed the connection mid-reply");
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+private:
+    std::string name_;
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+} // namespace
+
+std::unique_ptr<WorkerLink> in_process_worker(service::ServiceOptions options) {
+    return std::make_unique<InProcessLink>(std::move(options));
+}
+
+std::unique_ptr<WorkerLink> connect_tcp(const std::string& host, std::uint16_t port) {
+    return std::make_unique<TcpLink>(host, port);
+}
+
+LocalFleet& LocalFleet::operator=(LocalFleet&& other) noexcept {
+    if (this != &other) {
+        shutdown();
+        workers_ = std::move(other.workers_);
+        other.workers_.clear();
+    }
+    return *this;
+}
+
+LocalFleet LocalFleet::spawn(std::size_t count, const service::ServiceOptions& options,
+                             const std::vector<std::size_t>& child_threads) {
+    LocalFleet fleet;
+    for (std::size_t i = 0; i < count; ++i) {
+        service::ServiceOptions child_options = options;
+        if (i < child_threads.size()) child_options.threads = child_threads[i];
+        int pipe_fds[2];
+        if (::pipe(pipe_fds) < 0) throw std::runtime_error("shard: pipe() failed");
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(pipe_fds[0]);
+            ::close(pipe_fds[1]);
+            throw std::runtime_error("shard: fork() failed");
+        }
+        if (pid == 0) {
+            // Child: serve on an ephemeral port, report it, block until a
+            // shutdown request. _exit keeps the parent's atexit state and
+            // stdio buffers untouched (this is a fork, not an exec).
+            ::close(pipe_fds[0]);
+            {
+                service::Service service(child_options);
+                service.serve_socket(0, [&](std::uint16_t port) {
+                    const ssize_t n [[maybe_unused]] =
+                        ::write(pipe_fds[1], &port, sizeof port);
+                    ::close(pipe_fds[1]);
+                });
+            }
+            ::_exit(0);
+        }
+        ::close(pipe_fds[1]);
+        std::uint16_t port = 0;
+        ssize_t n;
+        do {
+            n = ::read(pipe_fds[0], &port, sizeof port);
+        } while (n < 0 && errno == EINTR);
+        ::close(pipe_fds[0]);
+        if (n != sizeof port || port == 0) {
+            ::kill(pid, SIGKILL);
+            ::waitpid(pid, nullptr, 0);
+            throw std::runtime_error("shard: worker failed to report its port");
+        }
+        fleet.workers_.push_back(Worker{static_cast<int>(pid), port});
+    }
+    return fleet;
+}
+
+std::vector<std::unique_ptr<WorkerLink>> LocalFleet::connect_all() const {
+    std::vector<std::unique_ptr<WorkerLink>> links;
+    links.reserve(workers_.size());
+    for (const Worker& worker : workers_) links.push_back(connect_tcp("127.0.0.1", worker.port));
+    return links;
+}
+
+void LocalFleet::shutdown() {
+    for (const Worker& worker : workers_) {
+        try {
+            connect_tcp("127.0.0.1", worker.port)
+                ->exchange(service::shutdown_request("fleet-shutdown"));
+        } catch (...) {
+            // Already gone (or wedged — SIGKILL below).
+        }
+    }
+    for (const Worker& worker : workers_) {
+        const pid_t pid = static_cast<pid_t>(worker.pid);
+        bool reaped = false;
+        // ~2s of polling before escalating: the child only has to finish
+        // answering its shutdown request.
+        for (int attempt = 0; attempt < 200; ++attempt) {
+            const pid_t r = ::waitpid(pid, nullptr, WNOHANG);
+            if (r == pid || (r < 0 && errno == ECHILD)) {
+                reaped = true;
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        if (!reaped) {
+            ::kill(pid, SIGKILL);
+            ::waitpid(pid, nullptr, 0);
+        }
+    }
+    workers_.clear();
+}
+
+} // namespace nocmap::shard

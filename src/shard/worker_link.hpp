@@ -1,0 +1,95 @@
+#pragma once
+// shard::WorkerLink — one request/response channel to a serve worker.
+//
+// The shard coordinator (shard/coordinator.hpp) is transport-agnostic: it
+// speaks the line-delimited protocol of service/protocol.hpp over any
+// WorkerLink. Three implementations cover the deployment shapes:
+//
+//   * in_process_worker() — a private service::Service answered
+//     synchronously in the caller's process. The 1-worker baseline and the
+//     deterministic tests use it (no sockets, no subprocesses), and it is
+//     what makes "sharded result == single-node result" testable without
+//     any environment setup.
+//   * connect_tcp() — a blocking loopback TCP client of a running
+//     `nocmap_cli serve --socket` daemon (the `--workers host:port` path).
+//   * LocalFleet — forks N serve subprocesses on ephemeral loopback ports
+//     and connects a TCP link to each (the `--spawn-workers N` path). The
+//     fleet owns the processes; destruction shuts them down.
+//
+// exchange() throws std::runtime_error on transport failure (peer gone,
+// truncated reply). The coordinator treats a throwing link as a dead
+// worker and reassigns its task to a survivor.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace nocmap::shard {
+
+class WorkerLink {
+public:
+    virtual ~WorkerLink() = default;
+
+    /// Stable display name ("in-process", "127.0.0.1:4117", "worker-2").
+    virtual const std::string& name() const noexcept = 0;
+
+    /// One request line in, one response line out (neither carries the
+    /// trailing '\n'). Throws std::runtime_error when the transport fails.
+    virtual std::string exchange(const std::string& request_line) = 0;
+};
+
+/// A worker living inside the calling process.
+std::unique_ptr<WorkerLink> in_process_worker(service::ServiceOptions options = {});
+
+/// Connects to a serve daemon at host:port. `host` must be a dotted-quad
+/// IPv4 literal or "localhost"; throws std::runtime_error when the
+/// connection cannot be established.
+std::unique_ptr<WorkerLink> connect_tcp(const std::string& host, std::uint16_t port);
+
+/// A fleet of forked serve subprocesses on ephemeral loopback ports. Every
+/// child runs Service::serve_socket(0) and reports its bound port through
+/// a pipe before the parent connects. The destructor asks each child to
+/// shut down over a fresh connection, waits briefly, and SIGKILLs
+/// stragglers — a dead fleet never outlives its coordinator.
+class LocalFleet {
+public:
+    LocalFleet() = default;
+    LocalFleet(LocalFleet&& other) noexcept : workers_(std::move(other.workers_)) {
+        other.workers_.clear();
+    }
+    LocalFleet& operator=(LocalFleet&& other) noexcept;
+    LocalFleet(const LocalFleet&) = delete;
+    LocalFleet& operator=(const LocalFleet&) = delete;
+    ~LocalFleet() { shutdown(); }
+
+    /// Forks `count` workers, each serving with `options`. When
+    /// `child_threads` is non-empty, child i serves with
+    /// options.threads = child_threads[i] (the caller typically splits an
+    /// engine::ThreadBudget over the children so they never oversubscribe
+    /// the host). Throws std::runtime_error when a fork or port handshake
+    /// fails; already-spawned children are torn down.
+    static LocalFleet spawn(std::size_t count, const service::ServiceOptions& options = {},
+                            const std::vector<std::size_t>& child_threads = {});
+
+    std::size_t size() const noexcept { return workers_.size(); }
+    std::uint16_t port(std::size_t i) const { return workers_.at(i).port; }
+
+    /// Fresh TCP links to every worker (callable once or repeatedly; links
+    /// are independent connections).
+    std::vector<std::unique_ptr<WorkerLink>> connect_all() const;
+
+    /// Shuts every worker down now (idempotent; the destructor calls it).
+    void shutdown();
+
+private:
+    struct Worker {
+        int pid = -1;
+        std::uint16_t port = 0;
+    };
+    std::vector<Worker> workers_;
+};
+
+} // namespace nocmap::shard

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 namespace nocmap::util::json {
@@ -295,6 +296,25 @@ std::string number(double value) {
     char buffer[32];
     std::snprintf(buffer, sizeof buffer, "%.6g", value);
     return buffer;
+}
+
+std::string hex_number(double value) {
+    if (std::isnan(value)) return "\"nan\"";
+    if (std::isinf(value)) return value > 0 ? "\"inf\"" : "\"-inf\"";
+    char buffer[48];
+    std::snprintf(buffer, sizeof buffer, "\"%a\"", value);
+    return buffer;
+}
+
+double parse_hex_number(const std::string& text) {
+    if (text == "nan") return std::numeric_limits<double>::quiet_NaN();
+    if (text == "inf") return std::numeric_limits<double>::infinity();
+    if (text == "-inf") return -std::numeric_limits<double>::infinity();
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || text.empty())
+        throw std::invalid_argument("json: malformed hex number \"" + text + "\"");
+    return value;
 }
 
 } // namespace nocmap::util::json

@@ -75,4 +75,14 @@ std::string quoted(const std::string& text);
 /// Shortest %.6g JSON number, or "null" for NaN/infinity.
 std::string number(double value);
 
+/// Round-trip-exact encoding of a double as a quoted hex-float string
+/// literal ("0x1.8p+3"; "inf"/"-inf"/"nan" for non-finite values). The
+/// shard protocol ships metrics this way: number() is %.6g — fine for
+/// reports, lossy for the coordinator, which must rebuild bit-identical
+/// documents from worker replies.
+std::string hex_number(double value);
+/// Inverse of hex_number(); accepts anything strtod parses fully. Throws
+/// std::invalid_argument on malformed or partially-consumed input.
+double parse_hex_number(const std::string& text);
+
 } // namespace nocmap::util::json

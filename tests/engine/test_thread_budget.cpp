@@ -1,0 +1,67 @@
+#include "engine/thread_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace nocmap::engine {
+namespace {
+
+TEST(ThreadBudget, ZeroMeansHardwareAtLeastOne) {
+    EXPECT_GE(ThreadBudget(0).cores(), 1u);
+    EXPECT_EQ(ThreadBudget(5).cores(), 5u);
+}
+
+TEST(ThreadBudget, SplitConservesCores) {
+    const auto children = ThreadBudget(8).split(3);
+    ASSERT_EQ(children.size(), 3u);
+    EXPECT_EQ(children[0].cores(), 3u); // remainder goes to the lowest indices
+    EXPECT_EQ(children[1].cores(), 3u);
+    EXPECT_EQ(children[2].cores(), 2u);
+}
+
+TEST(ThreadBudget, SplitOversubscribesAtOneCoreEach) {
+    const auto children = ThreadBudget(2).split(5);
+    ASSERT_EQ(children.size(), 5u);
+    for (const ThreadBudget& child : children) EXPECT_EQ(child.cores(), 1u);
+    EXPECT_TRUE(ThreadBudget(4).split(0).empty());
+}
+
+TEST(ThreadBudget, ThreadsForClampsToWorkAndBudget) {
+    const ThreadBudget budget(4);
+    EXPECT_EQ(budget.threads_for(100), 4u);
+    EXPECT_EQ(budget.threads_for(3), 3u);
+    EXPECT_EQ(budget.threads_for(0), 1u); // never zero threads
+}
+
+TEST(ThreadBudget, PartitionIsProportionalAndExact) {
+    const auto counts = ThreadBudget::partition(10, {3, 1});
+    ASSERT_EQ(counts.size(), 2u);
+    EXPECT_EQ(counts[0], 8u); // 7.5 vs 2.5: tied remainders go to the lowest index
+    EXPECT_EQ(counts[1], 2u);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::size_t{0}), 10u);
+}
+
+TEST(ThreadBudget, PartitionAllZeroWeightsIsEven) {
+    const auto counts = ThreadBudget::partition(5, {0, 0, 0});
+    ASSERT_EQ(counts.size(), 3u);
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 2u);
+    EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(ThreadBudget, PartitionEdgeCases) {
+    EXPECT_TRUE(ThreadBudget::partition(7, {}).empty());
+    const auto none = ThreadBudget::partition(0, {2, 3});
+    ASSERT_EQ(none.size(), 2u);
+    EXPECT_EQ(none[0], 0u);
+    EXPECT_EQ(none[1], 0u);
+    // Fewer items than consumers: largest-remainder still hands out whole
+    // items, starving the lightest weights first.
+    const auto sparse = ThreadBudget::partition(2, {1, 4, 1});
+    EXPECT_EQ(std::accumulate(sparse.begin(), sparse.end(), std::size_t{0}), 2u);
+    EXPECT_GE(sparse[1], 1u);
+}
+
+} // namespace
+} // namespace nocmap::engine

@@ -1,0 +1,148 @@
+// ServiceOptions::max_connections: a client over the session cap gets one
+// clean protocol error line and a closed socket; clients within the cap are
+// unaffected, and closing a session frees its slot.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/service.hpp"
+#include "util/json.hpp"
+
+namespace nocmap::service {
+namespace {
+
+int connect_loopback(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+std::string request_line(int fd, const std::string& line) {
+    const std::string out = line + "\n";
+    if (::send(fd, out.data(), out.size(), 0) != static_cast<ssize_t>(out.size()))
+        return "";
+    std::string received;
+    char buffer[4096];
+    while (received.find('\n') == std::string::npos) {
+        const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+        if (n <= 0) break;
+        received.append(buffer, static_cast<std::size_t>(n));
+    }
+    return received.substr(0, received.find('\n'));
+}
+
+/// Everything the peer sends until it closes the connection.
+std::string read_to_eof(int fd) {
+    std::string received;
+    char buffer[4096];
+    while (true) {
+        const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+        if (n <= 0) break;
+        received.append(buffer, static_cast<std::size_t>(n));
+    }
+    return received;
+}
+
+TEST(Service, OverLimitConnectionGetsErrorLineAndClose) {
+    ServiceOptions options;
+    options.max_connections = 1;
+    Service daemon(options);
+    std::promise<std::uint16_t> bound;
+    std::thread server([&] {
+        daemon.serve_socket(0, [&](std::uint16_t port) { bound.set_value(port); });
+    });
+    const std::uint16_t port = bound.get_future().get();
+
+    const int first = connect_loopback(port);
+    ASSERT_GE(first, 0);
+    // A completed round-trip proves the first session is registered before
+    // the over-limit attempt (accept-time counting, no race).
+    EXPECT_EQ(util::json::parse(request_line(first, R"({"id":"p","method":"ping"})"))
+                  .find("id")
+                  ->as_string(),
+              "p");
+
+    const int second = connect_loopback(port);
+    ASSERT_GE(second, 0);
+    const std::string rejection = read_to_eof(second); // server closes after the error
+    ::close(second);
+    ASSERT_FALSE(rejection.empty());
+    const auto doc = util::json::parse(rejection.substr(0, rejection.find('\n')));
+    EXPECT_EQ(doc.find("status")->as_string(), "error");
+    EXPECT_NE(doc.find("error")->as_string().find("connection limit"), std::string::npos);
+
+    // The surviving session still works, and closing it frees the slot.
+    EXPECT_EQ(util::json::parse(request_line(first, R"({"id":"p2","method":"ping"})"))
+                  .find("id")
+                  ->as_string(),
+              "p2");
+    ::close(first);
+    int third = -1;
+    std::string reply;
+    // The slot frees asynchronously when the server notices the close;
+    // retry briefly instead of racing it.
+    for (int attempt = 0; attempt < 100 && reply.empty(); ++attempt) {
+        third = connect_loopback(port);
+        ASSERT_GE(third, 0);
+        reply = request_line(third, R"({"id":"p3","method":"ping"})");
+        const auto parsed = util::json::parse(reply.empty() ? "{}" : reply);
+        const auto* status = parsed.find("status");
+        if (status != nullptr && status->as_string() == "error") {
+            ::close(third);
+            third = -1;
+            reply.clear();
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+    }
+    ASSERT_FALSE(reply.empty()) << "freed slot was never reusable";
+    EXPECT_EQ(util::json::parse(reply).find("id")->as_string(), "p3");
+
+    request_line(third, R"({"id":"q","method":"shutdown"})");
+    ::close(third);
+    server.join();
+}
+
+TEST(Service, UnboundedWhenMaxConnectionsIsZero) {
+    ServiceOptions options;
+    options.max_connections = 0;
+    Service daemon(options);
+    std::promise<std::uint16_t> bound;
+    std::thread server([&] {
+        daemon.serve_socket(0, [&](std::uint16_t port) { bound.set_value(port); });
+    });
+    const std::uint16_t port = bound.get_future().get();
+
+    std::vector<int> fds;
+    for (int i = 0; i < 8; ++i) {
+        const int fd = connect_loopback(port);
+        ASSERT_GE(fd, 0);
+        fds.push_back(fd);
+        EXPECT_EQ(util::json::parse(request_line(fd, R"({"id":"p","method":"ping"})"))
+                      .find("id")
+                      ->as_string(),
+                  "p");
+    }
+    request_line(fds.back(), R"({"id":"q","method":"shutdown"})");
+    for (const int fd : fds) ::close(fd);
+    server.join();
+}
+
+} // namespace
+} // namespace nocmap::service
