@@ -9,13 +9,18 @@
 //   nocmap_cli dot    <app|graph-file>
 //   nocmap_cli portfolio <app|graph-file>... [--topologies specs]
 //                     [--algo <name>] [--opt key=value]... [--seed N]
-//                     [--bw MBps] [--threads N] [--json path] [--json-stable]
-//   nocmap_cli serve  [--socket PORT] [--max-connections N]
+//                     [--bw MBps] [--threads N] [--deadline-ms N]
+//                     [--json path] [--json-stable]
+//   nocmap_cli serve  [--socket PORT] [--max-connections N] [--max-pending N]
+//                     [--idle-timeout-ms N] [--deadline-ms N]
 //                     [--cache-topologies N] [--threads N]
 //                     [--topologies specs] [--algo <name>] [--bw MBps]
 //                     [--opt key=value]... [--seed N]
+//                     [--fault-stall-ms N [--fault-every N]]
 //   nocmap_cli shard  <app|graph-file>... (--workers host:port,... |
 //                     --spawn-workers N) [--shard-mode rows|scenarios]
+//                     [--connect-timeout-ms N] [--io-timeout-ms N]
+//                     [--deadline-ms N] [--faults spec]
 //                     [--topologies specs] [--algo <name>] [--bw MBps]
 //                     [--opt key=value]... [--seed N] [--json path]
 //   nocmap_cli apps
@@ -47,7 +52,14 @@
 // requests on stdin (responses on stdout) or, with --socket, over TCP.
 // --cache-topologies bounds the persistent fabric cache (LRU eviction);
 // --topologies/--algo/--bw set the per-request defaults; --max-connections
-// caps concurrent TCP sessions (default 64, 0 = unbounded). See
+// caps concurrent TCP sessions (default 64, 0 = unbounded). Robustness
+// knobs: --max-pending caps map requests concurrently in flight (over the
+// cap -> typed "overloaded" error, default 256), --idle-timeout-ms evicts
+// silent TCP sessions, --deadline-ms sets the default per-scenario
+// wall-clock budget (a request's own "deadline_ms" outranks it), and
+// SIGTERM/SIGINT trigger a graceful drain (stop accepting, finish
+// in-flight work, flush, exit 0). --fault-stall-ms/--fault-every wedge the
+// dispatch path on schedule — chaos testing only. See
 // src/service/protocol.hpp for the request/response schema.
 //
 // Shard mode distributes a portfolio run over serve workers — either
@@ -58,15 +70,26 @@
 // "scenarios" scatters whole scenarios weighted by advertised cores. Either
 // way the merged report is byte-identical to a single-node
 // `portfolio --json --json-stable` run; see src/shard/coordinator.hpp.
+// --connect-timeout-ms/--io-timeout-ms bound each worker link's syscalls
+// (a silent worker becomes a transport failure the coordinator retries
+// elsewhere instead of a hang); --faults injects scheduled link faults
+// (worker:index:action[:ms], see src/shard/fault.hpp) for chaos testing.
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#include <signal.h>
 
 #include "apps/registry.hpp"
 #include "engine/mapper.hpp"
@@ -81,6 +104,7 @@
 #include "portfolio/runner.hpp"
 #include "service/service.hpp"
 #include "shard/coordinator.hpp"
+#include "shard/fault.hpp"
 #include "sim/netlist.hpp"
 #include "sim/simulator.hpp"
 #include "util/string_util.hpp"
@@ -113,6 +137,14 @@ struct CliOptions {
     std::string workers;              ///< shard: host:port,... of running daemons
     std::size_t spawn_workers = 0;    ///< shard: fork N local serve workers
     std::string shard_mode = "rows";  ///< shard: rows | scenarios
+    std::size_t max_pending = 256;    ///< serve: in-flight map admission cap
+    std::uint64_t idle_timeout_ms = 0; ///< serve: silent-session eviction
+    std::uint64_t deadline_ms = 0;     ///< per-scenario wall-clock budget
+    std::uint64_t connect_timeout_ms = 10000; ///< shard: link connect budget
+    std::uint64_t io_timeout_ms = 0;   ///< shard: per-syscall link budget
+    std::uint64_t fault_stall_ms = 0;  ///< serve chaos: dispatch stall
+    std::size_t fault_every = 1;       ///< serve chaos: stall every Nth request
+    std::string faults;                ///< shard chaos: FaultPlan spec
     bool socket_mode = false;
     bool json_stable = false; ///< portfolio JSON: deterministic document
     bool portfolio = false;
@@ -139,14 +171,18 @@ int usage() {
               << "] [--opt key=value]... [--seed N]\n"
                  "       nocmap_cli portfolio <app|graph-file>... "
                  "[--topologies mesh,torus:4x4,ring,hypercube] [--algo name] "
-                 "[--opt key=value]... [--seed N] "
+                 "[--opt key=value]... [--seed N] [--deadline-ms N] "
                  "[--bw MBps] [--threads N] [--json path] [--json-stable]\n"
                  "       nocmap_cli serve [--socket PORT] [--max-connections N] "
+                 "[--max-pending N] [--idle-timeout-ms N] [--deadline-ms N] "
                  "[--cache-topologies N] [--threads N] [--topologies specs] "
-                 "[--algo name] [--bw MBps] [--opt key=value]... [--seed N]\n"
+                 "[--algo name] [--bw MBps] [--opt key=value]... [--seed N] "
+                 "[--fault-stall-ms N [--fault-every N]]\n"
                  "       nocmap_cli shard <app|graph-file>... "
                  "(--workers host:port,... | --spawn-workers N) "
-                 "[--shard-mode rows|scenarios] [--topologies specs] "
+                 "[--shard-mode rows|scenarios] [--connect-timeout-ms N] "
+                 "[--io-timeout-ms N] [--deadline-ms N] "
+                 "[--faults worker:index:action[:ms],...] [--topologies specs] "
                  "[--algo name] [--opt key=value]... [--seed N] [--bw MBps] "
                  "[--threads N] [--json path]\n"
                  "       nocmap_cli apps | algos\n"
@@ -249,7 +285,26 @@ int cmd_map(const CliOptions& opt, const graph::CoreGraph& g) {
     request.topology = &topo;
     request.params = opt.params;
     request.seed = opt.seed;
+    // --deadline-ms: the same fired-flag conversion PortfolioRunner does —
+    // a mid-run cancel returns best-so-far "success", which must surface
+    // as the typed deadline error, never as a silently truncated mapping.
+    std::shared_ptr<std::atomic<bool>> deadline_fired;
+    if (opt.deadline_ms > 0) {
+        deadline_fired = std::make_shared<std::atomic<bool>>(false);
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(opt.deadline_ms);
+        request.cancelled = [deadline, deadline_fired] {
+            if (std::chrono::steady_clock::now() < deadline) return false;
+            deadline_fired->store(true, std::memory_order_relaxed);
+            return true;
+        };
+    }
     engine::MapOutcome outcome = engine::run_by_name(opt.algo, request);
+    if (deadline_fired && deadline_fired->load(std::memory_order_relaxed)) {
+        std::cerr << "error[" << engine::to_string(engine::MapErrorCode::DeadlineExceeded)
+                  << "]: " << portfolio::deadline_error_message(opt.deadline_ms) << '\n';
+        return 1;
+    }
     if (!outcome.ok()) {
         // Structured failure: the stable code in brackets, the offending
         // parameter when there is one.
@@ -314,7 +369,8 @@ int cmd_portfolio(const CliOptions& opt) {
     portfolio::PortfolioOptions options;
     options.threads = opt.threads;
     portfolio::PortfolioRunner runner(options);
-    const auto grid = portfolio::make_grid(apps, specs, opt.algo, opt.params, opt.seed);
+    const auto grid = portfolio::make_grid(apps, specs, opt.algo, opt.params, opt.seed,
+                                           opt.deadline_ms);
     const auto results = runner.run(grid);
     const auto fabric_ranking = portfolio::PortfolioRunner::rank_topologies(results);
 
@@ -380,6 +436,7 @@ int cmd_shard(const CliOptions& opt) {
     }
     options.cache_topologies = opt.cache_topologies;
 
+    const shard::LinkTimeouts timeouts{opt.connect_timeout_ms, opt.io_timeout_ms};
     shard::LocalFleet fleet; // keeps --spawn-workers children alive for the run
     std::vector<std::unique_ptr<shard::WorkerLink>> links;
     if (!opt.workers.empty()) {
@@ -389,11 +446,19 @@ int cmd_shard(const CliOptions& opt) {
             if (colon == std::string::npos || colon == 0 ||
                 !util::parse_size(entry.substr(colon + 1), port) || port == 0 ||
                 port > 65535) {
-                std::cerr << "error: --workers entry '" << entry << "' is not host:port\n";
-                return 2;
+                // Structured like cmd_map's failures so scripted callers can
+                // match on the stable bracketed code.
+                std::cerr << "error[bad-worker-spec]: --workers entry '" << entry
+                          << "' is not host:port\n";
+                return 1;
             }
-            links.push_back(
-                shard::connect_tcp(entry.substr(0, colon), static_cast<std::uint16_t>(port)));
+            try {
+                links.push_back(shard::connect_tcp(
+                    entry.substr(0, colon), static_cast<std::uint16_t>(port), timeouts));
+            } catch (const std::exception& e) {
+                std::cerr << "error[worker-connect]: " << e.what() << '\n';
+                return 1;
+            }
         }
     } else {
         service::ServiceOptions worker;
@@ -409,7 +474,28 @@ int cmd_shard(const CliOptions& opt) {
         for (const auto& child : engine::ThreadBudget(opt.threads).split(opt.spawn_workers))
             child_threads.push_back(child.cores());
         fleet = shard::LocalFleet::spawn(opt.spawn_workers, worker, child_threads);
-        links = fleet.connect_all();
+        links = fleet.connect_all(timeouts);
+    }
+    if (!opt.faults.empty()) {
+        shard::FaultPlan plan;
+        try {
+            plan = shard::FaultPlan::parse_cli(opt.faults, links.size());
+        } catch (const std::exception& e) {
+            std::cerr << "error[bad-fault-spec]: " << e.what() << '\n';
+            return 1;
+        }
+        for (std::size_t i = 0; i < links.size(); ++i) {
+            if (plan.per_worker[i].empty()) continue;
+            std::function<void()> on_kill;
+            if (opt.workers.empty()) {
+                // Spawned fleet: a kill action takes down the real child,
+                // so the coordinator's recovery runs against a true corpse.
+                shard::LocalFleet* owner = &fleet;
+                on_kill = [owner, i] { owner->kill_worker(i); };
+            }
+            links[i] = shard::make_faulty(std::move(links[i]), plan.per_worker[i],
+                                          std::move(on_kill));
+        }
     }
     shard::Coordinator coordinator(std::move(links), options);
 
@@ -419,7 +505,8 @@ int cmd_shard(const CliOptions& opt) {
     for (const std::string& target : opt.targets)
         apps.emplace_back(target,
                           std::make_shared<const graph::CoreGraph>(load_graph(target)));
-    const auto grid = portfolio::make_grid(apps, specs, opt.algo, opt.params, opt.seed);
+    const auto grid = portfolio::make_grid(apps, specs, opt.algo, opt.params, opt.seed,
+                                           opt.deadline_ms);
     const auto results = coordinator.run_grid(grid);
     const auto fabric_ranking = portfolio::PortfolioRunner::rank_topologies(results);
 
@@ -455,17 +542,45 @@ int cmd_shard(const CliOptions& opt) {
     return 0;
 }
 
+/// The daemon the SIGTERM/SIGINT handler drains. begin_drain() is
+/// async-signal-safe (atomics and ::shutdown only), so the handler may
+/// call it directly.
+service::Service* g_serve_daemon = nullptr;
+
+extern "C" void handle_drain_signal(int) {
+    if (g_serve_daemon != nullptr) g_serve_daemon->begin_drain();
+}
+
 int cmd_serve(const CliOptions& opt) {
     service::ServiceOptions options;
     options.threads = opt.threads;
     options.cache_topologies = opt.cache_topologies;
     options.max_connections = opt.max_connections;
+    options.max_pending = opt.max_pending;
+    options.idle_timeout_ms = opt.idle_timeout_ms;
     options.default_topologies = opt.topologies;
     options.default_mapper = opt.algo;
     options.default_bandwidth = opt.bandwidth;
     options.default_params = opt.params;
     options.default_seed = opt.seed;
+    options.default_deadline_ms = opt.deadline_ms;
+    if (opt.fault_stall_ms > 0) {
+        const std::uint64_t stall = opt.fault_stall_ms;
+        const std::size_t every = std::max<std::size_t>(1, opt.fault_every);
+        options.fault_hook = [stall, every](std::size_t seq) {
+            if (seq % every == 0)
+                std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+        };
+    }
     service::Service daemon(options);
+    g_serve_daemon = &daemon;
+    // sigaction without SA_RESTART: a drain signal must interrupt a blocked
+    // stdin read (std::signal on glibc restarts it and the drain would wait
+    // for the next request line).
+    struct sigaction drain_action {};
+    drain_action.sa_handler = handle_drain_signal;
+    ::sigaction(SIGTERM, &drain_action, nullptr);
+    ::sigaction(SIGINT, &drain_action, nullptr);
     if (!opt.socket_mode) {
         // Unsynced streams give std::cin a real buffer, so the session
         // loop's in_avail() drain can see queued requests and batch them.
@@ -560,6 +675,33 @@ int main(int argc, char** argv) {
             opt.socket_mode = true;
         } else if (args[i] == "--max-connections" && i + 1 < args.size()) {
             if (!util::parse_size(args[++i], opt.max_connections)) return usage();
+        } else if (args[i] == "--max-pending" && i + 1 < args.size()) {
+            if (!util::parse_size(args[++i], opt.max_pending)) return usage();
+        } else if (args[i] == "--idle-timeout-ms" && i + 1 < args.size()) {
+            std::size_t ms = 0;
+            if (!util::parse_size(args[++i], ms)) return usage();
+            opt.idle_timeout_ms = ms;
+        } else if (args[i] == "--deadline-ms" && i + 1 < args.size()) {
+            std::size_t ms = 0;
+            if (!util::parse_size(args[++i], ms)) return usage();
+            opt.deadline_ms = ms;
+        } else if (args[i] == "--connect-timeout-ms" && i + 1 < args.size()) {
+            std::size_t ms = 0;
+            if (!util::parse_size(args[++i], ms)) return usage();
+            opt.connect_timeout_ms = ms;
+        } else if (args[i] == "--io-timeout-ms" && i + 1 < args.size()) {
+            std::size_t ms = 0;
+            if (!util::parse_size(args[++i], ms)) return usage();
+            opt.io_timeout_ms = ms;
+        } else if (args[i] == "--fault-stall-ms" && i + 1 < args.size()) {
+            std::size_t ms = 0;
+            if (!util::parse_size(args[++i], ms)) return usage();
+            opt.fault_stall_ms = ms;
+        } else if (args[i] == "--fault-every" && i + 1 < args.size()) {
+            if (!util::parse_size(args[++i], opt.fault_every) || opt.fault_every == 0)
+                return usage();
+        } else if (args[i] == "--faults" && i + 1 < args.size()) {
+            opt.faults = args[++i];
         } else if (args[i] == "--workers" && i + 1 < args.size()) {
             opt.workers = args[++i];
         } else if (args[i] == "--spawn-workers" && i + 1 < args.size()) {

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Chaos smoke: drive the CLI through the failure paths a real deployment
+# hits — injected link faults on a spawned worker fleet, deadlines below
+# solve time, admission-control overload, and a SIGTERM graceful drain —
+# and check the typed-error and byte-parity contracts hold under each.
+#
+# Gates:
+#   1. `shard --faults` (stall + drop + garbage, then a SIGKILLed worker)
+#      still produces bytes identical to the single-node `portfolio` run.
+#   2. `map --deadline-ms 1` on an SA run exits 1 with
+#      `error[deadline-exceeded]`; a generous deadline exits 0.
+#   3. A serve batch over --max-pending gets a typed "overloaded" error
+#      line, and SIGTERM makes the daemon drain and exit 0.
+#
+# Usage: scripts/chaos_smoke.sh [path/to/nocmap_cli] [work-dir]
+set -euo pipefail
+
+CLI=${1:-./build/nocmap_cli}
+OUT=${2:-chaos-smoke}
+mkdir -p "$OUT"
+
+APPS="vopd pip"
+TOPOLOGIES="mesh,torus"
+failures=0
+
+fail() {
+    echo "chaos smoke: $*" >&2
+    failures=1
+}
+
+# ---------------------------------------------------- 1. fault-plan parity
+# shellcheck disable=SC2086 # APPS is a deliberate word list
+"$CLI" portfolio $APPS --topologies "$TOPOLOGIES" \
+    --json "$OUT/single-node.json" --json-stable > "$OUT/single-node.log"
+
+# Worker 0 stalls one exchange past the io timeout, then garbles another;
+# worker 1 drops a reply. Every fault is retried or migrated; the merged
+# document must not change by a byte.
+# shellcheck disable=SC2086
+"$CLI" shard $APPS --topologies "$TOPOLOGIES" \
+    --spawn-workers 2 --shard-mode rows \
+    --faults '0:2:stall:200,1:1:drop,0:5:garbage' --io-timeout-ms 4000 \
+    --json "$OUT/faulted-rows.json" > "$OUT/faulted-rows.log"
+
+# A worker SIGKILLed mid-run in scenarios mode: the survivor absorbs the
+# reassigned scenarios.
+# shellcheck disable=SC2086
+"$CLI" shard $APPS --topologies "$TOPOLOGIES" \
+    --spawn-workers 2 --shard-mode scenarios \
+    --faults '0:1:kill' \
+    --json "$OUT/faulted-kill.json" > "$OUT/faulted-kill.log"
+
+for variant in rows kill; do
+    if cmp -s "$OUT/single-node.json" "$OUT/faulted-$variant.json"; then
+        echo "chaos $variant: byte-identical to the single-node run"
+    else
+        diff "$OUT/single-node.json" "$OUT/faulted-$variant.json" || true
+        fail "faulted $variant run diverged from single-node bytes"
+    fi
+done
+
+# ---------------------------------------------------- 2. deadline contract
+if "$CLI" map vopd --algo sa --deadline-ms 1 > "$OUT/deadline-tight.log" 2>&1; then
+    fail "1 ms deadline on an SA run should exit non-zero"
+elif grep -q 'error\[deadline-exceeded\]' "$OUT/deadline-tight.log"; then
+    echo "chaos deadline: 1 ms SA run exits 1 with the typed error"
+else
+    fail "deadline exit was non-zero but the typed error line is missing"
+fi
+
+if "$CLI" map vopd --deadline-ms 600000 > "$OUT/deadline-generous.log" 2>&1; then
+    echo "chaos deadline: generous deadline changes nothing"
+else
+    fail "a 600 s deadline must not fail a sub-second solve"
+fi
+
+# ----------------------------------------- 3. overload + SIGTERM drain
+# Three stdin map requests against --max-pending 2: the pipelined batch
+# overflows admission control, so exactly the surplus request is refused
+# with the typed "overloaded" code. SIGTERM then drains the daemon: a
+# clean exit 0, never a killed-by-signal status.
+{
+    printf '%s\n' \
+        '{"id":"m1","method":"map","apps":["pip"],"topologies":"mesh"}' \
+        '{"id":"m2","method":"map","apps":["pip"],"topologies":"mesh"}' \
+        '{"id":"m3","method":"map","apps":["pip"],"topologies":"mesh"}'
+    sleep 2 # keep stdin open so SIGTERM (not EOF) ends the session
+} | "$CLI" serve --max-pending 2 > "$OUT/serve-overload.jsonl" 2>"$OUT/serve-overload.log" &
+SERVE_PID=$!
+sleep 1
+kill -TERM "$SERVE_PID" 2>/dev/null || true
+if wait "$SERVE_PID"; then
+    echo "chaos drain: SIGTERM produced a clean exit 0"
+else
+    fail "serve exited non-zero after SIGTERM (expected graceful drain)"
+fi
+
+if grep -q '"code": *"overloaded"' "$OUT/serve-overload.jsonl"; then
+    echo "chaos overload: surplus request refused with the typed code"
+else
+    fail "no typed overloaded error in the serve batch output"
+fi
+ok_count=$(grep -c '"status": *"ok"' "$OUT/serve-overload.jsonl" || true)
+if [ "$ok_count" -ge 2 ]; then
+    echo "chaos overload: admitted requests still completed ($ok_count ok)"
+else
+    fail "expected >= 2 ok responses alongside the overload, saw $ok_count"
+fi
+
+[ "$failures" -eq 0 ] && echo "chaos smoke OK (artifacts in $OUT/)"
+exit "$failures"

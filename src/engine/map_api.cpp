@@ -14,6 +14,7 @@ std::string_view to_string(MapErrorCode code) noexcept {
     case MapErrorCode::UnsupportedInstance: return "unsupported-instance";
     case MapErrorCode::SearchSpaceExceeded: return "search-space-exceeded";
     case MapErrorCode::Cancelled: return "cancelled";
+    case MapErrorCode::DeadlineExceeded: return "deadline-exceeded";
     case MapErrorCode::Internal: return "internal";
     }
     return "internal";

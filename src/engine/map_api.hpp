@@ -33,6 +33,7 @@ enum class MapErrorCode {
     UnsupportedInstance, ///< the algorithm cannot handle this graph/fabric
     SearchSpaceExceeded, ///< a search-space guard refused the instance
     Cancelled,           ///< the request's cancellation hook fired
+    DeadlineExceeded,    ///< the request's wall-clock deadline expired
     Internal,            ///< malformed request or unexpected failure
 };
 

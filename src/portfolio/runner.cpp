@@ -5,6 +5,7 @@
 #include <chrono>
 #include <exception>
 #include <map>
+#include <memory>
 #include <thread>
 
 #include "engine/mapper.hpp"
@@ -42,11 +43,37 @@ ScenarioResult PortfolioRunner::run_one(const Scenario& scenario, std::size_t in
         request.params = scenario.params;
         request.seed = scenario.seed;
 
+        // Deadline enforcement through the cooperative cancellation hook:
+        // the mappers poll at phase boundaries (sweep rows, SA temperature
+        // steps) and wind down with their best-so-far, so the fired flag —
+        // not the outcome — says whether the budget expired mid-run.
+        std::shared_ptr<std::atomic<bool>> deadline_fired;
+        if (scenario.deadline_ms > 0) {
+            deadline_fired = std::make_shared<std::atomic<bool>>(false);
+            const auto deadline = std::chrono::steady_clock::now() +
+                                  std::chrono::milliseconds(scenario.deadline_ms);
+            request.cancelled = [deadline, deadline_fired] {
+                if (std::chrono::steady_clock::now() < deadline) return false;
+                deadline_fired->store(true, std::memory_order_relaxed);
+                return true;
+            };
+        }
+
         const auto start = std::chrono::steady_clock::now();
         engine::MapOutcome outcome = engine::run_by_name(scenario.mapper, request);
         r.elapsed_ms = std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - start)
                            .count();
+        if (deadline_fired && deadline_fired->load(std::memory_order_relaxed)) {
+            // A partial mapping must not masquerade as the scenario's
+            // result: an expired deadline is a typed failure, whatever the
+            // mapper salvaged before it noticed.
+            r.ok = false;
+            r.error = deadline_error_message(scenario.deadline_ms);
+            r.error_code =
+                std::string(engine::to_string(engine::MapErrorCode::DeadlineExceeded));
+            return r;
+        }
         if (!outcome.ok()) {
             r.ok = false;
             r.error = outcome.error().message;

@@ -71,17 +71,28 @@ struct Scenario {
     engine::Params params;
     /// Seed forwarded as MapRequest::seed (0 = algorithm default).
     std::uint64_t seed = 0;
+    /// Wall-clock budget for this scenario's mapping run, in milliseconds
+    /// (0 = none). Enforced through MapRequest::cancelled against a
+    /// monotonic-clock deadline: an expired run yields a typed
+    /// "deadline-exceeded" per-scenario error, never a best-effort result.
+    std::uint64_t deadline_ms = 0;
 
     std::string display_name() const;
 };
 
+/// The deterministic error text of a scenario whose deadline expired —
+/// shared by every enforcement site (runner, shard coordinator, CLI) so a
+/// deadline hit reads identically wherever it fires.
+std::string deadline_error_message(std::uint64_t deadline_ms);
+
 /// Cross product apps × topologies with one mapper — the standard portfolio
-/// grid (scenario order: app-major, matching the apps vector). `params` and
-/// `seed` are replicated into every scenario, so a grid can sweep algorithm
-/// knobs alongside fabrics.
+/// grid (scenario order: app-major, matching the apps vector). `params`,
+/// `seed` and `deadline_ms` are replicated into every scenario, so a grid
+/// can sweep algorithm knobs alongside fabrics.
 std::vector<Scenario> make_grid(
     const std::vector<std::pair<std::string, std::shared_ptr<const graph::CoreGraph>>>& apps,
     const std::vector<TopologySpec>& topologies, const std::string& mapper = "nmap",
-    const engine::Params& params = {}, std::uint64_t seed = 0);
+    const engine::Params& params = {}, std::uint64_t seed = 0,
+    std::uint64_t deadline_ms = 0);
 
 } // namespace nocmap::portfolio

@@ -180,6 +180,7 @@ Request parse_request(const std::string& line) {
             throw std::invalid_argument("'seed' must be a non-negative integer");
         request.map.seed = static_cast<std::uint64_t>(seed);
         request.map.params = parse_params_object(doc);
+        request.map.deadline_ms = get_uint(doc, "deadline_ms", 0);
     } else if (method == "describe") {
         request.kind = Request::Kind::Describe;
         request.describe_algo = get_string(doc, "algo", "");
@@ -237,6 +238,7 @@ Request parse_request(const std::string& line) {
             s.mapper = get_string(entry, "mapper", "nmap");
             s.params = parse_params_object(entry);
             s.seed = get_uint(entry, "seed", 0);
+            s.deadline_ms = get_uint(entry, "deadline_ms", 0);
             request.shard_scenarios.push_back(std::move(s));
         }
     } else if (method.empty()) {
@@ -251,8 +253,11 @@ Request parse_request(const std::string& line) {
     return request;
 }
 
-std::string error_response(const std::string& id, const std::string& message) {
-    return response_head(id, "error") + ", \"error\": " + quoted(message) + "}";
+std::string error_response(const std::string& id, const std::string& message,
+                           const std::string& code) {
+    std::string out = response_head(id, "error") + ", \"error\": " + quoted(message);
+    if (!code.empty()) out += ", \"code\": " + quoted(code);
+    return out + "}";
 }
 
 std::string map_response(const std::string& id, const std::string& report_json,
@@ -273,8 +278,15 @@ std::string describe_response(const std::string& id,
 }
 
 std::string stats_response(const std::string& id,
-                           const portfolio::TopologyCacheStats& cache) {
-    return response_head(id, "ok") + ", \"cache\": " + cache_json(cache) + "}";
+                           const portfolio::TopologyCacheStats& cache,
+                           const ServiceStats& service) {
+    return response_head(id, "ok") + ", \"cache\": " + cache_json(cache) +
+           ", \"service\": {\"uptime_s\": " + std::to_string(service.uptime_s) +
+           ", \"in_flight\": " + std::to_string(service.in_flight) +
+           ", \"accepted\": " + std::to_string(service.accepted) +
+           ", \"rejected\": " + std::to_string(service.rejected) +
+           ", \"overloaded\": " + std::to_string(service.overloaded) +
+           ", \"draining\": " + (service.draining ? "true" : "false") + "}}";
 }
 
 std::string ping_response(const std::string& id) {
@@ -372,7 +384,8 @@ std::string shard_map_request(const std::string& id,
         out += "{\"app\": " + quoted(s.app) + ", \"graph\": " + quoted(s.graph_text) +
                ", \"topology\": " + quoted(s.topology) + ", \"bandwidth\": " + bw +
                ", \"mapper\": " + quoted(s.mapper) + ", \"params\": " + params_json(s.params) +
-               ", \"seed\": " + std::to_string(s.seed) + "}";
+               ", \"seed\": " + std::to_string(s.seed) +
+               ", \"deadline_ms\": " + std::to_string(s.deadline_ms) + "}";
     }
     return out + "]}";
 }

@@ -5,7 +5,7 @@
 //
 //   {"id":"r1","method":"map","apps":["vopd","mpeg4"],
 //    "topologies":"mesh,torus:4x4","mapper":"nmap","bandwidth":1000,
-//    "params":{"sweeps":2,"eval":"ledger-fast"},"seed":7}
+//    "params":{"sweeps":2,"eval":"ledger-fast"},"seed":7,"deadline_ms":5000}
 //   {"id":"d1","method":"describe","algo":"nmap"}
 //   {"id":"s1","method":"stats"}
 //   {"id":"p1","method":"ping"}
@@ -66,6 +66,10 @@ struct MapRequest {
     double bandwidth = 0.0;        ///< uniform link MB/s; 0 = server default
     engine::Params params;         ///< algorithm knobs for every scenario
     std::uint64_t seed = 0;        ///< MapRequest::seed (0 = algorithm default)
+    /// Per-scenario wall-clock budget in ms (0 = server default / none).
+    /// A scenario still mapping when it expires becomes a typed
+    /// "deadline-exceeded" per-scenario error inside the report.
+    std::uint64_t deadline_ms = 0;
 };
 
 /// One "shard-rows" task: score a window of the swap-sweep candidate
@@ -91,6 +95,7 @@ struct ShardMapScenario {
     std::string mapper = "nmap";
     engine::Params params;
     std::uint64_t seed = 0;
+    std::uint64_t deadline_ms = 0; ///< wall-clock budget, ms (0 = none)
 };
 
 /// Raw per-scenario metrics of a shard-map reply — exactly the fields the
@@ -124,14 +129,31 @@ struct Request {
 /// what error_response() should carry back.
 Request parse_request(const std::string& line);
 
+/// Daemon-lifetime counters of the serve process itself, reported by the
+/// "stats" verb next to the cache counters so overload and drain behavior
+/// are observable from a client.
+struct ServiceStats {
+    std::uint64_t uptime_s = 0;   ///< seconds since the Service was built
+    std::uint64_t in_flight = 0;  ///< map requests admitted, not yet answered
+    std::uint64_t accepted = 0;   ///< TCP sessions accepted into the registry
+    std::uint64_t rejected = 0;   ///< TCP sessions refused over max_connections
+    std::uint64_t overloaded = 0; ///< map requests refused over max_pending
+    bool draining = false;        ///< graceful drain in progress
+};
+
 /// Response serializers — each returns one line without the trailing '\n'.
-std::string error_response(const std::string& id, const std::string& message);
+/// A non-empty `code` adds a machine-readable "code" field ("overloaded",
+/// "deadline-exceeded", ...) after the human-readable "error" text; the
+/// empty default keeps the pre-existing two-field error line byte for byte.
+std::string error_response(const std::string& id, const std::string& message,
+                           const std::string& code = "");
 std::string map_response(const std::string& id, const std::string& report_json,
                          const portfolio::TopologyCacheStats& cache);
 std::string describe_response(const std::string& id,
                               const std::vector<engine::MapperDescription>& descriptions);
 std::string stats_response(const std::string& id,
-                           const portfolio::TopologyCacheStats& cache);
+                           const portfolio::TopologyCacheStats& cache,
+                           const ServiceStats& service);
 std::string ping_response(const std::string& id);
 std::string shutdown_response(const std::string& id);
 std::string hello_response(const std::string& id, std::size_t cores);

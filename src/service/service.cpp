@@ -15,6 +15,7 @@
 #include <netinet/in.h>
 #include <sys/ioctl.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "apps/registry.hpp"
@@ -31,11 +32,16 @@ namespace {
 
 /// iostream over a connected socket: read/write with EINTR retry, and
 /// showmanyc via FIONREAD so the session loop's batching drain sees bytes
-/// the peer has already sent (in_avail() > 0) without blocking.
+/// the peer has already sent (in_avail() > 0) without blocking. When the
+/// socket carries an SO_RCVTIMEO, an expired read surfaces as EOF with the
+/// timed_out() flag set, so the session can distinguish a stalled peer
+/// from a closed one.
 class FdStreamBuf : public std::streambuf {
 public:
     explicit FdStreamBuf(int fd) : fd_(fd) { setp(obuf_, obuf_ + sizeof obuf_); }
     ~FdStreamBuf() override { sync(); }
+
+    bool timed_out() const noexcept { return timed_out_; }
 
 protected:
     int_type underflow() override {
@@ -44,6 +50,10 @@ protected:
         do {
             n = ::read(fd_, ibuf_, sizeof ibuf_);
         } while (n < 0 && errno == EINTR);
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            timed_out_ = true; // SO_RCVTIMEO expired with the peer silent
+            return traits_type::eof();
+        }
         if (n <= 0) return traits_type::eof();
         setg(ibuf_, ibuf_, ibuf_ + n);
         return traits_type::to_int_type(*gptr());
@@ -86,9 +96,21 @@ private:
     }
 
     int fd_;
+    bool timed_out_ = false;
     char ibuf_[8192];
     char obuf_[8192];
 };
+
+/// One full error line pushed straight onto a socket (EINTR-retried,
+/// best-effort): the rejection paths answer before any session stream
+/// exists for the fd.
+void send_error_line(int fd, const std::string& response) {
+    const std::string line = response + "\n";
+    ssize_t n;
+    do {
+        n = ::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+}
 
 /// Best-effort id for an error response when parse_request threw after
 /// (or before) reading it: whatever string "id" the line carries.
@@ -154,6 +176,7 @@ std::vector<std::string> Service::handle_batch(const std::vector<std::string>& l
     struct Pending {
         bool is_map = false;
         bool is_stats = false;
+        bool admitted = false;    ///< holds an in-flight admission slot
         std::size_t grid = 0;     ///< index into `grids` when is_map
         std::string response;     ///< final response when !is_map && !is_stats
         std::string id;
@@ -163,6 +186,10 @@ std::vector<std::string> Service::handle_batch(const std::vector<std::string>& l
 
     for (std::size_t i = 0; i < lines.size(); ++i) {
         Pending& p = pending[i];
+        // Chaos hook: sees every request line in arrival order, before any
+        // parsing — a sleeping hook is a wedged dispatch path.
+        const std::size_t seq = request_seq_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.fault_hook) options_.fault_hook(seq);
         Request request;
         try {
             request = parse_request(lines[i]);
@@ -174,6 +201,16 @@ std::vector<std::string> Service::handle_batch(const std::vector<std::string>& l
         try {
             switch (request.kind) {
             case Request::Kind::Map: {
+                if (!admit_map_request()) {
+                    overloaded_.fetch_add(1, std::memory_order_relaxed);
+                    p.response = error_response(
+                        request.id,
+                        "server overloaded: " + std::to_string(options_.max_pending) +
+                            " map requests already in flight",
+                        "overloaded");
+                    break;
+                }
+                p.admitted = true;
                 const MapRequest& m = request.map;
                 const double bw =
                     m.bandwidth > 0.0 ? m.bandwidth : options_.default_bandwidth;
@@ -190,9 +227,12 @@ std::vector<std::string> Service::handle_batch(const std::vector<std::string>& l
                 const engine::Params& params =
                     m.params.empty() ? options_.default_params : m.params;
                 const std::uint64_t seed = m.seed != 0 ? m.seed : options_.default_seed;
+                const std::uint64_t deadline_ms =
+                    m.deadline_ms != 0 ? m.deadline_ms : options_.default_deadline_ms;
                 p.is_map = true;
                 p.grid = grids.size();
-                grids.push_back(portfolio::make_grid(apps, specs, mapper, params, seed));
+                grids.push_back(
+                    portfolio::make_grid(apps, specs, mapper, params, seed, deadline_ms));
                 break;
             }
             case Request::Kind::Describe: {
@@ -258,6 +298,7 @@ std::vector<std::string> Service::handle_batch(const std::vector<std::string>& l
                     scenario.mapper = s.mapper;
                     scenario.params = s.params;
                     scenario.seed = s.seed;
+                    scenario.deadline_ms = s.deadline_ms;
                     grid.push_back(std::move(scenario));
                 }
                 const auto results = runner_.run(grid);
@@ -290,6 +331,10 @@ std::vector<std::string> Service::handle_batch(const std::vector<std::string>& l
     // reports match one-shot runs of the same scenarios byte for byte.
     std::vector<std::vector<portfolio::ScenarioResult>> batch_results;
     if (!grids.empty()) batch_results = runner_.run_batch(grids);
+    // The batch's admission slots free once its mapping work is done —
+    // from here the responses are pure serialization.
+    for (const Pending& p : pending)
+        if (p.admitted) in_flight_.fetch_sub(1, std::memory_order_relaxed);
     // Responses leave only after the whole batch finished, so every cache
     // counter in this batch's responses reflects its completed map work.
     const auto cache_stats = runner_.cache().stats();
@@ -307,7 +352,7 @@ std::vector<std::string> Service::handle_batch(const std::vector<std::string>& l
             responses.push_back(
                 map_response(p.id, portfolio::to_json(results, ranking, json), cache_stats));
         } else if (p.is_stats) {
-            responses.push_back(stats_response(p.id, cache_stats));
+            responses.push_back(stats_response(p.id, cache_stats, stats()));
         } else {
             responses.push_back(p.response);
         }
@@ -315,9 +360,43 @@ std::vector<std::string> Service::handle_batch(const std::vector<std::string>& l
     return responses;
 }
 
+bool Service::admit_map_request() noexcept {
+    if (options_.max_pending == 0) {
+        in_flight_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    std::uint64_t current = in_flight_.load(std::memory_order_relaxed);
+    while (current < options_.max_pending)
+        if (in_flight_.compare_exchange_weak(current, current + 1,
+                                             std::memory_order_relaxed))
+            return true;
+    return false;
+}
+
+void Service::begin_drain() noexcept {
+    // Async-signal-safe on purpose (atomics + ::shutdown only): the CLI
+    // calls this straight from its SIGTERM/SIGINT handler.
+    draining_.store(true, std::memory_order_relaxed);
+    const int listener = listener_fd_.load(std::memory_order_relaxed);
+    if (listener >= 0) ::shutdown(listener, SHUT_RDWR);
+}
+
+ServiceStats Service::stats() const noexcept {
+    ServiceStats s;
+    const auto lifetime = std::chrono::steady_clock::now() - started_;
+    s.uptime_s = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(lifetime).count());
+    s.in_flight = in_flight_.load(std::memory_order_relaxed);
+    s.accepted = accepted_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.overloaded = overloaded_.load(std::memory_order_relaxed);
+    s.draining = draining_.load(std::memory_order_relaxed);
+    return s;
+}
+
 int Service::serve(std::istream& in, std::ostream& out) {
     std::string line;
-    while (!shutdown_ && std::getline(in, line)) {
+    while (!shutdown_ && !draining_ && std::getline(in, line)) {
         std::vector<std::string> batch;
         batch.push_back(line);
         // The batching drain: pull every further request the client has
@@ -328,6 +407,9 @@ int Service::serve(std::istream& in, std::ostream& out) {
             batch.push_back(line);
         for (const std::string& response : handle_batch(batch)) out << response << '\n';
         out.flush();
+        // A peer gone mid-response ends the session; the drain flag only
+        // stops future batches, in-flight responses always flush first.
+        if (!out) break;
     }
     return 0;
 }
@@ -350,6 +432,10 @@ int Service::serve_socket(std::uint16_t port,
         ::close(listener);
         return 1;
     }
+    // Published for begin_drain(): a signal handler shuts this fd down to
+    // unblock the accept() below without touching any non-atomic state.
+    listener_fd_.store(listener, std::memory_order_relaxed);
+    if (draining_) ::shutdown(listener, SHUT_RDWR); // drain began before we listened
     if (on_listening) {
         socklen_t len = sizeof addr;
         ::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len);
@@ -366,10 +452,10 @@ int Service::serve_socket(std::uint16_t port,
         std::size_t active = 0;
     } registry;
 
-    while (!shutdown_) {
+    while (!shutdown_ && !draining_) {
         const int fd = ::accept(listener, nullptr, nullptr);
         if (fd < 0) {
-            if (shutdown_) break;
+            if (shutdown_ || draining_) break;
             if (errno == EINTR || errno == ECONNABORTED) continue;
             // Resource pressure (fd limit, kernel buffers) must not kill
             // the daemon — but it also fails instantly, so back off
@@ -388,20 +474,29 @@ int Service::serve_socket(std::uint16_t port,
                 // Over the cap: answer with one structured error line and
                 // close — the client sees why instead of a hang, and the
                 // daemon's descriptor/thread budget stays bounded.
-                const std::string line =
-                    error_response("", "connection limit reached (" +
-                                           std::to_string(options_.max_connections) +
-                                           " active sessions)") +
-                    "\n";
-                ssize_t n;
-                do {
-                    n = ::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
-                } while (n < 0 && errno == EINTR);
+                rejected_.fetch_add(1, std::memory_order_relaxed);
+                send_error_line(fd,
+                                error_response("", "connection limit reached (" +
+                                                       std::to_string(
+                                                           options_.max_connections) +
+                                                       " active sessions)",
+                                               "overloaded"));
                 ::close(fd);
                 continue;
             }
             registry.fds.insert(fd);
             ++registry.active;
+            accepted_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (options_.idle_timeout_ms > 0) {
+            // SO_RCVTIMEO turns a silent peer into an EAGAIN read that
+            // FdStreamBuf reports as a timed-out EOF — the session thread
+            // answers with one "idle-timeout" error line and closes.
+            timeval tv{};
+            tv.tv_sec = static_cast<time_t>(options_.idle_timeout_ms / 1000);
+            tv.tv_usec =
+                static_cast<suseconds_t>((options_.idle_timeout_ms % 1000) * 1000);
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
         }
         std::thread([this, fd, listener, &registry] {
             {
@@ -409,9 +504,17 @@ int Service::serve_socket(std::uint16_t port,
                 std::istream in(&buf);
                 std::ostream out(&buf);
                 serve(in, out);
+                if (buf.timed_out())
+                    send_error_line(
+                        fd, error_response("",
+                                           "session idle timeout (" +
+                                               std::to_string(options_.idle_timeout_ms) +
+                                               " ms without a request)",
+                                           "idle-timeout"));
             }
-            // First session to observe shutdown unblocks the accept loop.
-            if (shutdown_) ::shutdown(listener, SHUT_RDWR);
+            // First session to observe shutdown (or drain) unblocks the
+            // accept loop.
+            if (shutdown_ || draining_) ::shutdown(listener, SHUT_RDWR);
             {
                 // notify while holding the lock: the drain wait below may
                 // destroy `registry` the moment active hits 0, so this
@@ -424,15 +527,18 @@ int Service::serve_socket(std::uint16_t port,
             ::close(fd);
         }).detach();
     }
-    const bool clean = shutdown_;
+    const bool clean = shutdown_ || draining_;
     {
         // Kick every open session out of its blocking read (read side
         // only — in-flight responses still drain), then wait for all of
-        // them to finish (they reference `registry`).
+        // them to finish (they reference `registry`). This IS the graceful
+        // drain: no new work enters, running batches complete, responses
+        // flush, and only then does the daemon return.
         std::unique_lock<std::mutex> lock(registry.mutex);
         for (const int fd : registry.fds) ::shutdown(fd, SHUT_RD);
         registry.drained.wait(lock, [&] { return registry.active == 0; });
     }
+    listener_fd_.store(-1, std::memory_order_relaxed);
     ::close(listener);
     return clean ? 0 : 1;
 }

@@ -22,6 +22,7 @@
 // are daemon-lifetime values and deliberately outside that contract.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -46,14 +47,32 @@ struct ServiceOptions {
     /// (never silently dropped), so a runaway client cannot exhaust the
     /// daemon's descriptors or threads. 0 = unbounded.
     std::size_t max_connections = 64;
+    /// Admission control: map requests concurrently in flight (admitted,
+    /// not yet answered) across all sessions. A map request over the cap is
+    /// refused with a typed "overloaded" error line instead of queueing
+    /// unboundedly behind a slow batch. 0 = unbounded. Non-map verbs
+    /// (ping, stats, describe, shard tasks) are never refused.
+    std::size_t max_pending = 256;
+    /// serve_socket: per-session socket read timeout in ms. A client that
+    /// stays silent longer gets one "idle-timeout" error line and its
+    /// session closed, so a stalled peer cannot pin a session thread
+    /// forever. 0 = no timeout (the pre-existing behavior).
+    std::uint64_t idle_timeout_ms = 0;
     /// Defaults applied when a map request omits the field. An explicit
     /// "params" object replaces default_params wholesale (no key merge);
-    /// a request "seed" likewise outranks default_seed.
+    /// a request "seed" likewise outranks default_seed, and a request
+    /// "deadline_ms" outranks default_deadline_ms (0 = no deadline).
     std::string default_topologies = "mesh,torus,ring,hypercube";
     std::string default_mapper = "nmap";
     double default_bandwidth = 0.0; ///< MB/s; 0 = ample (1e9)
     engine::Params default_params;
     std::uint64_t default_seed = 0; ///< 0 = algorithm default
+    std::uint64_t default_deadline_ms = 0; ///< ms; 0 = no deadline
+    /// Fault injection for chaos testing: when set, called with a global
+    /// request sequence number (0-based) before each request line is
+    /// parsed. A hook that sleeps simulates a wedged dispatch path; tests
+    /// and `serve --fault-stall-ms/--fault-every` wire this.
+    std::function<void(std::size_t)> fault_hook;
 };
 
 class Service {
@@ -64,6 +83,20 @@ public:
     const portfolio::TopologyCache& cache() const noexcept { return runner_.cache(); }
     /// True once a shutdown request has been answered.
     bool shutdown_requested() const noexcept { return shutdown_; }
+    /// True once a graceful drain has begun (begin_drain()).
+    bool draining() const noexcept { return draining_; }
+
+    /// Begins a graceful drain: stop accepting new connections and new
+    /// request lines, finish the in-flight batches, flush their responses,
+    /// then return from serve()/serve_socket() with 0. Async-signal-safe
+    /// (atomics and ::shutdown only) so a SIGTERM/SIGINT handler can call
+    /// it directly; idempotent.
+    void begin_drain() noexcept;
+
+    /// Snapshot of the daemon-lifetime service counters (uptime, in-flight
+    /// admission, accepted/rejected sessions) — what the "stats" verb
+    /// reports next to the cache counters.
+    ServiceStats stats() const noexcept;
 
     /// One request line -> one response line (no trailing newline). Never
     /// throws: every failure becomes an "error" response.
@@ -100,12 +133,26 @@ private:
     /// row, so parsing must not).
     std::shared_ptr<const graph::CoreGraph> graph_from_text(const std::string& text);
 
+    /// Claims one in-flight admission slot against max_pending; false when
+    /// the daemon is saturated (the caller answers "overloaded").
+    bool admit_map_request() noexcept;
+
     ServiceOptions options_;
     portfolio::PortfolioRunner runner_;
     std::mutex graphs_mutex_;
     std::map<std::string, std::shared_ptr<const graph::CoreGraph>> graphs_;
     std::map<std::string, std::shared_ptr<const graph::CoreGraph>> text_graphs_;
     std::atomic<bool> shutdown_{false};
+    std::atomic<bool> draining_{false};
+    /// The listening socket while serve_socket runs (-1 otherwise):
+    /// begin_drain() shuts it down to unblock accept().
+    std::atomic<int> listener_fd_{-1};
+    std::chrono::steady_clock::time_point started_ = std::chrono::steady_clock::now();
+    std::atomic<std::uint64_t> in_flight_{0};
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> overloaded_{0};
+    std::atomic<std::size_t> request_seq_{0}; ///< fault_hook sequence numbers
 };
 
 } // namespace nocmap::service

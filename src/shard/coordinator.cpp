@@ -1,6 +1,7 @@
 #include "shard/coordinator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -31,6 +32,15 @@ portfolio::ScenarioResult result_shell(const portfolio::Scenario& scenario,
     r.topology = scenario.topology.display_name();
     r.mapper = scenario.mapper;
     return r;
+}
+
+/// Cheap shape check, not a parse: every protocol response is a JSON
+/// object carrying a "status" member. Anything else (a corrupted frame, a
+/// non-protocol peer) is treated as a transport failure, so garbage can
+/// never reach the response parsers as data.
+bool looks_like_response(const std::string& line) {
+    return !line.empty() && line.front() == '{' &&
+           line.find("\"status\"") != std::string::npos;
 }
 
 } // namespace
@@ -72,6 +82,41 @@ std::vector<std::size_t> Coordinator::live_workers() const {
     return live;
 }
 
+std::string Coordinator::exchange_checked(Worker& worker, const std::string& line) {
+    std::uint64_t backoff = options_.reconnect_backoff_ms;
+    for (std::size_t attempt = 0;; ++attempt) {
+        try {
+            std::string reply = worker.link->exchange(line);
+            if (!looks_like_response(reply))
+                throw std::runtime_error("shard: worker " + worker.link->name() +
+                                         " returned a malformed reply");
+            return reply;
+        } catch (const std::exception&) {
+            if (attempt >= options_.reconnect_attempts) {
+                worker.alive = false;
+                throw;
+            }
+            // Escalation round: back off, rebuild the transport, re-run
+            // the hello handshake, then retry the (idempotent) exchange.
+            if (backoff > 0) std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+            backoff *= 2;
+            if (!worker.link->reconnect()) {
+                // This link kind cannot reconnect (in-process) or the peer
+                // is still unreachable.
+                worker.alive = false;
+                throw;
+            }
+            try {
+                worker.cores = service::parse_hello_response(
+                    worker.link->exchange(service::hello_request(next_id("hello"))));
+            } catch (const std::exception&) {
+                worker.alive = false;
+                throw;
+            }
+        }
+    }
+}
+
 std::string Coordinator::dispatch(const std::string& line) {
     for (std::size_t attempt = 0; attempt < std::max<std::size_t>(1, options_.max_attempts);
          ++attempt) {
@@ -81,7 +126,7 @@ std::string Coordinator::dispatch(const std::string& line) {
         if (live.empty()) break;
         Worker& worker = workers_[live[rr_++ % live.size()]];
         try {
-            return worker.link->exchange(line);
+            return exchange_checked(worker, line);
         } catch (const std::exception&) {
             worker.alive = false;
         }
@@ -117,7 +162,7 @@ std::vector<std::string> Coordinator::dispatch_all(const std::vector<std::string
         Worker& worker = workers_[live[w]];
         for (const std::size_t t : queues[w]) {
             try {
-                replies[t] = worker.link->exchange(lines[t]);
+                replies[t] = exchange_checked(worker, lines[t]);
                 done[t] = 1;
             } catch (const std::exception&) {
                 // Transport failure: the worker is dead, its remaining
@@ -167,6 +212,16 @@ portfolio::ScenarioResult Coordinator::rows_scenario(const portfolio::Scenario& 
         r.error = "scenario has no application graph";
         return r;
     }
+    // Rows mode enforces the scenario deadline coordinator-side, between
+    // dispatch rounds. It must NOT ride the shard-rows wire: a worker that
+    // early-stopped a row would change which candidates were scored and
+    // break byte parity for runs that finish in time.
+    const auto started = std::chrono::steady_clock::now();
+    const auto deadline_expired = [&] {
+        return scenario.deadline_ms > 0 &&
+               std::chrono::steady_clock::now() - started >=
+                   std::chrono::milliseconds(scenario.deadline_ms);
+    };
     try {
         if (scenario.mapper != "nmap")
             throw std::invalid_argument("rows-mode sharding requires mapper 'nmap' (got '" +
@@ -216,6 +271,13 @@ portfolio::ScenarioResult Coordinator::rows_scenario(const portfolio::Scenario& 
             bool improved_this_pass = false;
             noc::TileId next = 0;
             while (next < tiles) {
+                if (deadline_expired()) {
+                    r.ok = false;
+                    r.error = portfolio::deadline_error_message(scenario.deadline_ms);
+                    r.error_code = std::string(
+                        engine::to_string(engine::MapErrorCode::DeadlineExceeded));
+                    return r;
+                }
                 const std::size_t candidates =
                     static_cast<std::size_t>(tiles - next) - 1;
                 const std::size_t chunks = std::min<std::size_t>(
@@ -366,6 +428,7 @@ std::vector<portfolio::ScenarioResult> Coordinator::run_scenarios(
             s.mapper = scenario.mapper;
             s.params = scenario.params;
             s.seed = scenario.seed;
+            s.deadline_ms = scenario.deadline_ms;
             part.push_back(std::move(s));
             own.push_back(shipped[cursor]);
         }

@@ -29,14 +29,25 @@
 //     and scalarizes locally, so the JSON document equals a single-node
 //     `portfolio --json --json-stable` run byte for byte.
 //
-// Failure model: a link that throws on exchange marks its worker dead and
-// the task is re-dispatched to a survivor (tasks are idempotent — rows
-// tasks are pure functions of the carried mapping, scenario tasks of the
-// scenario). ShardOptions::max_attempts bounds the retries; when every
-// worker is dead the affected scenario carries a structured error, like
-// any other per-scenario failure.
+// Failure model: every exchange goes through a checked wrapper that (a)
+// rejects replies that are not protocol response lines (a garbling
+// transport is a failing transport) and (b) escalates a transport failure
+// through ShardOptions::reconnect_attempts bounded-backoff reconnects —
+// rebuild the socket, re-run the hello handshake, retry the idempotent
+// task — before marking the worker dead. Once dead, the task is
+// re-dispatched to a survivor (tasks are idempotent — rows tasks are pure
+// functions of the carried mapping, scenario tasks of the scenario).
+// ShardOptions::max_attempts bounds those re-dispatches; when every worker
+// is dead the affected scenario carries a structured error, like any other
+// per-scenario failure. Deadlines: a Scenario::deadline_ms rides the wire
+// in scenarios mode (the worker's runner enforces it); in rows mode the
+// coordinator enforces it between dispatch rounds — never inside a row
+// task, where an early stop would change which candidates were scored and
+// break byte parity.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,6 +73,13 @@ struct ShardOptions {
     /// Dispatch attempts per task (first try plus retries on surviving
     /// workers after transport failures).
     std::size_t max_attempts = 3;
+    /// Transport-failure escalation before a worker is declared dead:
+    /// reconnect the link (fresh socket + re-hello) and retry the exchange
+    /// up to this many times. 0 = first failure kills the worker.
+    std::size_t reconnect_attempts = 2;
+    /// Sleep before the first reconnect attempt, doubling on each further
+    /// one (bounded exponential backoff).
+    std::uint64_t reconnect_backoff_ms = 100;
     /// Scalarization and energy settings of the rebuilt report — must
     /// match the single-node run being reproduced (defaults match
     /// PortfolioOptions defaults).
@@ -103,6 +121,13 @@ private:
 
     std::string next_id(const char* tag);
     std::vector<std::size_t> live_workers() const;
+    /// One exchange on one worker with the full failure-model treatment:
+    /// malformed replies count as transport failures, transport failures
+    /// escalate through reconnect_attempts backoff-reconnect-rehello
+    /// rounds. Marks the worker dead and rethrows when escalation runs
+    /// out. Thread-safe per worker (dispatch_all calls it from the
+    /// per-worker drain threads).
+    std::string exchange_checked(Worker& worker, const std::string& line);
     /// One task with retry: tries live workers round-robin, marking
     /// transport failures dead; throws std::runtime_error when attempts
     /// run out.
@@ -125,7 +150,9 @@ private:
     ShardOptions options_;
     std::vector<Worker> workers_;
     portfolio::TopologyCache cache_;
-    std::size_t id_counter_ = 0;
+    /// Atomic: exchange_checked's re-hello runs on dispatch_all's worker
+    /// threads.
+    std::atomic<std::size_t> id_counter_{0};
     std::size_t rr_ = 0; ///< round-robin cursor of dispatch()
 };
 

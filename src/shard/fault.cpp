@@ -1,0 +1,145 @@
+#include "shard/fault.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace nocmap::shard {
+
+namespace {
+
+class FaultyLink final : public WorkerLink {
+public:
+    FaultyLink(std::unique_ptr<WorkerLink> inner, std::vector<FaultAction> actions,
+               std::function<void()> on_kill)
+        : inner_(std::move(inner)), actions_(std::move(actions)),
+          on_kill_(std::move(on_kill)) {}
+
+    const std::string& name() const noexcept override { return inner_->name(); }
+
+    std::string exchange(const std::string& request_line) override {
+        const std::size_t seq = seq_++;
+        const FaultAction* hit = nullptr;
+        for (const FaultAction& action : actions_)
+            if (action.at == seq) {
+                hit = &action;
+                break;
+            }
+        if (hit == nullptr) return inner_->exchange(request_line);
+        switch (hit->kind) {
+        case FaultKind::Delay:
+            std::this_thread::sleep_for(std::chrono::milliseconds(hit->ms));
+            return inner_->exchange(request_line);
+        case FaultKind::Drop:
+            throw std::runtime_error("fault: dropped exchange #" + std::to_string(seq) +
+                                     " to " + inner_->name());
+        case FaultKind::Stall:
+            std::this_thread::sleep_for(std::chrono::milliseconds(hit->ms));
+            throw TimeoutError("fault: stalled exchange #" + std::to_string(seq) +
+                               " to " + inner_->name() + " past " +
+                               std::to_string(hit->ms) + " ms");
+        case FaultKind::Garbage:
+            // The worker really answers (keeps a TCP stream aligned for a
+            // later retry); only the reply the coordinator sees is trashed.
+            inner_->exchange(request_line);
+            return "!!corrupted-frame #" + std::to_string(seq) + "!!";
+        case FaultKind::Kill:
+            if (on_kill_) on_kill_();
+            throw std::runtime_error("fault: killed worker " + inner_->name() +
+                                     " during exchange #" + std::to_string(seq));
+        }
+        throw std::logic_error("fault: unknown FaultKind");
+    }
+
+    bool reconnect() noexcept override { return inner_->reconnect(); }
+
+private:
+    std::unique_ptr<WorkerLink> inner_;
+    std::vector<FaultAction> actions_;
+    std::function<void()> on_kill_;
+    std::size_t seq_ = 0;
+};
+
+} // namespace
+
+const char* to_string(FaultKind kind) noexcept {
+    switch (kind) {
+    case FaultKind::Delay: return "delay";
+    case FaultKind::Drop: return "drop";
+    case FaultKind::Stall: return "stall";
+    case FaultKind::Garbage: return "garbage";
+    case FaultKind::Kill: return "kill";
+    }
+    return "?";
+}
+
+bool FaultPlan::empty() const noexcept {
+    for (const auto& actions : per_worker)
+        if (!actions.empty()) return false;
+    return true;
+}
+
+FaultPlan FaultPlan::parse_cli(const std::string& spec, std::size_t workers) {
+    FaultPlan plan;
+    plan.per_worker.resize(workers);
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t end = spec.find(',', start);
+        if (end == std::string::npos) end = spec.size();
+        const std::string entry = spec.substr(start, end - start);
+        start = end + 1;
+        if (entry.empty()) continue;
+        const auto bad = [&entry](const std::string& why) {
+            throw std::runtime_error("bad fault spec '" + entry + "': " + why +
+                                     " (expect worker:index:action[:ms] with action "
+                                     "one of delay, drop, stall, garbage, kill)");
+        };
+        std::vector<std::string> fields;
+        std::size_t fstart = 0;
+        while (fstart <= entry.size()) {
+            std::size_t fend = entry.find(':', fstart);
+            if (fend == std::string::npos) fend = entry.size();
+            fields.push_back(entry.substr(fstart, fend - fstart));
+            fstart = fend + 1;
+        }
+        if (fields.size() < 3 || fields.size() > 4) bad("wrong field count");
+        FaultAction action;
+        std::size_t worker = 0;
+        try {
+            worker = static_cast<std::size_t>(std::stoull(fields[0]));
+            action.at = static_cast<std::size_t>(std::stoull(fields[1]));
+            if (fields.size() == 4)
+                action.ms = static_cast<std::uint64_t>(std::stoull(fields[3]));
+        } catch (const std::exception&) {
+            bad("non-numeric field");
+        }
+        if (worker >= workers)
+            bad("worker index out of range (have " + std::to_string(workers) +
+                " workers)");
+        const std::string& kind = fields[2];
+        if (kind == "delay")
+            action.kind = FaultKind::Delay;
+        else if (kind == "drop")
+            action.kind = FaultKind::Drop;
+        else if (kind == "stall")
+            action.kind = FaultKind::Stall;
+        else if (kind == "garbage")
+            action.kind = FaultKind::Garbage;
+        else if (kind == "kill")
+            action.kind = FaultKind::Kill;
+        else
+            bad("unknown action '" + kind + "'");
+        plan.per_worker[worker].push_back(action);
+    }
+    return plan;
+}
+
+std::unique_ptr<WorkerLink> make_faulty(std::unique_ptr<WorkerLink> inner,
+                                        std::vector<FaultAction> actions,
+                                        std::function<void()> on_kill) {
+    return std::make_unique<FaultyLink>(std::move(inner), std::move(actions),
+                                        std::move(on_kill));
+}
+
+} // namespace nocmap::shard

@@ -1,0 +1,65 @@
+#pragma once
+// shard fault injection — a WorkerLink decorator that misbehaves on
+// schedule.
+//
+// Chaos tests (and `nocmap_cli shard --faults`) wrap real links in
+// FaultyLink wrappers driven by a FaultPlan: at chosen exchange indices a
+// link can delay, drop the exchange, stall past its timeout, return a
+// garbage reply, or kill its worker subprocess outright. The coordinator
+// never knows the difference between an injected fault and a real one —
+// which is the point: every fault must surface as either a typed error or
+// a byte-identical result after recovery, never a hang or an unhandled
+// throw.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shard/worker_link.hpp"
+
+namespace nocmap::shard {
+
+enum class FaultKind {
+    Delay,   ///< sleep `ms`, then run the exchange normally
+    Drop,    ///< fail the exchange with a transport error (peer vanished)
+    Stall,   ///< sleep `ms`, then fail with a TimeoutError (peer wedged)
+    Garbage, ///< run the exchange but hand back a non-protocol reply line
+    Kill,    ///< invoke the kill callback (SIGKILL a subprocess), then fail
+};
+
+const char* to_string(FaultKind kind) noexcept;
+
+/// One scheduled misbehavior: fires when the wrapped link's exchange
+/// counter reaches `at` (0-based, counted per link).
+struct FaultAction {
+    std::size_t at = 0;
+    FaultKind kind = FaultKind::Drop;
+    std::uint64_t ms = 100; ///< delay/stall duration; ignored otherwise
+};
+
+/// The full chaos schedule: per_worker[i] holds worker i's actions.
+struct FaultPlan {
+    std::vector<std::vector<FaultAction>> per_worker;
+
+    bool empty() const noexcept;
+
+    /// Parses the CLI grammar: comma-separated `worker:index:action[:ms]`
+    /// entries, e.g. "0:2:stall:500,1:0:kill". `action` is one of delay,
+    /// drop, stall, garbage, kill; `ms` defaults to 100 and only matters
+    /// for delay/stall. Throws std::runtime_error (message names the bad
+    /// entry) on malformed specs or a worker index >= `workers`.
+    static FaultPlan parse_cli(const std::string& spec, std::size_t workers);
+};
+
+/// Wraps `inner` so the scheduled `actions` fire on its exchanges.
+/// `on_kill` runs when a Kill action fires (typically
+/// LocalFleet::kill_worker); reconnect() delegates to the inner link, so a
+/// coordinator's recovery path is exercised for real.
+std::unique_ptr<WorkerLink> make_faulty(std::unique_ptr<WorkerLink> inner,
+                                        std::vector<FaultAction> actions,
+                                        std::function<void()> on_kill = {});
+
+} // namespace nocmap::shard

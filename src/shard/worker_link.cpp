@@ -9,8 +9,11 @@
 #include <utility>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -50,23 +53,13 @@ sockaddr_in loopback_address(const std::string& host, std::uint16_t port) {
 
 class TcpLink final : public WorkerLink {
 public:
-    TcpLink(const std::string& host, std::uint16_t port)
-        : name_(host + ":" + std::to_string(port)) {
-        const sockaddr_in addr = loopback_address(host, port);
-        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-        if (fd_ < 0) throw std::runtime_error("shard: socket() failed");
-        if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
-            const int err = errno;
-            ::close(fd_);
-            fd_ = -1;
-            throw std::runtime_error("shard: cannot connect to " + name_ + ": " +
-                                     std::strerror(err));
-        }
+    TcpLink(const std::string& host, std::uint16_t port, LinkTimeouts timeouts)
+        : name_(host + ":" + std::to_string(port)), host_(host), port_(port),
+          timeouts_(timeouts) {
+        open_or_throw();
     }
 
-    ~TcpLink() override {
-        if (fd_ >= 0) ::close(fd_);
-    }
+    ~TcpLink() override { close_fd(); }
 
     const std::string& name() const noexcept override { return name_; }
 
@@ -81,6 +74,9 @@ public:
             do {
                 n = ::send(fd_, data, left, MSG_NOSIGNAL);
             } while (n < 0 && errno == EINTR);
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                throw TimeoutError("shard: write to " + name_ + " timed out after " +
+                                   std::to_string(timeouts_.io_ms) + " ms");
             if (n <= 0) throw std::runtime_error("shard: write to " + name_ + " failed");
             data += n;
             left -= static_cast<std::size_t>(n);
@@ -98,6 +94,9 @@ public:
             do {
                 n = ::read(fd_, chunk, sizeof chunk);
             } while (n < 0 && errno == EINTR);
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                throw TimeoutError("shard: worker " + name_ + " stayed silent past " +
+                                   std::to_string(timeouts_.io_ms) + " ms");
             if (n <= 0)
                 throw std::runtime_error("shard: worker " + name_ +
                                          " closed the connection mid-reply");
@@ -105,8 +104,81 @@ public:
         }
     }
 
+    bool reconnect() noexcept override {
+        close_fd();
+        // A half-received reply from the old connection must never prefix
+        // the new one's stream.
+        buffer_.clear();
+        try {
+            open_or_throw();
+            return true;
+        } catch (...) {
+            return false;
+        }
+    }
+
 private:
+    void close_fd() noexcept {
+        if (fd_ >= 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    void open_or_throw() {
+        const sockaddr_in addr = loopback_address(host_, port_);
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0) throw std::runtime_error("shard: socket() failed");
+        // Bounded connect: go non-blocking, connect, poll for writability,
+        // then read SO_ERROR for the real verdict and restore blocking.
+        const int flags = ::fcntl(fd_, F_GETFL, 0);
+        const bool bounded = timeouts_.connect_ms > 0 && flags >= 0;
+        if (bounded) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+        int rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+        if (rc < 0 && (errno == EINPROGRESS || errno == EINTR)) {
+            pollfd pfd{};
+            pfd.fd = fd_;
+            pfd.events = POLLOUT;
+            int pr;
+            do {
+                pr = ::poll(&pfd, 1, static_cast<int>(timeouts_.connect_ms));
+            } while (pr < 0 && errno == EINTR);
+            if (pr == 0) {
+                close_fd();
+                throw TimeoutError("shard: connect to " + name_ + " timed out after " +
+                                   std::to_string(timeouts_.connect_ms) + " ms");
+            }
+            int err = 0;
+            socklen_t len = sizeof err;
+            if (pr < 0 ||
+                ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+                if (err == 0) err = errno;
+                close_fd();
+                throw std::runtime_error("shard: cannot connect to " + name_ + ": " +
+                                         std::strerror(err));
+            }
+            rc = 0;
+        }
+        if (rc < 0) {
+            const int err = errno;
+            close_fd();
+            throw std::runtime_error("shard: cannot connect to " + name_ + ": " +
+                                     std::strerror(err));
+        }
+        if (bounded) ::fcntl(fd_, F_SETFL, flags);
+        if (timeouts_.io_ms > 0) {
+            timeval tv{};
+            tv.tv_sec = static_cast<time_t>(timeouts_.io_ms / 1000);
+            tv.tv_usec = static_cast<suseconds_t>((timeouts_.io_ms % 1000) * 1000);
+            ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+            ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+        }
+    }
+
     std::string name_;
+    std::string host_;
+    std::uint16_t port_ = 0;
+    LinkTimeouts timeouts_;
     int fd_ = -1;
     std::string buffer_;
 };
@@ -117,8 +189,9 @@ std::unique_ptr<WorkerLink> in_process_worker(service::ServiceOptions options) {
     return std::make_unique<InProcessLink>(std::move(options));
 }
 
-std::unique_ptr<WorkerLink> connect_tcp(const std::string& host, std::uint16_t port) {
-    return std::make_unique<TcpLink>(host, port);
+std::unique_ptr<WorkerLink> connect_tcp(const std::string& host, std::uint16_t port,
+                                        LinkTimeouts timeouts) {
+    return std::make_unique<TcpLink>(host, port, timeouts);
 }
 
 LocalFleet& LocalFleet::operator=(LocalFleet&& other) noexcept {
@@ -176,23 +249,37 @@ LocalFleet LocalFleet::spawn(std::size_t count, const service::ServiceOptions& o
     return fleet;
 }
 
-std::vector<std::unique_ptr<WorkerLink>> LocalFleet::connect_all() const {
+std::vector<std::unique_ptr<WorkerLink>> LocalFleet::connect_all(LinkTimeouts timeouts) const {
     std::vector<std::unique_ptr<WorkerLink>> links;
     links.reserve(workers_.size());
-    for (const Worker& worker : workers_) links.push_back(connect_tcp("127.0.0.1", worker.port));
+    for (const Worker& worker : workers_)
+        links.push_back(connect_tcp("127.0.0.1", worker.port, timeouts));
     return links;
+}
+
+void LocalFleet::kill_worker(std::size_t i) {
+    Worker& worker = workers_.at(i);
+    if (worker.pid < 0) return;
+    const pid_t pid = static_cast<pid_t>(worker.pid);
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    worker.pid = -1;
 }
 
 void LocalFleet::shutdown() {
     for (const Worker& worker : workers_) {
+        if (worker.pid < 0) continue;
         try {
-            connect_tcp("127.0.0.1", worker.port)
+            // A wedged (e.g. SIGSTOP'd) child must delay teardown by at
+            // most these budgets; SIGKILL below still reaps it.
+            connect_tcp("127.0.0.1", worker.port, LinkTimeouts{1000, 2000})
                 ->exchange(service::shutdown_request("fleet-shutdown"));
         } catch (...) {
             // Already gone (or wedged — SIGKILL below).
         }
     }
     for (const Worker& worker : workers_) {
+        if (worker.pid < 0) continue;
         const pid_t pid = static_cast<pid_t>(worker.pid);
         bool reaped = false;
         // ~2s of polling before escalating: the child only has to finish

@@ -22,12 +22,31 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "service/service.hpp"
 
 namespace nocmap::shard {
+
+/// Transport budgets of a TCP link. connect_ms bounds connection
+/// establishment (non-blocking connect + poll); io_ms bounds each
+/// read/write syscall (SO_RCVTIMEO/SO_SNDTIMEO — a per-syscall inactivity
+/// budget, so an actively streaming peer is never cut off). 0 = no bound.
+struct LinkTimeouts {
+    std::uint64_t connect_ms = 10000;
+    std::uint64_t io_ms = 0;
+};
+
+/// The transport-timeout failure: a link whose peer stayed silent past its
+/// io budget (or unreachable past its connect budget). A distinct type so
+/// callers can tell a stalled worker from a closed one, but still a
+/// runtime_error — every existing catch keeps working.
+class TimeoutError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
 
 class WorkerLink {
 public:
@@ -37,8 +56,16 @@ public:
     virtual const std::string& name() const noexcept = 0;
 
     /// One request line in, one response line out (neither carries the
-    /// trailing '\n'). Throws std::runtime_error when the transport fails.
+    /// trailing '\n'). Throws std::runtime_error when the transport fails
+    /// (TimeoutError when a configured timeout expired).
     virtual std::string exchange(const std::string& request_line) = 0;
+
+    /// Attempts to rebuild the transport after an exchange failure (fresh
+    /// socket, cleared partial-reply buffer). Returns false when this link
+    /// kind cannot reconnect (the in-process default) or the attempt
+    /// failed; never throws. A true return only says the transport is up —
+    /// the caller re-runs the hello handshake to revalidate the worker.
+    virtual bool reconnect() noexcept { return false; }
 };
 
 /// A worker living inside the calling process.
@@ -46,8 +73,9 @@ std::unique_ptr<WorkerLink> in_process_worker(service::ServiceOptions options = 
 
 /// Connects to a serve daemon at host:port. `host` must be a dotted-quad
 /// IPv4 literal or "localhost"; throws std::runtime_error when the
-/// connection cannot be established.
-std::unique_ptr<WorkerLink> connect_tcp(const std::string& host, std::uint16_t port);
+/// connection cannot be established within timeouts.connect_ms.
+std::unique_ptr<WorkerLink> connect_tcp(const std::string& host, std::uint16_t port,
+                                        LinkTimeouts timeouts = {});
 
 /// A fleet of forked serve subprocesses on ephemeral loopback ports. Every
 /// child runs Service::serve_socket(0) and reports its bound port through
@@ -76,12 +104,21 @@ public:
 
     std::size_t size() const noexcept { return workers_.size(); }
     std::uint16_t port(std::size_t i) const { return workers_.at(i).port; }
+    int pid(std::size_t i) const { return workers_.at(i).pid; }
 
     /// Fresh TCP links to every worker (callable once or repeatedly; links
-    /// are independent connections).
-    std::vector<std::unique_ptr<WorkerLink>> connect_all() const;
+    /// are independent connections), each carrying `timeouts`.
+    std::vector<std::unique_ptr<WorkerLink>> connect_all(LinkTimeouts timeouts = {}) const;
+
+    /// SIGKILLs worker `i` and reaps it immediately (fault injection / a
+    /// worker the coordinator gave up on). Idempotent; shutdown() skips
+    /// already-killed workers.
+    void kill_worker(std::size_t i);
 
     /// Shuts every worker down now (idempotent; the destructor calls it).
+    /// The shutdown exchange rides a short-timeout link, so a wedged child
+    /// (e.g. SIGSTOP'd) delays teardown by the timeout, never forever —
+    /// the SIGKILL escalation below still reaps it.
     void shutdown();
 
 private:

@@ -69,6 +69,20 @@ TEST(Protocol, ParsesMapRequestWithAllFields) {
     EXPECT_EQ(r.map.topologies, "mesh:4x4,ring");
     EXPECT_EQ(r.map.mapper, "gmap");
     EXPECT_DOUBLE_EQ(r.map.bandwidth, 512.0);
+    EXPECT_EQ(r.map.deadline_ms, 0u); // absent = server default
+}
+
+TEST(Protocol, ParsesMapRequestDeadline) {
+    const Request r = parse_request(
+        "{\"id\": \"x\", \"method\": \"map\", \"apps\": [\"pip\"], "
+        "\"deadline_ms\": 2500}");
+    EXPECT_EQ(r.map.deadline_ms, 2500u);
+    EXPECT_THROW(parse_request("{\"method\": \"map\", \"apps\": [\"pip\"], "
+                               "\"deadline_ms\": -1}"),
+                 std::invalid_argument);
+    EXPECT_THROW(parse_request("{\"method\": \"map\", \"apps\": [\"pip\"], "
+                               "\"deadline_ms\": 1.5}"),
+                 std::invalid_argument);
 }
 
 TEST(Protocol, ParsesMapRequestParamsAndSeed) {
@@ -155,16 +169,17 @@ TEST(Protocol, RejectsBadRequests) {
 
 TEST(Protocol, ResponsesAreSingleLineJsonEchoingTheId) {
     portfolio::TopologyCacheStats stats{3, 8, 10, 4, 1};
+    ServiceStats service{120, 2, 9, 1, 3, true};
     for (const std::string& line :
          {error_response("e1", "boom \"quoted\""), ping_response("p1"),
-          shutdown_response("q1"), stats_response("s1", stats),
+          shutdown_response("q1"), stats_response("s1", stats, service),
           map_response("m1", "{\n  \"scenarios\": []\n}\n", stats)}) {
         EXPECT_EQ(line.find('\n'), std::string::npos) << line;
         const auto doc = util::json::parse(line); // every response re-parses
         ASSERT_NE(doc.find("id"), nullptr);
         ASSERT_NE(doc.find("status"), nullptr);
     }
-    const auto stats_doc = util::json::parse(stats_response("s1", stats));
+    const auto stats_doc = util::json::parse(stats_response("s1", stats, service));
     const auto* cache = stats_doc.find("cache");
     ASSERT_NE(cache, nullptr);
     EXPECT_DOUBLE_EQ(cache->find("fabrics")->as_number(), 3.0);
@@ -172,11 +187,29 @@ TEST(Protocol, ResponsesAreSingleLineJsonEchoingTheId) {
     EXPECT_DOUBLE_EQ(cache->find("hits")->as_number(), 10.0);
     EXPECT_DOUBLE_EQ(cache->find("misses")->as_number(), 4.0);
     EXPECT_DOUBLE_EQ(cache->find("evictions")->as_number(), 1.0);
+    const auto* svc = stats_doc.find("service");
+    ASSERT_NE(svc, nullptr);
+    EXPECT_DOUBLE_EQ(svc->find("uptime_s")->as_number(), 120.0);
+    EXPECT_DOUBLE_EQ(svc->find("in_flight")->as_number(), 2.0);
+    EXPECT_DOUBLE_EQ(svc->find("accepted")->as_number(), 9.0);
+    EXPECT_DOUBLE_EQ(svc->find("rejected")->as_number(), 1.0);
+    EXPECT_DOUBLE_EQ(svc->find("overloaded")->as_number(), 3.0);
+    EXPECT_EQ(svc->find("draining")->as_bool(), true);
 
     // The embedded report round-trips byte-exact through the escaping.
     const auto map_doc = util::json::parse(map_response("m1", "{\n  \"x\": 1\n}\n", stats));
     EXPECT_EQ(map_doc.find("report")->as_string(), "{\n  \"x\": 1\n}\n");
     EXPECT_EQ(map_doc.find("status")->as_string(), "ok");
+}
+
+TEST(Protocol, ErrorResponseCarriesOptionalTypedCode) {
+    // Bare form: exactly the pre-existing two-field line (byte contract).
+    const std::string bare = error_response("e1", "boom");
+    EXPECT_EQ(bare.find("\"code\""), std::string::npos);
+    const auto coded = util::json::parse(error_response("e2", "too busy", "overloaded"));
+    EXPECT_EQ(coded.find("status")->as_string(), "error");
+    EXPECT_EQ(coded.find("error")->as_string(), "too busy");
+    EXPECT_EQ(coded.find("code")->as_string(), "overloaded");
 }
 
 } // namespace

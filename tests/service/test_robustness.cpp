@@ -1,0 +1,231 @@
+// Serve hardening: per-request deadlines become typed errors (and change
+// no bytes when they don't fire), admission control refuses work over
+// max_pending with a typed "overloaded" line, graceful drain finishes
+// in-flight sessions and returns 0, idle sessions are evicted with one
+// "idle-timeout" line, and the chaos fault hook sees every request line.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/service.hpp"
+#include "util/json.hpp"
+
+namespace nocmap::service {
+namespace {
+
+int connect_loopback(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+std::string request_line(int fd, const std::string& line) {
+    const std::string out = line + "\n";
+    if (::send(fd, out.data(), out.size(), 0) != static_cast<ssize_t>(out.size()))
+        return "";
+    std::string received;
+    char buffer[4096];
+    while (received.find('\n') == std::string::npos) {
+        const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+        if (n <= 0) break;
+        received.append(buffer, static_cast<std::size_t>(n));
+    }
+    return received.substr(0, received.find('\n'));
+}
+
+/// Everything the peer sends until it closes the connection.
+std::string read_to_eof(int fd) {
+    std::string received;
+    char buffer[4096];
+    while (true) {
+        const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+        if (n <= 0) break;
+        received.append(buffer, static_cast<std::size_t>(n));
+    }
+    return received;
+}
+
+TEST(ServiceRobustness, DeadlineBelowSolveTimeYieldsTypedScenarioError) {
+    Service daemon{ServiceOptions{}};
+    // 1 ms cannot cover an SA run; the scenario must carry the typed code,
+    // never a silently truncated best-so-far mapping.
+    const std::string reply = daemon.handle_line(
+        R"({"id":"d","method":"map","apps":["vopd"],"topologies":"mesh",)"
+        R"("mapper":"sa","deadline_ms":1})");
+    const auto doc = util::json::parse(reply);
+    EXPECT_EQ(doc.find("status")->as_string(), "ok") << reply;
+    const std::string report = doc.find("report")->as_string();
+    EXPECT_NE(report.find("\"error_code\": \"deadline-exceeded\""), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("mapping deadline of 1 ms exceeded"), std::string::npos);
+}
+
+TEST(ServiceRobustness, GenerousDeadlineChangesNoBytes) {
+    // Two fresh daemons so the lifetime cache counters match too.
+    Service plain{ServiceOptions{}};
+    Service deadlined{ServiceOptions{}};
+    const std::string without = plain.handle_line(
+        R"({"id":"m","method":"map","apps":["pip"],"topologies":"mesh,ring"})");
+    const std::string with = deadlined.handle_line(
+        R"({"id":"m","method":"map","apps":["pip"],"topologies":"mesh,ring",)"
+        R"("deadline_ms":600000})");
+    EXPECT_EQ(with, without);
+}
+
+TEST(ServiceRobustness, ServerDefaultDeadlineAppliesWhenRequestOmitsIt) {
+    ServiceOptions options;
+    options.default_deadline_ms = 1;
+    Service daemon(options);
+    const std::string reply = daemon.handle_line(
+        R"({"id":"d","method":"map","apps":["vopd"],"topologies":"mesh",)"
+        R"("mapper":"sa"})");
+    const std::string report = util::json::parse(reply).find("report")->as_string();
+    EXPECT_NE(report.find("\"error_code\": \"deadline-exceeded\""), std::string::npos);
+    // An explicit request deadline outranks the default.
+    const std::string generous = daemon.handle_line(
+        R"({"id":"g","method":"map","apps":["pip"],"topologies":"mesh",)"
+        R"("deadline_ms":600000})");
+    EXPECT_EQ(util::json::parse(generous)
+                  .find("report")
+                  ->as_string()
+                  .find("deadline-exceeded"),
+              std::string::npos);
+}
+
+TEST(ServiceRobustness, MapRequestsOverMaxPendingGetTypedOverloadError) {
+    ServiceOptions options;
+    options.max_pending = 2;
+    Service daemon(options);
+    const std::string map_line =
+        R"({"id":"m","method":"map","apps":["pip"],"topologies":"mesh"})";
+    const auto replies = daemon.handle_batch({map_line, map_line, map_line});
+    ASSERT_EQ(replies.size(), 3u);
+    EXPECT_EQ(util::json::parse(replies[0]).find("status")->as_string(), "ok");
+    EXPECT_EQ(util::json::parse(replies[1]).find("status")->as_string(), "ok");
+    const auto refused = util::json::parse(replies[2]);
+    EXPECT_EQ(refused.find("status")->as_string(), "error");
+    ASSERT_NE(refused.find("code"), nullptr) << replies[2];
+    EXPECT_EQ(refused.find("code")->as_string(), "overloaded");
+
+    // Slots freed after the batch: the same request is admitted again.
+    EXPECT_EQ(util::json::parse(daemon.handle_line(map_line))
+                  .find("status")
+                  ->as_string(),
+              "ok");
+    const ServiceStats stats = daemon.stats();
+    EXPECT_EQ(stats.in_flight, 0u);
+    EXPECT_EQ(stats.overloaded, 1u);
+}
+
+TEST(ServiceRobustness, StatsVerbReportsTheServiceSection) {
+    ServiceOptions options;
+    options.max_pending = 1;
+    Service daemon(options);
+    const std::string map_line =
+        R"({"id":"m","method":"map","apps":["pip"],"topologies":"mesh"})";
+    daemon.handle_batch({map_line, map_line}); // second one refused
+    const auto doc = util::json::parse(
+        daemon.handle_line(R"({"id":"s","method":"stats"})"));
+    const auto* service = doc.find("service");
+    ASSERT_NE(service, nullptr);
+    EXPECT_DOUBLE_EQ(service->find("in_flight")->as_number(), 0.0);
+    EXPECT_DOUBLE_EQ(service->find("overloaded")->as_number(), 1.0);
+    EXPECT_EQ(service->find("draining")->as_bool(), false);
+    ASSERT_NE(service->find("uptime_s"), nullptr);
+    ASSERT_NE(service->find("accepted"), nullptr);
+    ASSERT_NE(service->find("rejected"), nullptr);
+    ASSERT_NE(doc.find("cache"), nullptr) << "cache counters must survive";
+}
+
+TEST(ServiceRobustness, GracefulDrainFinishesSessionsAndReturnsZero) {
+    Service daemon{ServiceOptions{}};
+    std::promise<std::uint16_t> bound;
+    std::promise<int> rc;
+    std::thread server([&] {
+        rc.set_value(
+            daemon.serve_socket(0, [&](std::uint16_t port) { bound.set_value(port); }));
+    });
+    const std::uint16_t port = bound.get_future().get();
+
+    const int fd = connect_loopback(port);
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(util::json::parse(request_line(fd, R"({"id":"p","method":"ping"})"))
+                  .find("id")
+                  ->as_string(),
+              "p");
+    EXPECT_FALSE(daemon.draining());
+    daemon.begin_drain();
+    EXPECT_TRUE(daemon.draining());
+    // The listener stops accepting and the in-flight session is wound
+    // down; serve_socket returns a clean 0, not a failure.
+    EXPECT_EQ(rc.get_future().get(), 0);
+    server.join();
+    read_to_eof(fd); // session closed by the drain
+    ::close(fd);
+}
+
+TEST(ServiceRobustness, SilentSessionIsEvictedWithIdleTimeoutError) {
+    ServiceOptions options;
+    options.idle_timeout_ms = 100;
+    Service daemon(options);
+    std::promise<std::uint16_t> bound;
+    std::thread server([&] {
+        daemon.serve_socket(0, [&](std::uint16_t port) { bound.set_value(port); });
+    });
+    const std::uint16_t port = bound.get_future().get();
+
+    const int silent = connect_loopback(port);
+    ASSERT_GE(silent, 0);
+    const std::string eviction = read_to_eof(silent); // never sends a byte
+    ::close(silent);
+    ASSERT_FALSE(eviction.empty()) << "silent session must get one error line";
+    const auto doc = util::json::parse(eviction.substr(0, eviction.find('\n')));
+    EXPECT_EQ(doc.find("status")->as_string(), "error");
+    EXPECT_EQ(doc.find("code")->as_string(), "idle-timeout");
+
+    // An active client within the window is untouched.
+    const int active = connect_loopback(port);
+    ASSERT_GE(active, 0);
+    EXPECT_EQ(util::json::parse(request_line(active, R"({"id":"p","method":"ping"})"))
+                  .find("id")
+                  ->as_string(),
+              "p");
+    request_line(active, R"({"id":"q","method":"shutdown"})");
+    ::close(active);
+    server.join();
+}
+
+TEST(ServiceRobustness, FaultHookSeesEveryRequestLineInSequence) {
+    std::atomic<std::size_t> calls{0};
+    std::atomic<std::size_t> last_seq{0};
+    ServiceOptions options;
+    options.fault_hook = [&](std::size_t seq) {
+        ++calls;
+        last_seq.store(seq);
+    };
+    Service daemon(options);
+    daemon.handle_batch({R"({"id":"a","method":"ping"})", R"({"id":"b","method":"ping"})",
+                         "not even json"});
+    EXPECT_EQ(calls.load(), 3u) << "malformed lines still pass through the hook";
+    EXPECT_EQ(last_seq.load(), 2u);
+}
+
+} // namespace
+} // namespace nocmap::service

@@ -95,6 +95,7 @@ TEST(ShardProtocol, ShardMapRoundTripsBitExact) {
     scenario.bandwidth = 1e9;
     scenario.mapper = "nmap";
     scenario.seed = 7;
+    scenario.deadline_ms = 750;
     scenario.params.set("sweeps", engine::ParamValue::of_int(2));
 
     const Request parsed = parse_request(shard_map_request("m1", {scenario}));
@@ -107,6 +108,7 @@ TEST(ShardProtocol, ShardMapRoundTripsBitExact) {
     EXPECT_EQ(got.bandwidth, 1e9);
     EXPECT_EQ(got.mapper, "nmap");
     EXPECT_EQ(got.seed, 7u);
+    EXPECT_EQ(got.deadline_ms, 750u);
     ASSERT_NE(got.params.find("sweeps"), nullptr);
     EXPECT_EQ(got.params.find("sweeps")->as_int(), 2);
 
