@@ -1,45 +1,54 @@
-// Service-mode throughput: requests/sec of the serve daemon's batching
-// core (service::Service::handle_batch — the session loop minus the
-// transport) answering a portfolio request stream, cold vs warm.
+// Open-loop replayable load harness for the serve daemon.
 //
-//   cold        a fresh daemon per pass: every fabric's EvalContext is
-//               built inside the measured window (first-request latency)
-//   warm        one persistent daemon, cache already populated — the
-//               steady state the service mode exists for
-//   warm/evict  persistent daemon under maximum eviction pressure
-//               (--cache-topologies 1); batching still coalesces each
-//               batch's same-fabric scenarios, bounding the rebuild tax
+// The harness offers a fixed-seed request mix at a fixed rate
+// (--clients N --rps R --duration-s S) over N concurrent TCP sessions and
+// measures what the daemon actually delivered: offered vs achieved
+// throughput, and client-observed p50/p99 latency through the SAME
+// obs::Histogram code the daemon itself uses. Open loop means send times
+// are scheduled up front (request k leaves at k/rps seconds, whether or
+// not earlier responses have arrived) and each latency is measured from
+// the *scheduled* send time — so a stalled server shows up as growing
+// latency, not as a politely slowed-down client (no coordinated omission).
 //
-// The request stream is one map request per video application over the
-// four fabric variants (24 scenarios per pass). Correctness is asserted
-// on every run: warm (and evict) response lines must be byte-identical to
-// the cold daemon's — a warm cache may only change speed, never bytes.
-// `--smoke` additionally gates warm >= cold requests/sec and exits
-// non-zero on any violation (the CI assertion).
+// After the run the harness scrapes the daemon's own `metrics` verb and
+// cross-checks the server's nocmap_requests_total{verb="map"} delta
+// against the number of requests the clients sent: the two observability
+// paths must agree on how much traffic happened.
 //
-// The concurrent section serves the same stream to N parallel TCP clients
-// (shard::WorkerLink loopback connections against one serve_socket daemon)
-// — the multi-session shape the shard coordinator and --max-connections
-// exist for. Every client's responses must match the serial daemon's bytes
-// (sessions share one runner/cache but may never cross-contaminate);
-// aggregate requests/sec is reported per client count.
+// By default the harness spawns an in-process daemon on an ephemeral
+// loopback port; --port P drives an externally started
+// `nocmap_cli serve --socket P` instead (the CI metrics-smoke shape).
+//
+// `--smoke` runs a short fixed load (2 clients x 25 rps x 2 s on mesh)
+// and exits non-zero when any response failed, any response went missing,
+// or the server/client request counts disagree. No throughput floor: the
+// gate is lossless correct accounting, which holds on any host size.
+//
+// Results land in service_throughput.csv and BENCH_service.json.
 
-#include <benchmark/benchmark.h>
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <iostream>
-#include <limits>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "apps/registry.hpp"
+#include "obs/metrics.hpp"
 #include "service/protocol.hpp"
 #include "service/service.hpp"
-#include "shard/worker_link.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 #include "bench_common.hpp"
@@ -47,246 +56,433 @@
 namespace {
 
 using namespace nocmap;
+using Clock = std::chrono::steady_clock;
 
-std::vector<std::string> request_stream() {
-    std::vector<std::string> requests;
-    for (const auto& info : apps::video_applications())
-        requests.push_back(std::string("{\"id\": \"") + info.name +
-                           "\", \"method\": \"map\", \"apps\": [\"" + info.name + "\"]}");
-    return requests;
-}
-
-service::Service make_service(std::size_t cache_topologies) {
-    service::ServiceOptions options;
-    options.cache_topologies = cache_topologies;
-    return service::Service(options);
-}
-
-using bench::ms_since;
-
-struct Measurement {
-    double wall_ms = std::numeric_limits<double>::infinity(); ///< best-of-repeats
-    std::vector<std::string> responses;                       ///< last pass
-
-    void note(double ms, std::vector<std::string> r) {
-        wall_ms = std::min(wall_ms, ms);
-        responses = std::move(r);
-    }
+struct HarnessOptions {
+    bool smoke = false;
+    std::size_t clients = 4;
+    double rps = 50.0;          ///< offered load, requests/second
+    double duration_s = 10.0;
+    std::uint16_t port = 0;     ///< 0 = spawn an in-process daemon
+    std::uint64_t seed = 1;     ///< request-mix seed (same seed = same mix)
+    std::string topologies = "mesh";
 };
 
-struct Measurements {
-    Measurement cold, warm, evict;
-};
-
-/// One pass = one coalesced batch of the whole request stream. Cold, warm
-/// and eviction-pressure passes are interleaved within each repeat so
-/// background load drifts hit all three alike, and each mode keeps its
-/// best-of-repeats wall time (a warm pass does strictly less work than a
-/// cold one, so the minima order correctly once noise is squeezed out).
-Measurements measure(const std::vector<std::string>& requests, std::size_t repeats) {
-    service::Service warm_daemon = make_service(0);
-    service::Service evict_daemon = make_service(1);
-    warm_daemon.handle_batch(requests); // populate outside the windows
-    evict_daemon.handle_batch(requests);
-
-    Measurements m;
-    for (std::size_t r = 0; r < repeats; ++r) {
-        auto start = std::chrono::steady_clock::now();
-        service::Service cold_daemon = make_service(0);
-        auto responses = cold_daemon.handle_batch(requests);
-        m.cold.note(ms_since(start), std::move(responses));
-
-        start = std::chrono::steady_clock::now();
-        responses = warm_daemon.handle_batch(requests);
-        m.warm.note(ms_since(start), std::move(responses));
-
-        start = std::chrono::steady_clock::now();
-        responses = evict_daemon.handle_batch(requests);
-        m.evict.note(ms_since(start), std::move(responses));
+/// Minimal blocking line client over a loopback TCP socket. The writer and
+/// reader threads share one LineClient: send() and read_line() touch
+/// disjoint state and the kernel allows concurrent send/recv on one fd.
+class LineClient {
+public:
+    ~LineClient() {
+        if (fd_ >= 0) ::close(fd_);
     }
-    return m;
-}
 
-/// Strips the lifetime-dependent cache counters; everything else — the
-/// whole report — must match byte for byte.
-std::string stable_part(const std::string& response) {
-    const auto cache = response.find(", \"cache\": ");
-    return cache == std::string::npos ? response : response.substr(0, cache);
-}
-
-bool same_reports(const std::vector<std::string>& a, const std::vector<std::string>& b,
-                  const char* label) {
-    if (a.size() != b.size()) {
-        std::cerr << label << ": response count mismatch\n";
-        return false;
-    }
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        if (stable_part(a[i]) != stable_part(b[i])) {
-            std::cerr << label << ": response " << i
-                      << " differs from the cold daemon's bytes\n";
+    bool connect_loopback(std::uint16_t port) {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0) return false;
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+            ::close(fd_);
+            fd_ = -1;
             return false;
         }
+        // A hung daemon must fail the harness, not wedge it.
+        timeval tv{30, 0};
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        const int one = 1;
+        ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        return true;
     }
-    return true;
-}
 
-struct ConcurrentMeasurement {
-    double wall_ms = 0.0;
-    bool parity = true;
+    bool send_line(const std::string& line) {
+        std::string framed = line + "\n";
+        std::size_t off = 0;
+        while (off < framed.size()) {
+            ssize_t n;
+            do {
+                n = ::send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+            } while (n < 0 && errno == EINTR);
+            if (n <= 0) return false;
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    bool read_line(std::string& out) {
+        out.clear();
+        for (;;) {
+            const auto nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                out = buf_.substr(0, nl);
+                buf_.erase(0, nl + 1);
+                return true;
+            }
+            char chunk[8192];
+            ssize_t n;
+            do {
+                n = ::recv(fd_, chunk, sizeof chunk, 0);
+            } while (n < 0 && errno == EINTR);
+            if (n <= 0) return false; // EOF, error, or SO_RCVTIMEO expired
+            buf_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+    /// Lockstep request/response (warmup, scrapes, shutdown).
+    bool exchange(const std::string& line, std::string& reply) {
+        return send_line(line) && read_line(reply);
+    }
+
+private:
+    int fd_ = -1;
+    std::string buf_;
 };
 
-/// `clients` parallel TCP sessions against one warm serve_socket daemon,
-/// each issuing the full request stream; every response is byte-compared
-/// (modulo cache counters) against the serial reference.
-ConcurrentMeasurement measure_concurrent(const std::vector<std::string>& requests,
-                                         std::size_t clients,
-                                         const std::vector<std::string>& reference) {
-    service::Service daemon = make_service(0);
-    std::promise<std::uint16_t> bound;
-    std::thread server([&] {
-        daemon.serve_socket(0, [&](std::uint16_t port) { bound.set_value(port); });
-    });
-    const std::uint16_t port = bound.get_future().get();
-    {
-        // Populate the shared cache outside the measured window (the warm
-        // steady state, same as the serial section).
-        const auto link = shard::connect_tcp("127.0.0.1", port);
-        for (const std::string& request : requests) link->exchange(request);
+/// The replayable mix: request k maps one pseudo-randomly chosen video
+/// application over the configured topology list. rng() % n (not
+/// uniform_int_distribution, whose mapping is implementation-defined)
+/// keeps the mix identical across standard libraries for a given seed.
+std::vector<std::string> build_mix(const HarnessOptions& opt, std::size_t total) {
+    const auto apps = apps::video_applications();
+    std::mt19937_64 rng(opt.seed);
+    std::vector<std::string> lines;
+    lines.reserve(total);
+    for (std::size_t k = 0; k < total; ++k) {
+        const auto& info = apps[rng() % apps.size()];
+        lines.push_back(std::string("{\"id\": \"lh-") + std::to_string(k) +
+                        "\", \"method\": \"map\", \"apps\": [\"" + info.name +
+                        "\"], \"topologies\": \"" + opt.topologies + "\"}");
+    }
+    return lines;
+}
+
+/// nocmap_requests_total{verb="map"} out of a `metrics` verb reply, plus
+/// the server-side latency histogram count and quantiles for the same verb.
+struct ServerView {
+    double requests_map = 0.0;
+    double latency_count = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    bool ok = false;
+};
+
+ServerView scrape(LineClient& client, const std::string& id) {
+    ServerView view;
+    std::string reply;
+    if (!client.exchange("{\"id\": \"" + id + "\", \"method\": \"metrics\"}", reply))
+        return view;
+    try {
+        const auto doc = util::json::parse(reply);
+        const auto* metrics = doc.find("metrics");
+        const auto* families = metrics ? metrics->find("families") : nullptr;
+        if (!families) return view;
+        for (const auto& fam : families->as_array()) {
+            const auto* name_v = fam.find("name");
+            const auto* series_v = fam.find("series");
+            if (!name_v || !series_v) continue;
+            const std::string& name = name_v->as_string();
+            if (name != "nocmap_requests_total" && name != "nocmap_request_latency_ms")
+                continue;
+            for (const auto& series : series_v->as_array()) {
+                const auto* labels = series.find("labels");
+                const auto* verb = labels ? labels->find("verb") : nullptr;
+                if (!verb || verb->as_string() != "map") continue;
+                if (name == "nocmap_requests_total") {
+                    if (const auto* v = series.find("value")) view.requests_map = v->as_number();
+                } else {
+                    if (const auto* v = series.find("count")) view.latency_count = v->as_number();
+                    if (const auto* v = series.find("p50")) view.p50 = v->as_number();
+                    if (const auto* v = series.find("p99")) view.p99 = v->as_number();
+                }
+            }
+        }
+        view.ok = true;
+    } catch (const std::exception& e) {
+        std::cerr << "scrape " << id << ": " << e.what() << '\n';
+    }
+    return view;
+}
+
+struct RunResult {
+    std::size_t sent = 0;
+    std::size_t received = 0;
+    std::size_t ok = 0;
+    double wall_s = 0.0;            ///< first scheduled send -> last response
+    obs::HistogramData latency;     ///< client-observed, from scheduled time
+    bool transport_ok = true;
+};
+
+RunResult run_open_loop(const HarnessOptions& opt, std::uint16_t port,
+                        const std::vector<std::string>& mix) {
+    // One shared histogram: every client thread observes into the same
+    // relaxed atomics, exactly like daemon threads share the registry.
+    obs::Histogram latency(obs::Histogram::default_latency_buckets_ms());
+    std::atomic<std::size_t> received{0}, ok{0};
+    std::atomic<bool> transport_ok{true};
+    std::atomic<std::int64_t> last_recv_ns{0};
+
+    // Request k is client k % clients' job; each client keeps its own
+    // connection and its own in-order slice of the schedule.
+    std::vector<std::vector<std::size_t>> assigned(opt.clients);
+    for (std::size_t k = 0; k < mix.size(); ++k) assigned[k % opt.clients].push_back(k);
+
+    std::vector<std::unique_ptr<LineClient>> clients;
+    for (std::size_t c = 0; c < opt.clients; ++c) {
+        auto client = std::make_unique<LineClient>();
+        if (!client->connect_loopback(port)) {
+            std::cerr << "harness: cannot connect client " << c << '\n';
+            return {};
+        }
+        clients.push_back(std::move(client));
     }
 
-    ConcurrentMeasurement m;
-    std::atomic<bool> parity{true};
-    const auto start = std::chrono::steady_clock::now();
-    std::vector<std::thread> pool;
-    pool.reserve(clients);
-    for (std::size_t c = 0; c < clients; ++c) {
-        pool.emplace_back([&] {
-            try {
-                const auto link = shard::connect_tcp("127.0.0.1", port);
-                for (std::size_t i = 0; i < requests.size(); ++i) {
-                    const std::string response = link->exchange(requests[i]);
-                    if (stable_part(response) != stable_part(reference[i]))
-                        parity = false;
+    const auto start = Clock::now();
+    const auto scheduled = [&](std::size_t k) {
+        return start + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(static_cast<double>(k) / opt.rps));
+    };
+
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < opt.clients; ++c) {
+        // Writer: release each request at its scheduled instant, come what
+        // may of the responses (the open loop).
+        threads.emplace_back([&, c] {
+            for (const std::size_t k : assigned[c]) {
+                std::this_thread::sleep_until(scheduled(k));
+                if (!clients[c]->send_line(mix[k])) {
+                    transport_ok = false;
+                    return;
                 }
-            } catch (const std::exception&) {
-                parity = false;
+            }
+        });
+        // Reader: responses come back in send order on this session;
+        // latency is measured from the scheduled send time.
+        threads.emplace_back([&, c] {
+            std::string reply;
+            for (const std::size_t k : assigned[c]) {
+                if (!clients[c]->read_line(reply)) {
+                    transport_ok = false;
+                    return;
+                }
+                const auto now = Clock::now();
+                latency.observe(
+                    std::chrono::duration<double, std::milli>(now - scheduled(k)).count());
+                received.fetch_add(1, std::memory_order_relaxed);
+                if (reply.find("\"status\": \"ok\"") != std::string::npos)
+                    ok.fetch_add(1, std::memory_order_relaxed);
+                std::int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                      now - start)
+                                      .count();
+                std::int64_t prev = last_recv_ns.load(std::memory_order_relaxed);
+                while (ns > prev &&
+                       !last_recv_ns.compare_exchange_weak(prev, ns,
+                                                           std::memory_order_relaxed)) {
+                }
             }
         });
     }
-    for (std::thread& t : pool) t.join();
-    m.wall_ms = ms_since(start);
-    m.parity = parity;
+    for (std::thread& t : threads) t.join();
 
-    try {
-        shard::connect_tcp("127.0.0.1", port)->exchange(service::shutdown_request("bye"));
-    } catch (const std::exception&) {
-        // The daemon may already be torn down; join below either way.
-    }
-    server.join();
-    return m;
+    RunResult r;
+    r.sent = mix.size();
+    r.received = received;
+    r.ok = ok;
+    r.wall_s = static_cast<double>(last_recv_ns.load()) / 1e9;
+    if (r.wall_s <= 0.0)
+        r.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+    r.latency = latency.snapshot();
+    r.transport_ok = transport_ok;
+    return r;
 }
 
-int run_report(bool smoke) {
-    const auto requests = request_stream();
-    const std::size_t repeats = smoke ? 9 : 5;
+void write_bench_json(const HarnessOptions& opt, const RunResult& run,
+                      const ServerView& before, const ServerView& after,
+                      double achieved_rps, bool count_match, std::size_t host_cores) {
+    std::ofstream out("BENCH_service.json");
+    if (!out) {
+        std::cerr << "BENCH_service.json: cannot open for writing\n";
+        return;
+    }
+    const double delta = after.requests_map - before.requests_map;
+    out << "{\n  \"bench\": \"service_throughput\",\n"
+        << "  \"metric\": \"open-loop achieved requests per second\",\n"
+        << "  \"host_cores\": " << host_cores << ",\n"
+        << "  \"clients\": " << opt.clients << ",\n"
+        << "  \"offered_rps\": " << opt.rps << ",\n"
+        << "  \"duration_s\": " << opt.duration_s << ",\n"
+        << "  \"topologies\": \"" << opt.topologies << "\",\n"
+        << "  \"seed\": " << opt.seed << ",\n"
+        << "  \"requests\": " << run.sent << ",\n"
+        << "  \"responses_ok\": " << run.ok << ",\n"
+        << "  \"achieved_rps\": " << achieved_rps << ",\n"
+        << "  \"client_p50_ms\": " << run.latency.quantile(0.50) << ",\n"
+        << "  \"client_p99_ms\": " << run.latency.quantile(0.99) << ",\n"
+        << "  \"server_p50_ms\": " << after.p50 << ",\n"
+        << "  \"server_p99_ms\": " << after.p99 << ",\n"
+        << "  \"server_requests_delta\": " << delta << ",\n"
+        << "  \"count_match\": " << (count_match ? "true" : "false") << "\n}\n";
+}
 
-    const auto [cold, warm, evict] = measure(requests, repeats);
+int run_harness(const HarnessOptions& opt) {
+    const std::size_t total =
+        std::max<std::size_t>(1, static_cast<std::size_t>(opt.rps * opt.duration_s));
+    const auto mix = build_mix(opt, total);
+    const std::size_t host_cores =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
 
-    const auto rps = [&](double ms) {
-        return static_cast<double>(requests.size()) * 1000.0 / ms;
-    };
-    util::Table table("Service throughput — " + std::to_string(requests.size()) +
-                      " map requests/pass (6 apps x 4 fabrics), serial daemon");
-    table.set_header({"mode", "wall (ms)", "requests/s", "speedup vs cold"});
-    const auto row = [&](const char* mode, double ms) {
-        table.add_row({mode, util::Table::num(ms, 2), util::Table::num(rps(ms), 1),
-                       util::Table::num(cold.wall_ms / ms, 2)});
-    };
-    row("cold (fresh daemon per pass)", cold.wall_ms);
-    row("warm (persistent cache)", warm.wall_ms);
-    row("warm + eviction (--cache-topologies 1)", evict.wall_ms);
-    table.print(std::cout);
-    std::cout << "(acceptance: warm and eviction-pressure responses byte-identical to "
-                 "cold; smoke gate: warm requests/sec >= cold)\n";
+    // Target daemon: an external --port, or an in-process serve_socket on
+    // an ephemeral loopback port.
+    service::Service daemon{[&] {
+        service::ServiceOptions options;
+        options.threads = 0; // in-process daemon gets the whole host
+        return options;
+    }()};
+    std::thread server;
+    std::uint16_t port = opt.port;
+    const bool external = opt.port != 0;
+    if (!external) {
+        std::promise<std::uint16_t> bound;
+        server = std::thread([&] {
+            daemon.serve_socket(0, [&](std::uint16_t p) { bound.set_value(p); });
+        });
+        port = bound.get_future().get();
+    }
 
-    // Concurrent TCP clients against one warm daemon: aggregate throughput
-    // and per-session byte parity with the serial responses.
-    util::Table concurrent_table("Concurrent TCP clients — one warm daemon, " +
-                                 std::to_string(requests.size()) + " requests/client");
-    concurrent_table.set_header({"clients", "wall (ms)", "aggregate requests/s", "parity"});
-    bool concurrent_ok = true;
-    for (const std::size_t clients : {std::size_t{1}, std::size_t{4}}) {
-        const auto c = measure_concurrent(requests, clients, cold.responses);
-        concurrent_table.add_row(
-            {util::Table::num(static_cast<long long>(clients)),
-             util::Table::num(c.wall_ms, 2),
-             util::Table::num(static_cast<double>(clients * requests.size()) * 1000.0 /
-                                  c.wall_ms,
-                              1),
-             c.parity ? "yes" : "NO"});
-        if (!c.parity) {
-            std::cerr << "concurrent: " << clients
-                      << "-client responses diverged from the serial daemon's bytes\n";
-            concurrent_ok = false;
+    int status = 1;
+    {
+        LineClient control;
+        if (!control.connect_loopback(port)) {
+            std::cerr << "harness: cannot connect to daemon on port " << port << '\n';
+        } else {
+            // Warmup outside the measured window: one map per distinct app
+            // builds every EvalContext so the run measures the steady state.
+            std::string reply;
+            bool warm = true;
+            for (const auto& info : apps::video_applications())
+                warm = warm && control.exchange(
+                                   std::string("{\"id\": \"warm-") + info.name +
+                                       "\", \"method\": \"map\", \"apps\": [\"" +
+                                       info.name + "\"], \"topologies\": \"" +
+                                       opt.topologies + "\"}",
+                                   reply);
+            const ServerView before = scrape(control, "scrape-pre");
+
+            const RunResult run = run_open_loop(opt, port, mix);
+
+            const ServerView after = scrape(control, "scrape-post");
+            const double achieved_rps =
+                run.wall_s > 0.0 ? static_cast<double>(run.received) / run.wall_s : 0.0;
+            const double delta = after.requests_map - before.requests_map;
+            const bool count_match = before.ok && after.ok &&
+                                     delta == static_cast<double>(run.sent);
+
+            util::Table table("Open-loop service load — " + std::to_string(opt.clients) +
+                              " clients x " + util::Table::num(opt.rps, 1) + " rps x " +
+                              util::Table::num(opt.duration_s, 1) + " s on '" +
+                              opt.topologies + "' (seed " + std::to_string(opt.seed) +
+                              ")");
+            table.set_header({"measure", "value"});
+            table.add_row({"requests sent", util::Table::num(static_cast<long long>(run.sent))});
+            table.add_row(
+                {"responses ok", util::Table::num(static_cast<long long>(run.ok))});
+            table.add_row({"offered rps", util::Table::num(opt.rps, 1)});
+            table.add_row({"achieved rps", util::Table::num(achieved_rps, 1)});
+            table.add_row({"client p50 (ms)", util::Table::num(run.latency.quantile(0.5), 2)});
+            table.add_row({"client p99 (ms)", util::Table::num(run.latency.quantile(0.99), 2)});
+            table.add_row({"server p50 (ms)", util::Table::num(after.p50, 2)});
+            table.add_row({"server p99 (ms)", util::Table::num(after.p99, 2)});
+            table.add_row({"server map-request delta", util::Table::num(delta, 0)});
+            table.add_row({"count cross-check", count_match ? "match" : "MISMATCH"});
+            table.print(std::cout);
+            std::cout << "(acceptance: every response ok and the server's "
+                         "requests_total{verb=\"map\"} delta equals the client-side "
+                         "sent count)\n";
+
+            bench::try_write_csv(
+                "service_throughput.csv",
+                {"clients", "offered_rps", "achieved_rps", "responses_ok", "p50_ms",
+                 "p99_ms", "count_match"},
+                {{std::to_string(opt.clients), util::Table::num(opt.rps, 1),
+                  util::Table::num(achieved_rps, 2),
+                  std::to_string(run.ok), util::Table::num(run.latency.quantile(0.5), 3),
+                  util::Table::num(run.latency.quantile(0.99), 3),
+                  count_match ? "1" : "0"}});
+            write_bench_json(opt, run, before, after, achieved_rps, count_match,
+                             host_cores);
+
+            bool gates_ok = true;
+            if (!warm || !run.transport_ok) {
+                std::cerr << "harness: transport failure during the run\n";
+                gates_ok = false;
+            }
+            if (run.received != run.sent) {
+                std::cerr << "harness: " << run.sent - run.received
+                          << " responses went missing\n";
+                gates_ok = false;
+            }
+            if (run.ok != run.sent) {
+                std::cerr << "harness: " << run.sent - run.ok
+                          << " responses carried an error status\n";
+                gates_ok = false;
+            }
+            if (!count_match) {
+                std::cerr << "harness: server saw " << delta
+                          << " map requests, clients sent " << run.sent << '\n';
+                gates_ok = false;
+            }
+            status = gates_ok ? 0 : 1;
+
+            if (!external) control.exchange(service::shutdown_request("bye"), reply);
         }
     }
-    concurrent_table.print(std::cout);
-
-    bool ok = concurrent_ok && same_reports(warm.responses, cold.responses, "warm") &&
-              same_reports(evict.responses, cold.responses, "warm/evict");
-    if (smoke && warm.wall_ms > cold.wall_ms) {
-        std::cerr << "smoke: warm cache slower than cold (" << warm.wall_ms << " ms vs "
-                  << cold.wall_ms << " ms)\n";
-        ok = false;
+    if (!external) {
+        daemon.begin_drain(); // idempotent; covers every failure path
+        server.join();
     }
-    bench::try_write_csv(
-        "service_throughput.csv", {"mode", "wall_ms", "requests_per_s", "speedup"},
-        {{"cold", util::Table::num(cold.wall_ms, 3), util::Table::num(rps(cold.wall_ms), 1),
-          "1.0"},
-         {"warm", util::Table::num(warm.wall_ms, 3), util::Table::num(rps(warm.wall_ms), 1),
-          util::Table::num(cold.wall_ms / warm.wall_ms, 3)},
-         {"warm_evict", util::Table::num(evict.wall_ms, 3),
-          util::Table::num(rps(evict.wall_ms), 1),
-          util::Table::num(cold.wall_ms / evict.wall_ms, 3)}});
-    return ok ? 0 : 1;
-}
-
-void bm_cold(benchmark::State& state) {
-    const auto requests = request_stream();
-    for (auto _ : state) {
-        service::Service daemon = make_service(0);
-        benchmark::DoNotOptimize(daemon.handle_batch(requests));
-    }
-}
-
-void bm_warm(benchmark::State& state) {
-    const auto requests = request_stream();
-    service::Service daemon = make_service(0);
-    daemon.handle_batch(requests);
-    for (auto _ : state) benchmark::DoNotOptimize(daemon.handle_batch(requests));
-}
-
-void bm_warm_evict(benchmark::State& state) {
-    const auto requests = request_stream();
-    service::Service daemon = make_service(1);
-    daemon.handle_batch(requests);
-    for (auto _ : state) benchmark::DoNotOptimize(daemon.handle_batch(requests));
+    return status;
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
-    bool smoke = false;
-    for (int i = 1; i < argc; ++i)
-        if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-    if (smoke) return run_report(true);
-
-    const int status = run_report(false);
-    benchmark::RegisterBenchmark("service6x4/cold", bm_cold)->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark("service6x4/warm", bm_warm)->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark("service6x4/warm_evict", bm_warm_evict)
-        ->Unit(benchmark::kMillisecond);
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return status;
+    HarnessOptions opt;
+    const auto next_arg = [&](int& i) -> const char* {
+        if (i + 1 >= argc) {
+            std::cerr << "missing value for " << argv[i] << '\n';
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) opt.smoke = true;
+        else if (std::strcmp(argv[i], "--clients") == 0)
+            opt.clients = static_cast<std::size_t>(std::stoul(next_arg(i)));
+        else if (std::strcmp(argv[i], "--rps") == 0) opt.rps = std::stod(next_arg(i));
+        else if (std::strcmp(argv[i], "--duration-s") == 0)
+            opt.duration_s = std::stod(next_arg(i));
+        else if (std::strcmp(argv[i], "--port") == 0)
+            opt.port = static_cast<std::uint16_t>(std::stoul(next_arg(i)));
+        else if (std::strcmp(argv[i], "--seed") == 0)
+            opt.seed = std::stoull(next_arg(i));
+        else if (std::strcmp(argv[i], "--topologies") == 0) opt.topologies = next_arg(i);
+        else {
+            std::cerr << "usage: service_throughput [--smoke] [--clients N] [--rps R] "
+                         "[--duration-s S] [--port P] [--seed N] [--topologies list]\n";
+            return 2;
+        }
+    }
+    if (opt.smoke) {
+        // Short, deterministic-mix load sized for any CI host.
+        opt.clients = 2;
+        opt.rps = 25.0;
+        opt.duration_s = 2.0;
+        opt.topologies = "mesh";
+    }
+    if (opt.clients == 0 || opt.rps <= 0.0 || opt.duration_s <= 0.0) {
+        std::cerr << "harness: --clients, --rps and --duration-s must be positive\n";
+        return 2;
+    }
+    return run_harness(opt);
 }

@@ -100,6 +100,8 @@
 #include "nmap/single_path.hpp"
 #include "noc/commodity.hpp"
 #include "noc/energy.hpp"
+#include "obs/http_exporter.hpp"
+#include "obs/metrics.hpp"
 #include "portfolio/report.hpp"
 #include "portfolio/runner.hpp"
 #include "service/service.hpp"
@@ -148,6 +150,9 @@ struct CliOptions {
     bool socket_mode = false;
     bool json_stable = false; ///< portfolio JSON: deterministic document
     bool portfolio = false;
+    std::size_t metrics_port = 0; ///< serve: /metrics HTTP port (0 = ephemeral)
+    bool metrics_port_set = false;
+    bool print_metrics = false; ///< portfolio/shard: dump obs JSON after the run
     std::int32_t width = 0;
     std::int32_t height = 0;
     double bandwidth = 0.0; // 0 = ample
@@ -172,8 +177,10 @@ int usage() {
                  "       nocmap_cli portfolio <app|graph-file>... "
                  "[--topologies mesh,torus:4x4,ring,hypercube] [--algo name] "
                  "[--opt key=value]... [--seed N] [--deadline-ms N] "
-                 "[--bw MBps] [--threads N] [--json path] [--json-stable]\n"
-                 "       nocmap_cli serve [--socket PORT] [--max-connections N] "
+                 "[--bw MBps] [--threads N] [--json path] [--json-stable] "
+                 "[--print-metrics]\n"
+                 "       nocmap_cli serve [--socket PORT] [--metrics-port PORT] "
+                 "[--max-connections N] "
                  "[--max-pending N] [--idle-timeout-ms N] [--deadline-ms N] "
                  "[--cache-topologies N] [--threads N] [--topologies specs] "
                  "[--algo name] [--bw MBps] [--opt key=value]... [--seed N] "
@@ -184,7 +191,7 @@ int usage() {
                  "[--io-timeout-ms N] [--deadline-ms N] "
                  "[--faults worker:index:action[:ms],...] [--topologies specs] "
                  "[--algo name] [--opt key=value]... [--seed N] [--bw MBps] "
-                 "[--threads N] [--json path]\n"
+                 "[--threads N] [--json path] [--print-metrics]\n"
                  "       nocmap_cli apps | algos\n"
                  "       nocmap_cli --describe-algo <name> [--json]\n";
     return 2;
@@ -366,8 +373,10 @@ int cmd_portfolio(const CliOptions& opt) {
         apps.emplace_back(target,
                           std::make_shared<const graph::CoreGraph>(load_graph(target)));
 
+    obs::Registry metrics; // outlives the runner that feeds it
     portfolio::PortfolioOptions options;
     options.threads = opt.threads;
+    if (opt.print_metrics) options.metrics = &metrics;
     portfolio::PortfolioRunner runner(options);
     const auto grid = portfolio::make_grid(apps, specs, opt.algo, opt.params, opt.seed,
                                            opt.deadline_ms);
@@ -396,6 +405,9 @@ int cmd_portfolio(const CliOptions& opt) {
         portfolio::write_json(out, results, fabric_ranking, json);
         std::cout << "wrote " << opt.json_path << '\n';
     }
+    // Printed before the failure accounting: failed scenarios are exactly
+    // when the failure counters are worth reading.
+    if (opt.print_metrics) std::cout << obs::to_json(metrics.snapshot()) << '\n';
     // Success when every scenario at least ran (infeasible fabrics are a
     // finding, not a failure; mapper exceptions are failures). Failures go
     // to stderr — a JSON artifact alone must not let CI gates pass quietly.
@@ -435,6 +447,8 @@ int cmd_shard(const CliOptions& opt) {
         return 2;
     }
     options.cache_topologies = opt.cache_topologies;
+    obs::Registry metrics; // outlives the coordinator that feeds it
+    if (opt.print_metrics) options.metrics = &metrics;
 
     const shard::LinkTimeouts timeouts{opt.connect_timeout_ms, opt.io_timeout_ms};
     shard::LocalFleet fleet; // keeps --spawn-workers children alive for the run
@@ -528,6 +542,9 @@ int cmd_shard(const CliOptions& opt) {
         portfolio::write_json(out, results, fabric_ranking, json);
         std::cout << "wrote " << opt.json_path << '\n';
     }
+    // Before the failure accounting: retry/reconnect/migration counters
+    // matter most on the runs that lost workers.
+    if (opt.print_metrics) std::cout << obs::to_json(metrics.snapshot()) << '\n';
     std::size_t failed = 0;
     for (const auto& r : results) {
         if (r.ok) continue;
@@ -581,6 +598,26 @@ int cmd_serve(const CliOptions& opt) {
     drain_action.sa_handler = handle_drain_signal;
     ::sigaction(SIGTERM, &drain_action, nullptr);
     ::sigaction(SIGINT, &drain_action, nullptr);
+    obs::HttpExporter exporter;
+    if (opt.metrics_port_set) {
+        if (opt.metrics_port > 65535) {
+            std::cerr << "error: --metrics-port must be 0..65535\n";
+            return 2;
+        }
+        try {
+            exporter.start(
+                static_cast<std::uint16_t>(opt.metrics_port),
+                [&daemon] { return daemon.metrics_prometheus(); },
+                [](std::uint16_t port) {
+                    // stderr, like the --socket announcement, so scripts can
+                    // learn an ephemeral (0) pick.
+                    std::cerr << "serve: metrics on TCP port " << port << '\n';
+                });
+        } catch (const std::exception& e) {
+            std::cerr << "error: " << e.what() << '\n';
+            return 1;
+        }
+    }
     if (!opt.socket_mode) {
         // Unsynced streams give std::cin a real buffer, so the session
         // loop's in_avail() drain can see queued requests and batch them.
@@ -709,6 +746,11 @@ int main(int argc, char** argv) {
                 return usage();
         } else if (args[i] == "--shard-mode" && i + 1 < args.size()) {
             opt.shard_mode = util::to_lower(args[++i]);
+        } else if (args[i] == "--metrics-port" && i + 1 < args.size()) {
+            if (!util::parse_size(args[++i], opt.metrics_port)) return usage();
+            opt.metrics_port_set = true;
+        } else if (args[i] == "--print-metrics") {
+            opt.print_metrics = true;
         } else if (args[i] == "--json-stable") {
             opt.json_stable = true;
         } else if (args[i] == "--portfolio") {

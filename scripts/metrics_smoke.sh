@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Metrics smoke: start `nocmap_cli serve` with a Prometheus endpoint, drive
+# the open-loop load harness against it, then assert that
+#
+#   * GET /metrics returns a well-formed text exposition (prom_lint.py),
+#   * the server's own per-verb accounting is consistent: the map latency
+#     histogram count equals requests_total{verb="map"} once all responses
+#     are out,
+#   * the harness's client/server request cross-check passed (its exit code
+#     and the count_match field of BENCH_service.json).
+#
+# Usage: scripts/metrics_smoke.sh [path/to/nocmap_cli] [path/to/service_throughput] [out-dir]
+set -euo pipefail
+
+CLI=$(readlink -f "${1:-./build/nocmap_cli}")
+HARNESS=$(readlink -f "${2:-./build/service_throughput}")
+OUT=${3:-metrics-smoke}
+SCRIPTS=$(cd "$(dirname "$0")" && pwd)
+mkdir -p "$OUT"
+
+# Ephemeral ports for both the protocol socket and the metrics endpoint;
+# the daemon announces the picks on stderr.
+"$CLI" serve --socket 0 --metrics-port 0 --threads 2 \
+    2> "$OUT/serve.stderr" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+PORT=""
+METRICS_PORT=""
+for _ in $(seq 1 50); do
+    PORT=$(sed -n 's/^serve: listening on TCP port \([0-9]*\)$/\1/p' "$OUT/serve.stderr" || true)
+    METRICS_PORT=$(sed -n 's/^serve: metrics on TCP port \([0-9]*\)$/\1/p' "$OUT/serve.stderr" || true)
+    [ -n "$PORT" ] && [ -n "$METRICS_PORT" ] && break
+    sleep 0.1
+done
+if [ -z "$PORT" ] || [ -z "$METRICS_PORT" ]; then
+    echo "metrics smoke: daemon did not announce its ports" >&2
+    cat "$OUT/serve.stderr" >&2
+    exit 1
+fi
+echo "daemon up: protocol port $PORT, metrics port $METRICS_PORT"
+
+# The harness drives the external daemon and fails on any lost response or
+# a client/server request-count mismatch.
+(cd "$OUT" && "$HARNESS" --smoke --port "$PORT") | tee "$OUT/harness.out"
+
+# Scrape after the run: every map response is out, so the latency histogram
+# must have caught up with the parse-time request counter.
+curl -sS --fail --max-time 10 "http://127.0.0.1:$METRICS_PORT/metrics" \
+    > "$OUT/metrics.prom"
+
+python3 "$SCRIPTS/prom_lint.py" "$OUT/metrics.prom"
+
+python3 - "$OUT" <<'EOF'
+import json, pathlib, re, sys
+
+out = pathlib.Path(sys.argv[1])
+text = (out / "metrics.prom").read_text()
+
+def sample(name, labels):
+    pattern = re.escape(name) + r"\{" + re.escape(labels) + r"\}\s+(\S+)"
+    match = re.search(pattern, text)
+    assert match, f"{name}{{{labels}}} missing from the scrape"
+    return float(match.group(1))
+
+requests = sample("nocmap_requests_total", 'verb="map"')
+latencies = sample("nocmap_request_latency_ms_count", 'verb="map"')
+assert requests > 0, "no map requests recorded — harness did not reach the daemon"
+assert requests == latencies, (
+    f"map requests_total {requests} != latency histogram count {latencies}")
+print(f"scrape consistency OK: {int(requests)} map requests, "
+      f"{int(latencies)} latency observations")
+
+bench = json.loads((out / "BENCH_service.json").read_text())
+assert bench["count_match"] is True, "harness count_match is false"
+print(f"harness cross-check OK: server delta {bench['server_requests_delta']:g} "
+      f"== {bench['requests']} sent")
+EOF
+
+# Graceful shutdown through the protocol (also proves the daemon is still
+# responsive after the scrape).
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf '{"id": "bye", "method": "shutdown"}\n' >&3
+IFS= read -r REPLY_LINE <&3 || true
+exec 3<&- 3>&-
+case "$REPLY_LINE" in
+    *'"status": "ok"'*) echo "shutdown acknowledged" ;;
+    *) echo "metrics smoke: shutdown not acknowledged: $REPLY_LINE" >&2; exit 1 ;;
+esac
+wait "$SERVE_PID"
+trap - EXIT
+
+echo "metrics smoke OK (scrape in $OUT/metrics.prom)"

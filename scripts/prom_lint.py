@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition (version 0.0.4) scrape.
+
+Checks what a scraper would actually choke on or silently misread:
+
+  * metric and label names match the Prometheus grammar,
+  * every sample belongs to a family declared by # HELP / # TYPE
+    (histograms may add the _bucket/_sum/_count suffixes),
+  * at most one HELP and one TYPE per family, TYPE before any sample,
+  * histogram buckets have ascending `le` and cumulative counts,
+  * an `le="+Inf"` bucket exists and equals the series' _count,
+  * sample values parse as floats and label values are well-quoted.
+
+Usage: prom_lint.py <scrape.prom>
+Exits non-zero listing every violation.
+"""
+
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One label pair inside {...}: name="value" with \\, \", \n escapes.
+PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)(\s+\d+)?$")
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def base_family(name, families):
+    """The declared family a sample name belongs to, or None."""
+    if name in families:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            stem = name[: -len(suffix)]
+            if stem in families and families[stem]["type"] == "histogram":
+                return stem
+    return None
+
+
+def parse_labels(text, errors, where):
+    labels = {}
+    if not text:
+        return labels
+    consumed = 0
+    for m in PAIR_RE.finditer(text):
+        labels[m.group(1)] = m.group(2)
+        consumed = m.end()
+        rest = text[consumed:]
+        if rest.startswith(","):
+            consumed += 1
+    leftover = text[consumed:].strip().rstrip(",")
+    if leftover:
+        errors.append(f"{where}: unparseable label text {leftover!r}")
+    for name in labels:
+        if not LABEL_RE.match(name):
+            errors.append(f"{where}: bad label name {name!r}")
+    return labels
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        text = open(sys.argv[1], encoding="utf-8").read()
+    except OSError as exc:
+        print(f"prom_lint: {exc}", file=sys.stderr)
+        return 2
+
+    errors = []
+    families = {}  # name -> {"type": str, "help": bool, "samples": bool}
+    # histogram series: (family, labels-without-le) -> list of (le, value)
+    buckets = {}
+    counts = {}
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        where = f"line {lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment: legal, ignored
+            kind, name = parts[1], parts[2]
+            if not METRIC_RE.match(name):
+                errors.append(f"{where}: bad metric name {name!r} in # {kind}")
+                continue
+            fam = families.setdefault(name, {"type": None, "help": False,
+                                             "samples": False})
+            if kind == "HELP":
+                if fam["help"]:
+                    errors.append(f"{where}: duplicate # HELP for {name}")
+                fam["help"] = True
+            else:
+                value = parts[3].strip() if len(parts) > 3 else ""
+                if value not in TYPES:
+                    errors.append(f"{where}: unknown TYPE {value!r} for {name}")
+                if fam["type"] is not None:
+                    errors.append(f"{where}: duplicate # TYPE for {name}")
+                if fam["samples"]:
+                    errors.append(f"{where}: # TYPE for {name} after its samples")
+                fam["type"] = value
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"{where}: unparseable sample line {line!r}")
+            continue
+        name, _, label_text, value = m.group(1), m.group(2), m.group(3), m.group(4)
+        family = base_family(name, families)
+        if family is None:
+            errors.append(f"{where}: sample {name} has no # HELP/# TYPE family")
+            continue
+        families[family]["samples"] = True
+        labels = parse_labels(label_text or "", errors, where)
+        try:
+            fvalue = float(value)
+        except ValueError:
+            errors.append(f"{where}: sample value {value!r} is not a float")
+            continue
+        if families[family]["type"] == "histogram":
+            series = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            if name == family + "_bucket":
+                if "le" not in labels:
+                    errors.append(f"{where}: {name} bucket without an le label")
+                else:
+                    le = (float("inf") if labels["le"] == "+Inf"
+                          else float(labels["le"]))
+                    buckets.setdefault((family, series), []).append(
+                        (le, fvalue, lineno))
+            elif name == family + "_count":
+                counts[(family, series)] = (fvalue, lineno)
+
+    for name, fam in sorted(families.items()):
+        if fam["type"] is None:
+            errors.append(f"family {name}: # HELP without # TYPE")
+        if not fam["help"]:
+            errors.append(f"family {name}: # TYPE without # HELP")
+
+    for (family, series), entries in sorted(buckets.items()):
+        label_str = "{" + ",".join(f'{k}="{v}"' for k, v in series) + "}"
+        where = f"{family}{label_str}"
+        les = [le for le, _, _ in entries]
+        values = [v for _, v, _ in entries]
+        if les != sorted(les):
+            errors.append(f"{where}: bucket le bounds not ascending")
+        if any(b > a for a, b in zip(values[1:], values)):
+            errors.append(f"{where}: bucket counts not cumulative")
+        if not les or les[-1] != float("inf"):
+            errors.append(f"{where}: no le=\"+Inf\" bucket")
+        else:
+            count = counts.get((family, series))
+            if count is None:
+                errors.append(f"{where}: histogram without a _count sample")
+            elif count[0] != values[-1]:
+                errors.append(f"{where}: _count {count[0]} != +Inf bucket "
+                              f"{values[-1]}")
+
+    if errors:
+        for error in errors:
+            print(f"prom_lint: {error}", file=sys.stderr)
+        print(f"prom_lint: {len(errors)} violation(s) in {sys.argv[1]}",
+              file=sys.stderr)
+        return 1
+    histograms = sum(1 for f in families.values() if f["type"] == "histogram")
+    print(f"prom_lint: {sys.argv[1]} OK ({len(families)} families, "
+          f"{histograms} histograms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+#include "obs/http_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace obs {
+
+namespace {
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return; // peer gone; a scraper retry is the recovery path
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(const std::string& status,
+                          const std::string& content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 " + status + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+HttpExporter::~HttpExporter() { stop(); }
+
+void HttpExporter::start(std::uint16_t port, BodyFn body,
+                         std::function<void(std::uint16_t)> on_listening) {
+  if (listen_fd_ >= 0) throw std::runtime_error("metrics exporter already started");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("metrics exporter: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw std::runtime_error("metrics exporter: cannot listen on port " +
+                             std::to_string(port));
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+
+  if (on_listening) on_listening(port_);
+  // Capture the fd by value: stop() closes it, and accept() on the closed
+  // descriptor fails out of the loop without touching the member.
+  thread_ = std::thread([this, fd, body = std::move(body)] { serve_loop(fd, body); });
+}
+
+void HttpExporter::serve_loop(int listen_fd, BodyFn body) {
+  for (;;) {
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      break; // listener shut down (or broken beyond repair)
+    }
+    // Read the request head; a scrape request fits in one small buffer and
+    // we cap it so a misbehaving client can't grow memory.
+    std::string req;
+    char buf[1024];
+    while (req.find("\r\n\r\n") == std::string::npos &&
+           req.find("\n\n") == std::string::npos && req.size() < 8192) {
+      const ssize_t n = ::recv(client, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      req.append(buf, static_cast<std::size_t>(n));
+    }
+
+    const auto line_end = req.find_first_of("\r\n");
+    const std::string request_line =
+        line_end == std::string::npos ? req : req.substr(0, line_end);
+    if (request_line.rfind("GET ", 0) != 0) {
+      send_all(client, http_response("405 Method Not Allowed", "text/plain",
+                                     "method not allowed\n"));
+    } else {
+      const auto path_end = request_line.find(' ', 4);
+      const std::string path = request_line.substr(
+          4, path_end == std::string::npos ? std::string::npos : path_end - 4);
+      if (path == "/metrics") {
+        send_all(client,
+                 http_response("200 OK", "text/plain; version=0.0.4", body()));
+      } else {
+        send_all(client,
+                 http_response("404 Not Found", "text/plain", "not found\n"));
+      }
+    }
+    ::shutdown(client, SHUT_RDWR);
+    ::close(client);
+  }
+}
+
+void HttpExporter::stop() {
+  if (listen_fd_ < 0) return;
+  const int fd = listen_fd_;
+  listen_fd_ = -1;
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace obs

@@ -1,0 +1,47 @@
+#pragma once
+
+// Minimal HTTP/1.0 responder for GET /metrics.
+//
+// One listener thread, sequential accept loop, Connection: close on every
+// response — a Prometheus scraper polls at multi-second intervals, so there
+// is nothing to win from concurrency here and a lot of failure surface to
+// avoid. The body is produced by a callback at request time (a fresh
+// registry snapshot), so the exporter holds no metric state of its own.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace obs {
+
+class HttpExporter {
+ public:
+  using BodyFn = std::function<std::string()>;
+
+  HttpExporter() = default;
+  ~HttpExporter();
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  // Binds 127.0.0.1:port (0 = ephemeral), starts the accept thread, and
+  // reports the bound port via `on_listening` before returning. Throws
+  // std::runtime_error if the socket can't be bound.
+  void start(std::uint16_t port, BodyFn body,
+             std::function<void(std::uint16_t)> on_listening = {});
+
+  // Unblocks the accept loop and joins the thread. Idempotent.
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+  bool running() const { return listen_fd_ >= 0; }
+
+ private:
+  void serve_loop(int listen_fd, BodyFn body);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace obs

@@ -1,0 +1,346 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace obs {
+
+namespace json = nocmap::util::json;
+
+// ---------------------------------------------------------------------------
+// HistogramData
+
+double HistogramData::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t prev = cum;
+    cum += counts[i];
+    if (static_cast<double>(cum) >= target && counts[i] > 0) {
+      if (i >= bounds.size()) {
+        // +Inf overflow bucket: clamp to the largest finite bound.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lo = (i == 0) ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac =
+          (target - static_cast<double>(prev)) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("histogram bounds must be strictly ascending");
+  }
+  for (double b : bounds_) {
+    if (!std::isfinite(b))
+      throw std::invalid_argument("histogram bounds must be finite");
+  }
+}
+
+void Histogram::observe(double value) {
+  // le semantics: bucket i holds observations <= bounds_[i].
+  const std::size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20 but not universally lock-free; a
+  // CAS loop is portable and this path is already one atomic RMW deep.
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramData Histogram::snapshot() const {
+  HistogramData d;
+  d.bounds = bounds_;
+  d.counts.resize(counts_.size());
+  // Derive count from the buckets so count == sum(buckets) holds even when
+  // observers race with the snapshot; sum may trail by in-flight updates.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    d.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    total += d.counts[i];
+  }
+  d.count = total;
+  d.sum = sum_.load(std::memory_order_relaxed);
+  return d;
+}
+
+std::vector<double> Histogram::default_latency_buckets_ms() {
+  return {0.1, 0.25, 0.5, 1,   2.5, 5,    10,   25,
+          50,  100,  250, 500, 1000, 2500, 5000, 10000};
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry::Family& Registry::family_for(const std::string& name,
+                                       const std::string& help,
+                                       MetricKind kind) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family fam;
+    fam.help = help;
+    fam.kind = kind;
+    it = families_.emplace(name, std::move(fam)).first;
+  } else if (it->second.kind != kind) {
+    throw std::invalid_argument("metric '" + name +
+                                "' already registered with a different kind");
+  }
+  return it->second;
+}
+
+Counter* Registry::counter(const std::string& name, const std::string& help,
+                           const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family_for(name, help, MetricKind::Counter);
+  Series& s = fam.series[labels];
+  if (s.counter_fn)
+    throw std::invalid_argument("metric '" + name +
+                                "' already registered as a callback");
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return s.counter.get();
+}
+
+Gauge* Registry::gauge(const std::string& name, const std::string& help,
+                       const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family_for(name, help, MetricKind::Gauge);
+  Series& s = fam.series[labels];
+  if (s.gauge_fn)
+    throw std::invalid_argument("metric '" + name +
+                                "' already registered as a callback");
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return s.gauge.get();
+}
+
+Histogram* Registry::histogram(const std::string& name, const std::string& help,
+                               std::vector<double> bounds,
+                               const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family_for(name, help, MetricKind::Histogram);
+  if (fam.series.empty()) {
+    fam.bounds = bounds;
+  } else if (fam.bounds != bounds) {
+    throw std::invalid_argument("histogram '" + name +
+                                "' already registered with different bounds");
+  }
+  Series& s = fam.series[labels];
+  if (!s.histogram) s.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return s.histogram.get();
+}
+
+void Registry::gauge_callback(const std::string& name, const std::string& help,
+                              std::function<std::int64_t()> fn,
+                              const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family_for(name, help, MetricKind::Gauge);
+  Series& s = fam.series[labels];
+  if (s.gauge)
+    throw std::invalid_argument("metric '" + name +
+                                "' already registered as a handle");
+  s.gauge_fn = std::move(fn);
+}
+
+void Registry::counter_callback(const std::string& name,
+                                const std::string& help,
+                                std::function<std::uint64_t()> fn,
+                                const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& fam = family_for(name, help, MetricKind::Counter);
+  Series& s = fam.series[labels];
+  if (s.counter)
+    throw std::invalid_argument("metric '" + name +
+                                "' already registered as a handle");
+  s.counter_fn = std::move(fn);
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.families.reserve(families_.size());
+  for (const auto& [name, fam] : families_) {
+    FamilySnapshot fs;
+    fs.name = name;
+    fs.help = fam.help;
+    fs.kind = fam.kind;
+    for (const auto& [labels, series] : fam.series) {
+      SeriesSnapshot ss;
+      ss.labels = labels;
+      switch (fam.kind) {
+        case MetricKind::Counter:
+          ss.value = series.counter_fn
+                         ? static_cast<double>(series.counter_fn())
+                         : static_cast<double>(series.counter->value());
+          break;
+        case MetricKind::Gauge:
+          ss.value = series.gauge_fn
+                         ? static_cast<double>(series.gauge_fn())
+                         : static_cast<double>(series.gauge->value());
+          break;
+        case MetricKind::Histogram:
+          ss.hist = series.histogram->snapshot();
+          break;
+      }
+      fs.series.push_back(std::move(ss));
+    }
+    snap.families.push_back(std::move(fs));
+  }
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+
+namespace {
+
+// Shortest exact decimal for a sample value; counters render as integers.
+std::string fmt_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::string prom_labels(const Labels& labels, const std::string& extra_key = "",
+                        const std::string& extra_val = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + prom_escape(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + extra_val + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+const char* kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& snap) {
+  std::ostringstream out;
+  for (const auto& fam : snap.families) {
+    out << "# HELP " << fam.name << " " << fam.help << "\n";
+    out << "# TYPE " << fam.name << " " << kind_name(fam.kind) << "\n";
+    for (const auto& s : fam.series) {
+      if (fam.kind == MetricKind::Histogram) {
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < s.hist.counts.size(); ++i) {
+          cum += s.hist.counts[i];
+          const std::string le = (i < s.hist.bounds.size())
+                                     ? fmt_value(s.hist.bounds[i])
+                                     : "+Inf";
+          out << fam.name << "_bucket" << prom_labels(s.labels, "le", le)
+              << " " << cum << "\n";
+        }
+        out << fam.name << "_sum" << prom_labels(s.labels) << " "
+            << fmt_value(s.hist.sum) << "\n";
+        out << fam.name << "_count" << prom_labels(s.labels) << " "
+            << s.hist.count << "\n";
+      } else {
+        out << fam.name << prom_labels(s.labels) << " " << fmt_value(s.value)
+            << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string to_json(const Snapshot& snap) {
+  std::ostringstream out;
+  out << "{\"families\": [";
+  bool first_fam = true;
+  for (const auto& fam : snap.families) {
+    if (!first_fam) out << ", ";
+    first_fam = false;
+    out << "{\"name\": " << json::quoted(fam.name)
+        << ", \"kind\": " << json::quoted(kind_name(fam.kind))
+        << ", \"help\": " << json::quoted(fam.help) << ", \"series\": [";
+    bool first_s = true;
+    for (const auto& s : fam.series) {
+      if (!first_s) out << ", ";
+      first_s = false;
+      out << "{\"labels\": {";
+      bool first_l = true;
+      for (const auto& [k, v] : s.labels) {
+        if (!first_l) out << ", ";
+        first_l = false;
+        out << json::quoted(k) << ": " << json::quoted(v);
+      }
+      out << "}";
+      if (fam.kind == MetricKind::Histogram) {
+        out << ", \"count\": " << s.hist.count
+            << ", \"sum\": " << fmt_value(s.hist.sum)
+            << ", \"p50\": " << fmt_value(s.hist.quantile(0.50))
+            << ", \"p95\": " << fmt_value(s.hist.quantile(0.95))
+            << ", \"p99\": " << fmt_value(s.hist.quantile(0.99))
+            << ", \"buckets\": [";
+        for (std::size_t i = 0; i < s.hist.counts.size(); ++i) {
+          if (i) out << ", ";
+          const std::string le = (i < s.hist.bounds.size())
+                                     ? fmt_value(s.hist.bounds[i])
+                                     : "\"+Inf\"";
+          out << "{\"le\": " << le << ", \"count\": " << s.hist.counts[i]
+              << "}";
+        }
+        out << "]";
+      } else {
+        out << ", \"value\": " << fmt_value(s.value);
+      }
+      out << "}";
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace obs

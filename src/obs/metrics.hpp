@@ -1,0 +1,158 @@
+#pragma once
+
+// Lock-cheap metrics registry.
+//
+// Handles (Counter/Gauge/Histogram) are created once under the registry
+// mutex and then live for the registry's lifetime; the hot-path operations
+// (inc/add/set/observe) are plain relaxed atomics with no locking. The read
+// side takes a consistent snapshot under the mutex and renders it either as
+// Prometheus text exposition (for GET /metrics) or as a deterministic JSON
+// document (for the `metrics` protocol verb and --print-metrics).
+//
+// Label sets are fixed at handle-creation time; asking for the same
+// (name, labels) pair twice returns the same handle. Callback series let
+// live values (queue depth, cache occupancy) be sampled at snapshot time
+// without the owner pushing updates.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace obs {
+
+using Labels = std::map<std::string, std::string>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n = 1) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Snapshot of one histogram: per-bucket counts (one extra slot for the
+// implicit +Inf overflow bucket), total count, and the sum of observations.
+struct HistogramData {
+  std::vector<double> bounds;        // ascending finite upper bounds
+  std::vector<std::uint64_t> counts; // bounds.size() + 1 entries
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  // Prometheus-style quantile: walk the cumulative bucket counts and
+  // linearly interpolate within the bucket that crosses q * count.
+  // Observations landing in the +Inf bucket clamp to the last finite bound.
+  double quantile(double q) const;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+  HistogramData snapshot() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  // Default latency buckets in milliseconds: 100us .. 10s.
+  static std::vector<double> default_latency_buckets_ms();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_; // bounds_.size() + 1
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+// One rendered series in a snapshot.
+struct SeriesSnapshot {
+  Labels labels;
+  // Counter/Gauge use `value`; Histogram uses `hist`.
+  double value = 0.0;
+  HistogramData hist;
+};
+
+struct FamilySnapshot {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::Counter;
+  std::vector<SeriesSnapshot> series; // sorted by label key
+};
+
+struct Snapshot {
+  std::vector<FamilySnapshot> families; // sorted by name
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Idempotent: the same (name, labels) returns the same handle. Registering
+  // the same name with a different kind (or a histogram with different
+  // bounds) throws std::invalid_argument.
+  Counter* counter(const std::string& name, const std::string& help,
+                   const Labels& labels = {});
+  Gauge* gauge(const std::string& name, const std::string& help,
+               const Labels& labels = {});
+  Histogram* histogram(const std::string& name, const std::string& help,
+                       std::vector<double> bounds, const Labels& labels = {});
+
+  // Live-value series: `fn` is invoked at snapshot time. Re-registering the
+  // same (name, labels) replaces the callback.
+  void gauge_callback(const std::string& name, const std::string& help,
+                      std::function<std::int64_t()> fn, const Labels& labels = {});
+  void counter_callback(const std::string& name, const std::string& help,
+                        std::function<std::uint64_t()> fn, const Labels& labels = {});
+
+  Snapshot snapshot() const;
+
+ private:
+  struct Series {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<std::int64_t()> gauge_fn;
+    std::function<std::uint64_t()> counter_fn;
+  };
+  struct Family {
+    std::string help;
+    MetricKind kind = MetricKind::Counter;
+    std::vector<double> bounds; // histogram families only
+    std::map<Labels, Series> series;
+  };
+
+  Family& family_for(const std::string& name, const std::string& help,
+                     MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+// Prometheus text exposition format (version 0.0.4): one # HELP / # TYPE
+// pair per family, histogram series expanded into cumulative _bucket{le=...}
+// samples plus _sum and _count.
+std::string to_prometheus(const Snapshot& snap);
+
+// Deterministic JSON document: families sorted by name, series by labels.
+// Histograms carry count, sum, p50/p95/p99 and the raw buckets.
+std::string to_json(const Snapshot& snap);
+
+}  // namespace obs

@@ -11,12 +11,26 @@
 #include "engine/mapper.hpp"
 #include "noc/commodity.hpp"
 #include "noc/evaluation.hpp"
+#include "obs/metrics.hpp"
 #include "sim/area_model.hpp"
 
 namespace nocmap::portfolio {
 
 PortfolioRunner::PortfolioRunner(PortfolioOptions options)
-    : options_(options), cache_(options.energy_model, options.cache_topologies) {}
+    : options_(options), cache_(options.energy_model, options.cache_topologies) {
+    if (options_.metrics) {
+        obs::Registry& reg = *options_.metrics;
+        m_scenarios_ = reg.counter("nocmap_scenarios_total",
+                                   "Scenarios executed by the portfolio runner");
+        m_failures_ = reg.counter("nocmap_scenario_failures_total",
+                                  "Scenarios that ended in a mapper failure");
+        m_deadline_ = reg.counter("nocmap_deadline_exceeded_total",
+                                  "Scenarios cut short by an expired deadline");
+        m_latency_ = reg.histogram("nocmap_scenario_latency_ms",
+                                   "Per-scenario mapping wall time (ms)",
+                                   obs::Histogram::default_latency_buckets_ms());
+    }
+}
 
 ScenarioResult PortfolioRunner::run_one(const Scenario& scenario, std::size_t index) {
     ScenarioResult r;
@@ -169,7 +183,18 @@ void PortfolioRunner::map_grids(const std::vector<const std::vector<Scenario>*>&
     workers = std::min(workers, work.size());
 
     auto run_item = [&](const WorkItem& item) {
-        out[item.grid][item.index] = run_one((*grids[item.grid])[item.index], item.index);
+        ScenarioResult r = run_one((*grids[item.grid])[item.index], item.index);
+        if (m_scenarios_) {
+            m_scenarios_->inc();
+            if (!r.ok) {
+                m_failures_->inc();
+                if (r.error_code ==
+                    engine::to_string(engine::MapErrorCode::DeadlineExceeded))
+                    m_deadline_->inc();
+            }
+            m_latency_->observe(r.elapsed_ms);
+        }
+        out[item.grid][item.index] = std::move(r);
     };
     if (workers <= 1) {
         for (const WorkItem& item : work) run_item(item);

@@ -26,6 +26,12 @@
 #include "portfolio/scenario.hpp"
 #include "portfolio/topology_cache.hpp"
 
+namespace obs {
+class Registry;
+class Counter;
+class Histogram;
+} // namespace obs
+
 namespace nocmap::portfolio {
 
 struct ScalarizationWeights {
@@ -43,6 +49,12 @@ struct PortfolioOptions {
     std::size_t cache_topologies = 0;
     ScalarizationWeights weights;
     noc::EnergyModel energy_model;
+    /// Optional metrics sink (not owned; must outlive the runner). When
+    /// set, the runner registers nocmap_scenarios_total /
+    /// nocmap_scenario_failures_total / nocmap_deadline_exceeded_total and
+    /// a nocmap_scenario_latency_ms histogram and feeds them from every
+    /// run()/run_batch() call. Never affects results.
+    obs::Registry* metrics = nullptr;
 };
 
 struct ScenarioResult {
@@ -131,6 +143,12 @@ private:
 
     PortfolioOptions options_;
     TopologyCache cache_;
+
+    // Metric handles (null when options_.metrics is null).
+    obs::Counter* m_scenarios_ = nullptr;
+    obs::Counter* m_failures_ = nullptr;
+    obs::Counter* m_deadline_ = nullptr;
+    obs::Histogram* m_latency_ = nullptr;
 };
 
 } // namespace nocmap::portfolio

@@ -186,6 +186,8 @@ Request parse_request(const std::string& line) {
         request.describe_algo = get_string(doc, "algo", "");
     } else if (method == "stats") {
         request.kind = Request::Kind::Stats;
+    } else if (method == "metrics") {
+        request.kind = Request::Kind::Metrics;
     } else if (method == "ping") {
         request.kind = Request::Kind::Ping;
     } else if (method == "shutdown") {
@@ -243,12 +245,12 @@ Request parse_request(const std::string& line) {
         }
     } else if (method.empty()) {
         throw std::invalid_argument(
-            "request needs a 'method' (map|describe|stats|ping|shutdown|hello|"
+            "request needs a 'method' (map|describe|stats|metrics|ping|shutdown|hello|"
             "shard-rows|shard-map)");
     } else {
         throw std::invalid_argument("unknown method '" + method +
-                                    "' (expected map|describe|stats|ping|shutdown|hello|"
-                                    "shard-rows|shard-map)");
+                                    "' (expected map|describe|stats|metrics|ping|shutdown|"
+                                    "hello|shard-rows|shard-map)");
     }
     return request;
 }
@@ -291,6 +293,10 @@ std::string stats_response(const std::string& id,
 
 std::string ping_response(const std::string& id) {
     return response_head(id, "ok") + ", \"pong\": true}";
+}
+
+std::string metrics_response(const std::string& id, const std::string& metrics_json) {
+    return response_head(id, "ok") + ", \"metrics\": " + metrics_json + "}";
 }
 
 std::string shutdown_response(const std::string& id) {

@@ -8,6 +8,7 @@
 //    "params":{"sweeps":2,"eval":"ledger-fast"},"seed":7,"deadline_ms":5000}
 //   {"id":"d1","method":"describe","algo":"nmap"}
 //   {"id":"s1","method":"stats"}
+//   {"id":"m1","method":"metrics"}
 //   {"id":"p1","method":"ping"}
 //   {"id":"q1","method":"shutdown"}
 //
@@ -115,7 +116,7 @@ struct ShardMapMetrics {
 };
 
 struct Request {
-    enum class Kind { Map, Describe, Stats, Ping, Shutdown, Hello, ShardRows, ShardMap };
+    enum class Kind { Map, Describe, Stats, Ping, Shutdown, Hello, ShardRows, ShardMap, Metrics };
     Kind kind = Kind::Ping;
     std::string id;            ///< echoed verbatim in the response ("" when absent)
     MapRequest map;            ///< populated when kind == Kind::Map
@@ -155,6 +156,10 @@ std::string stats_response(const std::string& id,
                            const portfolio::TopologyCacheStats& cache,
                            const ServiceStats& service);
 std::string ping_response(const std::string& id);
+/// `metrics_json` is an obs::to_json document, embedded raw (it is already
+/// deterministic JSON), so clients read response["metrics"] structurally
+/// instead of unescaping a string.
+std::string metrics_response(const std::string& id, const std::string& metrics_json);
 std::string shutdown_response(const std::string& id);
 std::string hello_response(const std::string& id, std::size_t cores);
 std::string shard_rows_response(const std::string& id, const engine::RowSliceOutcome& slice);

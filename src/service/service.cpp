@@ -125,14 +125,103 @@ std::string recover_id(const std::string& line) {
     return "";
 }
 
+const char* verb_name(Request::Kind kind) {
+    switch (kind) {
+    case Request::Kind::Map: return "map";
+    case Request::Kind::Describe: return "describe";
+    case Request::Kind::Stats: return "stats";
+    case Request::Kind::Metrics: return "metrics";
+    case Request::Kind::Ping: return "ping";
+    case Request::Kind::Shutdown: return "shutdown";
+    case Request::Kind::Hello: return "hello";
+    case Request::Kind::ShardRows: return "shard-rows";
+    case Request::Kind::ShardMap: return "shard-map";
+    }
+    return "invalid";
+}
+
+/// Every verb label pre-registered so the metrics document's structure is
+/// fixed at construction: a scrape differs between daemons only in counter
+/// values, never in which series exist.
+const char* const kAllVerbs[] = {"map",  "describe", "stats",      "metrics",
+                                 "ping", "shutdown", "hello",      "shard-rows",
+                                 "shard-map", "invalid"};
+
 } // namespace
 
 Service::Service(ServiceOptions options) : options_(std::move(options)), runner_([&] {
     portfolio::PortfolioOptions po;
     po.threads = options_.threads;
     po.cache_topologies = options_.cache_topologies;
+    po.metrics = &registry_;
     return po;
-}()) {}
+}()) {
+    for (const char* verb : kAllVerbs) {
+        VerbMetrics vm;
+        vm.requests = registry_.counter("nocmap_requests_total",
+                                        "Requests received, by protocol verb",
+                                        {{"verb", verb}});
+        vm.latency = registry_.histogram(
+            "nocmap_request_latency_ms",
+            "Request latency from batch intake to serialized response (ms)",
+            obs::Histogram::default_latency_buckets_ms(), {{"verb", verb}});
+        verb_metrics_.emplace(verb, vm);
+    }
+    m_batch_requests_ = registry_.histogram(
+        "nocmap_batch_requests", "Request lines coalesced per dispatched batch",
+        {1, 2, 4, 8, 16, 32, 64, 128, 256});
+    registry_.counter_callback(
+        "nocmap_requests_rejected_total",
+        "Map requests refused by admission control", [this] {
+            return overloaded_.load(std::memory_order_relaxed);
+        }, {{"reason", "overloaded"}});
+    registry_.gauge_callback("nocmap_queue_depth",
+                             "Map requests admitted and not yet answered", [this] {
+                                 return static_cast<std::int64_t>(
+                                     in_flight_.load(std::memory_order_relaxed));
+                             });
+    registry_.counter_callback("nocmap_sessions_accepted_total",
+                               "TCP sessions accepted", [this] {
+                                   return accepted_.load(std::memory_order_relaxed);
+                               });
+    registry_.counter_callback(
+        "nocmap_sessions_rejected_total",
+        "TCP sessions refused over the connection limit", [this] {
+            return rejected_.load(std::memory_order_relaxed);
+        });
+    registry_.gauge_callback("nocmap_uptime_seconds",
+                             "Seconds since the daemon was built", [this] {
+                                 return static_cast<std::int64_t>(stats().uptime_s);
+                             });
+    registry_.gauge_callback("nocmap_draining",
+                             "1 while a graceful drain is in progress", [this] {
+                                 return draining_.load(std::memory_order_relaxed) ? 1 : 0;
+                             });
+    registry_.gauge_callback("nocmap_cache_fabrics",
+                             "EvalContexts currently resident in the TopologyCache",
+                             [this] {
+                                 return static_cast<std::int64_t>(
+                                     runner_.cache().stats().entries);
+                             });
+    registry_.gauge_callback("nocmap_cache_capacity",
+                             "TopologyCache bound (0 = unbounded)", [this] {
+                                 return static_cast<std::int64_t>(
+                                     runner_.cache().stats().capacity);
+                             });
+    registry_.counter_callback("nocmap_cache_hits_total", "TopologyCache hits",
+                               [this] { return runner_.cache().stats().hits; });
+    registry_.counter_callback("nocmap_cache_misses_total", "TopologyCache misses",
+                               [this] { return runner_.cache().stats().misses; });
+    registry_.counter_callback("nocmap_cache_evictions_total",
+                               "TopologyCache LRU evictions",
+                               [this] { return runner_.cache().stats().evictions; });
+}
+
+std::string Service::metrics_json() const { return obs::to_json(registry_.snapshot()); }
+
+std::string Service::metrics_prometheus() const {
+    return obs::to_prometheus(registry_.snapshot());
+}
 
 std::shared_ptr<const graph::CoreGraph> Service::graph_for(const std::string& target) {
     {
@@ -176,11 +265,15 @@ std::vector<std::string> Service::handle_batch(const std::vector<std::string>& l
     struct Pending {
         bool is_map = false;
         bool is_stats = false;
+        bool is_metrics = false;
         bool admitted = false;    ///< holds an in-flight admission slot
         std::size_t grid = 0;     ///< index into `grids` when is_map
         std::string response;     ///< final response when !is_map && !is_stats
         std::string id;
+        const char* verb = "invalid"; ///< metrics label of this request
     };
+    const auto batch_start = std::chrono::steady_clock::now();
+    m_batch_requests_->observe(static_cast<double>(lines.size()));
     std::vector<Pending> pending(lines.size());
     std::vector<std::vector<portfolio::Scenario>> grids;
 
@@ -194,10 +287,15 @@ std::vector<std::string> Service::handle_batch(const std::vector<std::string>& l
         try {
             request = parse_request(lines[i]);
         } catch (const std::exception& e) {
+            verb_metrics_.at(p.verb).requests->inc();
             p.response = error_response(recover_id(lines[i]), e.what());
             continue;
         }
         p.id = request.id;
+        // Counted at parse time, refused or not — so a load generator's
+        // sent-request count equals the server's requests_total delta.
+        p.verb = verb_name(request.kind);
+        verb_metrics_.at(p.verb).requests->inc();
         try {
             switch (request.kind) {
             case Request::Kind::Map: {
@@ -247,6 +345,9 @@ std::vector<std::string> Service::handle_batch(const std::vector<std::string>& l
             }
             case Request::Kind::Stats:
                 p.is_stats = true; // rendered after the batch's map work
+                break;
+            case Request::Kind::Metrics:
+                p.is_metrics = true; // snapshot after the batch's map work
                 break;
             case Request::Kind::Ping:
                 p.response = ping_response(request.id);
@@ -353,10 +454,19 @@ std::vector<std::string> Service::handle_batch(const std::vector<std::string>& l
                 map_response(p.id, portfolio::to_json(results, ranking, json), cache_stats));
         } else if (p.is_stats) {
             responses.push_back(stats_response(p.id, cache_stats, stats()));
+        } else if (p.is_metrics) {
+            responses.push_back(metrics_response(p.id, metrics_json()));
         } else {
             responses.push_back(p.response);
         }
     }
+    // Per-request latency is the batch's wall time: every response in a
+    // coalesced batch leaves only after the whole batch's map work, so the
+    // batch clock is what each client actually observed.
+    const double batch_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - batch_start)
+                                .count();
+    for (const Pending& p : pending) verb_metrics_.at(p.verb).latency->observe(batch_ms);
     return responses;
 }
 

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "portfolio/runner.hpp"
 #include "service/protocol.hpp"
 
@@ -98,6 +99,18 @@ public:
     /// reports next to the cache counters.
     ServiceStats stats() const noexcept;
 
+    /// The daemon's metrics registry: per-verb request counts and latency
+    /// histograms, batch occupancy, admission/queue gauges, the runner's
+    /// scenario counters and the cache's live hit/miss/eviction series.
+    /// Always on — the hot-path cost is a few relaxed atomics — and never
+    /// part of any response unless asked for (the `metrics` verb, the
+    /// /metrics endpoint, --print-metrics).
+    obs::Registry& metrics() noexcept { return registry_; }
+    /// obs::to_json of a registry snapshot — the `metrics` verb body.
+    std::string metrics_json() const;
+    /// obs::to_prometheus of a registry snapshot — the GET /metrics body.
+    std::string metrics_prometheus() const;
+
     /// One request line -> one response line (no trailing newline). Never
     /// throws: every failure becomes an "error" response.
     std::string handle_line(const std::string& line);
@@ -138,7 +151,19 @@ private:
     bool admit_map_request() noexcept;
 
     ServiceOptions options_;
+    /// Declared before runner_: the runner's PortfolioOptions::metrics
+    /// points here, so the registry must outlive (construct before) it.
+    obs::Registry registry_;
     portfolio::PortfolioRunner runner_;
+    /// Per-verb handles, built once in the constructor for every protocol
+    /// verb (plus "invalid" for unparseable lines) — read-only afterwards,
+    /// so request dispatch never touches the registry mutex.
+    struct VerbMetrics {
+        obs::Counter* requests = nullptr;
+        obs::Histogram* latency = nullptr;
+    };
+    std::map<std::string, VerbMetrics> verb_metrics_;
+    obs::Histogram* m_batch_requests_ = nullptr;
     std::mutex graphs_mutex_;
     std::map<std::string, std::shared_ptr<const graph::CoreGraph>> graphs_;
     std::map<std::string, std::shared_ptr<const graph::CoreGraph>> text_graphs_;

@@ -14,6 +14,7 @@
 #include "nmap/shortest_path_router.hpp"
 #include "noc/commodity.hpp"
 #include "noc/evaluation.hpp"
+#include "obs/metrics.hpp"
 #include "service/protocol.hpp"
 #include "sim/area_model.hpp"
 
@@ -62,6 +63,28 @@ Coordinator::Coordinator(std::vector<std::unique_ptr<WorkerLink>> links, ShardOp
     }
     if (alive_count() == 0)
         throw std::runtime_error("shard: no worker survived the hello handshake");
+    if (options_.metrics) {
+        obs::Registry& reg = *options_.metrics;
+        for (std::size_t i = 0; i < workers_.size(); ++i) {
+            const obs::Labels labels{{"worker", std::to_string(i)}};
+            workers_[i].m_exchanges = reg.counter(
+                "nocmap_shard_exchanges_total",
+                "Request/response exchanges attempted on this worker", labels);
+            workers_[i].m_retries = reg.counter(
+                "nocmap_shard_retries_total",
+                "Exchange retries after a transport failure on this worker", labels);
+            workers_[i].m_reconnects = reg.counter(
+                "nocmap_shard_reconnects_total",
+                "Reconnect-and-re-hello escalation rounds on this worker", labels);
+            workers_[i].m_timeouts = reg.counter(
+                "nocmap_shard_timeouts_total",
+                "Exchanges that failed with a connect/io timeout on this worker",
+                labels);
+        }
+        m_migrated_ = reg.counter(
+            "nocmap_shard_migrated_tasks_total",
+            "Tasks re-dispatched to a survivor after their worker died");
+    }
 }
 
 std::size_t Coordinator::alive_count() const noexcept {
@@ -86,12 +109,16 @@ std::string Coordinator::exchange_checked(Worker& worker, const std::string& lin
     std::uint64_t backoff = options_.reconnect_backoff_ms;
     for (std::size_t attempt = 0;; ++attempt) {
         try {
+            if (worker.m_exchanges) worker.m_exchanges->inc();
+            if (attempt > 0 && worker.m_retries) worker.m_retries->inc();
             std::string reply = worker.link->exchange(line);
             if (!looks_like_response(reply))
                 throw std::runtime_error("shard: worker " + worker.link->name() +
                                          " returned a malformed reply");
             return reply;
-        } catch (const std::exception&) {
+        } catch (const std::exception& e) {
+            if (worker.m_timeouts && dynamic_cast<const TimeoutError*>(&e))
+                worker.m_timeouts->inc();
             if (attempt >= options_.reconnect_attempts) {
                 worker.alive = false;
                 throw;
@@ -100,6 +127,7 @@ std::string Coordinator::exchange_checked(Worker& worker, const std::string& lin
             // the hello handshake, then retry the (idempotent) exchange.
             if (backoff > 0) std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
             backoff *= 2;
+            if (worker.m_reconnects) worker.m_reconnects->inc();
             if (!worker.link->reconnect()) {
                 // This link kind cannot reconnect (in-process) or the peer
                 // is still unreachable.
@@ -185,6 +213,7 @@ std::vector<std::string> Coordinator::dispatch_all(const std::vector<std::string
 
     for (std::size_t t = 0; t < lines.size(); ++t) {
         if (done[t]) continue;
+        if (m_migrated_) m_migrated_->inc();
         try {
             replies[t] = dispatch(lines[t]);
         } catch (const std::exception& e) {

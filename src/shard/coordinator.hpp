@@ -57,6 +57,11 @@
 #include "portfolio/topology_cache.hpp"
 #include "shard/worker_link.hpp"
 
+namespace obs {
+class Registry;
+class Counter;
+} // namespace obs
+
 namespace nocmap::shard {
 
 enum class ShardMode {
@@ -87,6 +92,12 @@ struct ShardOptions {
     noc::EnergyModel energy_model;
     /// Coordinator-local TopologyCache bound (0 = unbounded).
     std::size_t cache_topologies = 0;
+    /// Optional metrics sink (not owned; must outlive the coordinator).
+    /// When set, every worker gets nocmap_shard_{exchanges,retries,
+    /// reconnects,timeouts}_total series labeled worker="<index>", plus a
+    /// coordinator-wide nocmap_shard_migrated_tasks_total for tasks
+    /// re-dispatched after their worker died. Never affects results.
+    obs::Registry* metrics = nullptr;
 };
 
 class Coordinator {
@@ -117,6 +128,13 @@ private:
         std::unique_ptr<WorkerLink> link;
         std::size_t cores = 1;
         bool alive = true;
+        // Metric handles (null when ShardOptions::metrics is null). The
+        // hot-path increments are relaxed atomics, safe from the per-worker
+        // drain threads.
+        obs::Counter* m_exchanges = nullptr;
+        obs::Counter* m_retries = nullptr;
+        obs::Counter* m_reconnects = nullptr;
+        obs::Counter* m_timeouts = nullptr;
     };
 
     std::string next_id(const char* tag);
@@ -154,6 +172,7 @@ private:
     /// threads.
     std::atomic<std::size_t> id_counter_{0};
     std::size_t rr_ = 0; ///< round-robin cursor of dispatch()
+    obs::Counter* m_migrated_ = nullptr;
 };
 
 } // namespace nocmap::shard

@@ -1,0 +1,209 @@
+// obs:: metrics layer: bucket boundaries, quantile extraction vs exact
+// quantiles, concurrent-increment consistency, snapshot isolation, registry
+// idempotence, and the two renderers (Prometheus exposition, JSON).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using nocmap::util::json::parse;
+
+TEST(ObsHistogram, BucketBoundariesAreInclusiveUpperBounds) {
+  obs::Histogram hist({1.0, 2.0, 5.0});
+  // le-semantics: a value equal to a bound lands in that bound's bucket.
+  for (const double v : {0.5, 1.0, 1.5, 2.0, 3.0, 10.0}) hist.observe(v);
+  const obs::HistogramData data = hist.snapshot();
+  ASSERT_EQ(data.counts.size(), 4u); // 3 finite buckets + the +Inf overflow
+  EXPECT_EQ(data.counts[0], 2u);     // 0.5, 1.0
+  EXPECT_EQ(data.counts[1], 2u);     // 1.5, 2.0
+  EXPECT_EQ(data.counts[2], 1u);     // 3.0
+  EXPECT_EQ(data.counts[3], 1u);     // 10.0 overflows
+  EXPECT_EQ(data.count, 6u);
+  EXPECT_DOUBLE_EQ(data.sum, 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 10.0);
+}
+
+TEST(ObsHistogram, RejectsUnsortedOrNonFiniteBounds) {
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({1.0, std::numeric_limits<double>::infinity()}),
+               std::invalid_argument);
+}
+
+TEST(ObsHistogram, QuantilesTrackExactQuantilesOfUniformData) {
+  // Bounds at every decade of 1..100 keep the interpolation error within
+  // one bucket width of the exact order statistics.
+  std::vector<double> bounds;
+  for (double b = 10.0; b <= 100.0; b += 10.0) bounds.push_back(b);
+  obs::Histogram hist(bounds);
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(static_cast<double>(i));
+  for (const double v : values) hist.observe(v);
+  const obs::HistogramData data = hist.snapshot();
+
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.50, 0.95, 0.99}) {
+    const double exact = values[static_cast<std::size_t>(q * 100) - 1];
+    EXPECT_NEAR(data.quantile(q), exact, 10.0) << "q=" << q; // one bucket
+  }
+  // p50 of uniform 1..100 with a bucket edge at 50 interpolates to 50 exactly.
+  EXPECT_DOUBLE_EQ(data.quantile(0.50), 50.0);
+  EXPECT_DOUBLE_EQ(data.quantile(1.0), 100.0);
+}
+
+TEST(ObsHistogram, OverflowObservationsClampToLastFiniteBound) {
+  obs::Histogram hist({1.0, 10.0});
+  for (int i = 0; i < 100; ++i) hist.observe(1e6);
+  // Everything sits in +Inf: any quantile clamps to the last finite bound
+  // rather than inventing a number beyond what the buckets can resolve.
+  EXPECT_DOUBLE_EQ(hist.snapshot().quantile(0.99), 10.0);
+}
+
+TEST(ObsHistogram, EmptyHistogramQuantileIsZero) {
+  obs::Histogram hist({1.0});
+  EXPECT_DOUBLE_EQ(hist.snapshot().quantile(0.5), 0.0);
+}
+
+TEST(ObsRegistry, ConcurrentIncrementsAreExact) {
+  obs::Registry registry;
+  obs::Counter* counter = registry.counter("t_total", "concurrent counter");
+  obs::Histogram* hist =
+      registry.histogram("t_ms", "concurrent histogram", {1.0, 2.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->inc();
+        hist->observe(t % 2 == 0 ? 0.5 : 1.5);
+      }
+    });
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(counter->value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const obs::HistogramData data = hist->snapshot();
+  EXPECT_EQ(data.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(data.counts[0], static_cast<std::uint64_t>(kThreads / 2) * kPerThread);
+  EXPECT_EQ(data.counts[1], static_cast<std::uint64_t>(kThreads / 2) * kPerThread);
+  // The derived total always equals the bucket sum, even under races.
+  std::uint64_t bucket_sum = 0;
+  for (const std::uint64_t c : data.counts) bucket_sum += c;
+  EXPECT_EQ(data.count, bucket_sum);
+}
+
+TEST(ObsRegistry, SnapshotIsIsolatedFromLaterWrites) {
+  obs::Registry registry;
+  obs::Counter* counter = registry.counter("iso_total", "isolation");
+  counter->inc(3);
+  const obs::Snapshot before = registry.snapshot();
+  counter->inc(100);
+  ASSERT_EQ(before.families.size(), 1u);
+  EXPECT_DOUBLE_EQ(before.families[0].series[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(registry.snapshot().families[0].series[0].value, 103.0);
+}
+
+TEST(ObsRegistry, SameNameAndLabelsReturnsSameHandle) {
+  obs::Registry registry;
+  obs::Counter* a = registry.counter("dup_total", "help", {{"k", "v"}});
+  obs::Counter* b = registry.counter("dup_total", "help", {{"k", "v"}});
+  EXPECT_EQ(a, b);
+  obs::Counter* other = registry.counter("dup_total", "help", {{"k", "w"}});
+  EXPECT_NE(a, other);
+}
+
+TEST(ObsRegistry, KindAndBoundsMismatchesThrow) {
+  obs::Registry registry;
+  registry.counter("kind_total", "a counter");
+  EXPECT_THROW(registry.gauge("kind_total", "now a gauge"), std::invalid_argument);
+  registry.histogram("h_ms", "a histogram", {1.0, 2.0});
+  EXPECT_THROW(registry.histogram("h_ms", "same name", {1.0, 3.0}),
+               std::invalid_argument);
+  obs::Histogram* same = registry.histogram("h_ms", "same bounds", {1.0, 2.0});
+  EXPECT_NE(same, nullptr);
+}
+
+TEST(ObsRegistry, CallbacksAreSampledAtSnapshotTime) {
+  obs::Registry registry;
+  std::int64_t live = 1;
+  registry.gauge_callback("live_depth", "sampled", [&] { return live; });
+  EXPECT_DOUBLE_EQ(registry.snapshot().families[0].series[0].value, 1.0);
+  live = 42;
+  EXPECT_DOUBLE_EQ(registry.snapshot().families[0].series[0].value, 42.0);
+}
+
+TEST(ObsRender, PrometheusExpositionBytesArePinned) {
+  obs::Registry registry;
+  registry.counter("req_total", "requests", {{"verb", "map"}})->inc(7);
+  registry.histogram("lat_ms", "latency", {1.0, 5.0})->observe(0.5);
+  const std::string text = obs::to_prometheus(registry.snapshot());
+  EXPECT_EQ(text,
+            "# HELP lat_ms latency\n"
+            "# TYPE lat_ms histogram\n"
+            "lat_ms_bucket{le=\"1\"} 1\n"
+            "lat_ms_bucket{le=\"5\"} 1\n"
+            "lat_ms_bucket{le=\"+Inf\"} 1\n"
+            "lat_ms_sum 0.5\n"
+            "lat_ms_count 1\n"
+            "# HELP req_total requests\n"
+            "# TYPE req_total counter\n"
+            "req_total{verb=\"map\"} 7\n");
+}
+
+TEST(ObsRender, PrometheusEscapesLabelValues) {
+  obs::Registry registry;
+  registry.counter("esc_total", "escaping", {{"k", "a\\b\"c\nd"}})->inc();
+  const std::string text = obs::to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("esc_total{k=\"a\\\\b\\\"c\\nd\"} 1\n"), std::string::npos)
+      << text;
+}
+
+TEST(ObsRender, JsonDocumentParsesAndCarriesQuantiles) {
+  obs::Registry registry;
+  registry.counter("req_total", "requests")->inc(3);
+  obs::Histogram* hist = registry.histogram("lat_ms", "latency", {1.0, 2.0});
+  for (const double v : {0.5, 1.5, 1.5, 3.0}) hist->observe(v);
+  const auto doc = parse(obs::to_json(registry.snapshot()));
+  const auto& families = doc.find("families")->as_array();
+  ASSERT_EQ(families.size(), 2u);
+  // Families sorted by name: lat_ms before req_total.
+  EXPECT_EQ(families[0].find("name")->as_string(), "lat_ms");
+  const auto& series = families[0].find("series")->as_array()[0];
+  EXPECT_DOUBLE_EQ(series.find("count")->as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(series.find("sum")->as_number(), 6.5);
+  EXPECT_GT(series.find("p99")->as_number(), 0.0);
+  ASSERT_EQ(series.find("buckets")->as_array().size(), 3u);
+  EXPECT_EQ(families[1].find("name")->as_string(), "req_total");
+  EXPECT_DOUBLE_EQ(families[1].find("series")->as_array()[0].find("value")->as_number(),
+                   3.0);
+}
+
+TEST(ObsRender, JsonIsDeterministicAcrossRegistries) {
+  const auto build = [] {
+    auto registry = std::make_unique<obs::Registry>();
+    // Registration order differs; the rendered order must not.
+    registry->counter("b_total", "second")->inc(2);
+    registry->counter("a_total", "first", {{"z", "1"}})->inc(1);
+    registry->counter("a_total", "first", {{"a", "1"}})->inc(9);
+    return obs::to_json(registry->snapshot());
+  };
+  const auto build_reversed = [] {
+    auto registry = std::make_unique<obs::Registry>();
+    registry->counter("a_total", "first", {{"a", "1"}})->inc(9);
+    registry->counter("a_total", "first", {{"z", "1"}})->inc(1);
+    registry->counter("b_total", "second")->inc(2);
+    return obs::to_json(registry->snapshot());
+  };
+  EXPECT_EQ(build(), build_reversed());
+}
+
+}  // namespace

@@ -1,0 +1,211 @@
+// Service metrics: the `metrics` verb's document shape and determinism,
+// byte-identity of regular responses whether or not metrics are read, the
+// per-verb counter/latency accounting, and the Prometheus HTTP endpoint.
+
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/http_exporter.hpp"
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace nocmap::service {
+namespace {
+
+const util::json::Value* find_series(const util::json::Value& doc,
+                                     const std::string& family,
+                                     const std::string& verb) {
+    const auto* families = doc.find("metrics")->find("families");
+    for (const auto& fam : families->as_array()) {
+        if (fam.find("name")->as_string() != family) continue;
+        for (const auto& series : fam.find("series")->as_array()) {
+            const auto* label = series.find("labels")->find("verb");
+            if (verb.empty() ? series.find("labels")->as_object().empty()
+                             : (label && label->as_string() == verb))
+                return &series;
+        }
+    }
+    return nullptr;
+}
+
+/// The document with every sample value masked: family names, kinds, label
+/// sets, and histogram bucket structure survive; counter/gauge values,
+/// counts, sums and quantiles do not. This is the determinism contract of
+/// the metrics verb — two daemons differ only in what they counted.
+std::string structure_of(const std::string& metrics_response_line) {
+    const auto doc = util::json::parse(metrics_response_line);
+    std::ostringstream out;
+    for (const auto& fam : doc.find("metrics")->find("families")->as_array()) {
+        out << fam.find("name")->as_string() << "/" << fam.find("kind")->as_string()
+            << "[";
+        for (const auto& series : fam.find("series")->as_array()) {
+            for (const auto& [k, v] : series.find("labels")->as_object())
+                out << k << "=" << v.as_string() << ",";
+            if (const auto* buckets = series.find("buckets"))
+                out << "buckets:" << buckets->as_array().size();
+            out << ";";
+        }
+        out << "]\n";
+    }
+    return out.str();
+}
+
+TEST(ServiceMetrics, VerbReturnsDocumentWithAccurateVerbCounters) {
+    Service service;
+    const auto responses = service.handle_batch({
+        R"({"id": "p1", "method": "ping"})",
+        R"({"id": "p2", "method": "ping"})",
+        R"({"id": "m1", "method": "map", "apps": ["pip"], "topologies": "mesh"})",
+        "this is not json",
+    });
+    const std::string line = service.handle_line(R"({"id": "q", "method": "metrics"})");
+    const auto doc = util::json::parse(line);
+    EXPECT_EQ(doc.find("status")->as_string(), "ok");
+
+    const auto* ping = find_series(doc, "nocmap_requests_total", "ping");
+    ASSERT_NE(ping, nullptr);
+    EXPECT_DOUBLE_EQ(ping->find("value")->as_number(), 2.0);
+    const auto* map = find_series(doc, "nocmap_requests_total", "map");
+    ASSERT_NE(map, nullptr);
+    EXPECT_DOUBLE_EQ(map->find("value")->as_number(), 1.0);
+    const auto* invalid = find_series(doc, "nocmap_requests_total", "invalid");
+    ASSERT_NE(invalid, nullptr);
+    EXPECT_DOUBLE_EQ(invalid->find("value")->as_number(), 1.0);
+
+    // Latency histograms observe once per answered request, batched or not.
+    const auto* latency = find_series(doc, "nocmap_request_latency_ms", "map");
+    ASSERT_NE(latency, nullptr);
+    EXPECT_DOUBLE_EQ(latency->find("count")->as_number(), 1.0);
+    EXPECT_EQ(responses.size(), 4u);
+}
+
+TEST(ServiceMetrics, ScenarioCountersFlowUpFromTheRunner) {
+    Service service;
+    service.handle_line(
+        R"({"id": "m", "method": "map", "apps": ["pip", "vopd"], "topologies": "mesh,ring"})");
+    const auto doc = util::json::parse(
+        service.handle_line(R"({"id": "q", "method": "metrics"})"));
+    const auto* scenarios = find_series(doc, "nocmap_scenarios_total", "");
+    ASSERT_NE(scenarios, nullptr);
+    EXPECT_DOUBLE_EQ(scenarios->find("value")->as_number(), 4.0); // 2 apps x 2 topos
+}
+
+TEST(ServiceMetrics, DocumentStructureIsDeterministicAcrossDaemons) {
+    // Different traffic, same structure: every verb series is pre-registered
+    // at construction, so only the counted values may differ.
+    Service a;
+    a.handle_line(R"({"id": "p", "method": "ping"})");
+    Service b;
+    b.handle_batch({
+        R"({"id": "m", "method": "map", "apps": ["pip"], "topologies": "mesh"})",
+        R"({"id": "s", "method": "stats"})",
+        "garbage",
+    });
+    const std::string ra = a.handle_line(R"({"id": "q", "method": "metrics"})");
+    const std::string rb = b.handle_line(R"({"id": "q", "method": "metrics"})");
+    EXPECT_EQ(structure_of(ra), structure_of(rb));
+    // And a daemon asked twice renders byte-identically when nothing moved
+    // in between except the metrics verb's own accounting.
+    Service c;
+    const std::string first = c.handle_line(R"({"id": "q", "method": "metrics"})");
+    EXPECT_EQ(structure_of(first),
+              structure_of(c.handle_line(R"({"id": "q", "method": "metrics"})")));
+}
+
+TEST(ServiceMetrics, ReadingMetricsNeverChangesOtherResponseBytes) {
+    // Defaults-off contract: responses to regular verbs are byte-identical
+    // whether or not anyone ever reads the registry.
+    const std::string map_request =
+        R"({"id": "m", "method": "map", "apps": ["pip"], "topologies": "mesh"})";
+    Service plain;
+    const std::string expected = plain.handle_line(map_request);
+
+    Service observed;
+    observed.handle_line(R"({"id": "q1", "method": "metrics"})");
+    observed.metrics_prometheus();
+    const std::string actual = observed.handle_line(map_request);
+    observed.handle_line(R"({"id": "q2", "method": "metrics"})");
+    EXPECT_EQ(actual, expected);
+    // Interleaved in one batch, the map response still renders the same.
+    Service batched;
+    const auto responses = batched.handle_batch(
+        {R"({"id": "q", "method": "metrics"})", map_request});
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_EQ(responses[1], expected);
+}
+
+TEST(ServiceMetrics, PrometheusEndpointServesScrapes) {
+    Service service;
+    service.handle_line(R"({"id": "p", "method": "ping"})");
+
+    obs::HttpExporter exporter;
+    std::uint16_t port = 0;
+    exporter.start(0, [&service] { return service.metrics_prometheus(); },
+                   [&port](std::uint16_t p) { port = p; });
+    ASSERT_NE(port, 0);
+
+    const auto http_get = [port](const std::string& request_head) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+            ::close(fd);
+            return std::string();
+        }
+        (void)!::send(fd, request_head.data(), request_head.size(), MSG_NOSIGNAL);
+        std::string reply;
+        char buf[4096];
+        ssize_t n;
+        while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+            reply.append(buf, static_cast<std::size_t>(n));
+        ::close(fd);
+        return reply;
+    };
+
+    const std::string ok = http_get("GET /metrics HTTP/1.0\r\n\r\n");
+    EXPECT_NE(ok.find("200 OK"), std::string::npos);
+    EXPECT_NE(ok.find("text/plain; version=0.0.4"), std::string::npos);
+    EXPECT_NE(ok.find("# TYPE nocmap_requests_total counter"), std::string::npos);
+    EXPECT_NE(ok.find("nocmap_requests_total{verb=\"ping\"} 1"), std::string::npos);
+
+    EXPECT_NE(http_get("GET /other HTTP/1.0\r\n\r\n").find("404"),
+              std::string::npos);
+    EXPECT_NE(http_get("POST /metrics HTTP/1.0\r\n\r\n").find("405"),
+              std::string::npos);
+    exporter.stop();
+}
+
+TEST(ServiceMetrics, CacheSeriesTrackTheTopologyCache) {
+    Service service;
+    service.handle_line(
+        R"({"id": "a", "method": "map", "apps": ["pip"], "topologies": "mesh"})");
+    service.handle_line(
+        R"({"id": "b", "method": "map", "apps": ["pip"], "topologies": "mesh"})");
+    const auto doc = util::json::parse(
+        service.handle_line(R"({"id": "q", "method": "metrics"})"));
+    const auto* hits = find_series(doc, "nocmap_cache_hits_total", "");
+    const auto* misses = find_series(doc, "nocmap_cache_misses_total", "");
+    ASSERT_NE(hits, nullptr);
+    ASSERT_NE(misses, nullptr);
+    EXPECT_EQ(hits->find("value")->as_number(),
+              static_cast<double>(service.cache().stats().hits));
+    EXPECT_EQ(misses->find("value")->as_number(),
+              static_cast<double>(service.cache().stats().misses));
+    EXPECT_GE(hits->find("value")->as_number(), 1.0); // second map reuses the fabric
+}
+
+}  // namespace
+}  // namespace nocmap::service
