@@ -2,13 +2,15 @@
 //
 // Usage:
 //   nocmap_cli map    <app|graph-file> [--mesh WxH] [--bw MBps]
-//                     [--algo <name>] [--opt key=value]... [--seed N]
+//                     [--algo <name>] [--opt key=value]...
+//                     [--eval-opt key=value]... [--seed N]
 //                     (see `nocmap_cli algos` / `--describe-algo <name>`)
 //   nocmap_cli bw     <app|graph-file> [--mesh WxH]
 //   nocmap_cli netlist <app|graph-file> [--mesh WxH] [--bw MBps]
 //   nocmap_cli dot    <app|graph-file>
 //   nocmap_cli portfolio <app|graph-file>... [--topologies specs]
-//                     [--algo <name>] [--opt key=value]... [--seed N]
+//                     [--algo <name>] [--opt key=value]...
+//                     [--eval-opt key=value]... [--seed N]
 //                     [--bw MBps] [--threads N] [--deadline-ms N]
 //                     [--json path] [--json-stable]
 //   nocmap_cli serve  [--socket PORT] [--max-connections N] [--max-pending N]
@@ -22,15 +24,30 @@
 //                     [--connect-timeout-ms N] [--io-timeout-ms N]
 //                     [--deadline-ms N] [--faults spec]
 //                     [--topologies specs] [--algo <name>] [--bw MBps]
-//                     [--opt key=value]... [--seed N] [--json path]
+//                     [--opt key=value]... [--eval-opt key=value]...
+//                     [--seed N] [--json path]
 //   nocmap_cli apps
 //   nocmap_cli algos            (also: --list-algos anywhere)
+//   nocmap_cli --list-apps [--json]
 //   nocmap_cli --describe-algo <name> [--json]
 //
-// <app> is a built-in application name (see `nocmap_cli apps`) or a path to
-// a core-graph text file (graph/node/edge records; see graph/graph_io.hpp).
+// <app> is a built-in application name (see `nocmap_cli apps`), a path to
+// a core-graph text file (graph/node/edge records; see graph/graph_io.hpp),
+// or a synthetic-generator spec like `synth:nodes=24,edges=40,seed=7`
+// (apps/synthetic.hpp; deterministic in the spec). `--list-apps` prints the
+// registry — with --json the deterministic apps::registry_json() document,
+// which the serve daemon's "list-apps" verb embeds verbatim.
 // Algorithms are resolved through engine::registry(), so newly registered
 // mappers show up here without CLI changes.
+//
+// Evaluation backends: `--eval-opt key=value` (repeatable) selects how a
+// finished mapping is scored — `eval=analytic` (default, Eq.7 cost) or
+// `eval=simulated` (cycle-accurate wormhole simulation; knobs sim_cycles,
+// sim_warmup, sim_seed, injection, burstiness), plus `refine=sim` for
+// budgeted simulation-guided swap refinement. See src/eval/backend.hpp.
+// Applies to `map` and to every scenario of a portfolio/shard run; with
+// simulated metrics present the portfolio report adds per-app Pareto
+// fronts over (cost, p99 latency, energy).
 //
 // Algorithm knobs: every registered mapper publishes a ParamSpec table
 // (`--describe-algo <name>` renders it; with --json, the deterministic
@@ -94,12 +111,14 @@
 #include "apps/registry.hpp"
 #include "engine/mapper.hpp"
 #include "engine/thread_budget.hpp"
+#include "eval/backend.hpp"
 #include "graph/graph_io.hpp"
 #include "lp/mcf.hpp"
 #include "nmap/shortest_path_router.hpp"
 #include "nmap/single_path.hpp"
 #include "noc/commodity.hpp"
 #include "noc/energy.hpp"
+#include "noc/eval_context.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
 #include "portfolio/report.hpp"
@@ -126,6 +145,8 @@ struct CliOptions {
     std::vector<std::string> targets; ///< portfolio mode: all positionals
     std::string algo = "nmap";
     engine::Params params;       ///< --opt key=value (repeatable)
+    engine::Params eval_params;  ///< --eval-opt key=value (evaluation backend)
+    bool list_apps = false;      ///< --list-apps: print the app registry
     std::uint64_t seed = 0;      ///< --seed (0 = algorithm default)
     std::string describe_algo;   ///< --describe-algo: render the ParamSpec table
     bool json_stdout = false;    ///< --json without a path (describe mode)
@@ -173,10 +194,11 @@ int usage() {
                  "[--mesh WxH] [--fabric mesh|torus|ring|hypercube] [--bw MBps] "
                  "[--algo "
               << util::join(engine::registry().names(), "|")
-              << "] [--opt key=value]... [--seed N]\n"
+              << "] [--opt key=value]... [--eval-opt key=value]... [--seed N]\n"
                  "       nocmap_cli portfolio <app|graph-file>... "
                  "[--topologies mesh,torus:4x4,ring,hypercube] [--algo name] "
-                 "[--opt key=value]... [--seed N] [--deadline-ms N] "
+                 "[--opt key=value]... [--eval-opt key=value]... [--seed N] "
+                 "[--deadline-ms N] "
                  "[--bw MBps] [--threads N] [--json path] [--json-stable] "
                  "[--print-metrics]\n"
                  "       nocmap_cli serve [--socket PORT] [--metrics-port PORT] "
@@ -190,9 +212,11 @@ int usage() {
                  "[--shard-mode rows|scenarios] [--connect-timeout-ms N] "
                  "[--io-timeout-ms N] [--deadline-ms N] "
                  "[--faults worker:index:action[:ms],...] [--topologies specs] "
-                 "[--algo name] [--opt key=value]... [--seed N] [--bw MBps] "
+                 "[--algo name] [--opt key=value]... [--eval-opt key=value]... "
+                 "[--seed N] [--bw MBps] "
                  "[--threads N] [--json path] [--print-metrics]\n"
                  "       nocmap_cli apps | algos\n"
+                 "       nocmap_cli --list-apps [--json]\n"
                  "       nocmap_cli --describe-algo <name> [--json]\n";
     return 2;
 }
@@ -272,6 +296,36 @@ int cmd_algos() {
     return 0;
 }
 
+/// --list-apps: the application registry, as a table or (with --json) the
+/// deterministic apps::registry_json() document — byte-identical to the
+/// "registry" field of the serve daemon's "list-apps" response.
+int cmd_list_apps(const CliOptions& opt) {
+    if (opt.json_stdout || !opt.json_path.empty()) {
+        const std::string document = apps::registry_json();
+        if (opt.json_path.empty()) {
+            std::cout << document;
+            return 0;
+        }
+        std::ofstream out(opt.json_path);
+        if (!out) {
+            std::cerr << "error: cannot write " << opt.json_path << '\n';
+            return 1;
+        }
+        out << document;
+        return 0;
+    }
+    util::Table table("Application registry (plus synth:nodes=N,edges=E,seed=S,... specs)");
+    table.set_header({"name", "cores", "edges", "total BW (MB/s)", "description"});
+    for (const auto& info : apps::all_applications()) {
+        const auto g = info.factory();
+        table.add_row({info.name, util::Table::num(static_cast<long long>(info.cores)),
+                       util::Table::num(static_cast<long long>(g.edge_count())),
+                       util::Table::num(g.total_bandwidth(), 0), info.description});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
 int cmd_apps() {
     util::Table table("Built-in applications");
     table.set_header({"name", "cores", "edges", "total BW (MB/s)", "description"});
@@ -321,7 +375,33 @@ int cmd_map(const CliOptions& opt, const graph::CoreGraph& g) {
         std::cerr << '\n';
         return 1;
     }
-    const auto result = std::move(outcome.result());
+    auto result = std::move(outcome.result());
+
+    // Evaluation backend (--eval-opt): refine=sim may replace the mapping,
+    // so it runs before the describe/energy block; refinement polls the
+    // same deadline hook as the mapper.
+    eval::Evaluation evaluation;
+    if (!opt.eval_params.empty()) {
+        if (const auto err = eval::validate_spec(opt.eval_params)) {
+            std::cerr << "error[" << engine::to_string(err->code) << "]: " << err->message;
+            if (!err->param.empty()) std::cerr << " (param '" << err->param << "')";
+            std::cerr << '\n';
+            return 1;
+        }
+        const eval::EvalSpec spec = eval::parse_spec(opt.eval_params);
+        if (spec.simulated() || spec.refine_sim) {
+            const auto ctx = noc::EvalContext::borrow(topo);
+            evaluation = eval::apply(g, ctx, result, spec, request.cancelled);
+            if (deadline_fired && deadline_fired->load(std::memory_order_relaxed)) {
+                std::cerr << "error["
+                          << engine::to_string(engine::MapErrorCode::DeadlineExceeded)
+                          << "]: " << portfolio::deadline_error_message(opt.deadline_ms)
+                          << '\n';
+                return 1;
+            }
+        }
+    }
+
     std::cout << "algorithm: " << opt.algo << "\nfabric: " << opt.fabric << " ("
               << topo.tile_count() << " tiles, " << topo.link_count() << " links) @ "
               << (opt.bandwidth > 0 ? std::to_string(opt.bandwidth) + " MB/s"
@@ -331,6 +411,21 @@ int cmd_map(const CliOptions& opt, const graph::CoreGraph& g) {
     if (result.feasible) {
         const auto d = noc::build_commodities(g, result.mapping);
         std::cout << "energy: " << noc::mapping_energy_mw(topo, d) << " mW\n";
+    }
+    if (evaluation.sim.present) {
+        const eval::SimMetrics& s = evaluation.sim;
+        if (s.refine_trials > 0)
+            std::cout << "refine: " << s.refine_accepted << " of " << s.refine_trials
+                      << " simulated swap trials accepted\n";
+        if (!s.note.empty())
+            std::cout << "sim: " << s.note << '\n';
+        else if (s.stalled)
+            std::cout << "sim: stalled (deadlock or saturation inside the window)\n";
+        else
+            std::cout << "sim: " << s.packets << " packets over " << s.cycles
+                      << " cycles, latency p50 " << s.p50_latency_cycles << " / p95 "
+                      << s.p95_latency_cycles << " / p99 " << s.p99_latency_cycles
+                      << " cycles, jitter " << s.jitter_cycles << " cycles\n";
     }
     return result.feasible ? 0 : 1;
 }
@@ -379,7 +474,7 @@ int cmd_portfolio(const CliOptions& opt) {
     if (opt.print_metrics) options.metrics = &metrics;
     portfolio::PortfolioRunner runner(options);
     const auto grid = portfolio::make_grid(apps, specs, opt.algo, opt.params, opt.seed,
-                                           opt.deadline_ms);
+                                           opt.deadline_ms, opt.eval_params);
     const auto results = runner.run(grid);
     const auto fabric_ranking = portfolio::PortfolioRunner::rank_topologies(results);
 
@@ -520,7 +615,7 @@ int cmd_shard(const CliOptions& opt) {
         apps.emplace_back(target,
                           std::make_shared<const graph::CoreGraph>(load_graph(target)));
     const auto grid = portfolio::make_grid(apps, specs, opt.algo, opt.params, opt.seed,
-                                           opt.deadline_ms);
+                                           opt.deadline_ms, opt.eval_params);
     const auto results = coordinator.run_grid(grid);
     const auto fabric_ranking = portfolio::PortfolioRunner::rank_topologies(results);
 
@@ -688,6 +783,15 @@ int main(int argc, char** argv) {
                 std::cerr << "error: --opt " << e.what() << '\n';
                 return 2;
             }
+        } else if (args[i] == "--eval-opt" && i + 1 < args.size()) {
+            try {
+                opt.eval_params.set_assignment(args[++i]);
+            } catch (const std::exception& e) {
+                std::cerr << "error: --eval-opt " << e.what() << '\n';
+                return 2;
+            }
+        } else if (args[i] == "--list-apps") {
+            opt.list_apps = true;
         } else if (args[i] == "--seed" && i + 1 < args.size()) {
             std::size_t seed = 0;
             if (!util::parse_size(args[++i], seed)) return usage();
@@ -762,6 +866,7 @@ int main(int argc, char** argv) {
     if (opt.command == "portfolio") opt.portfolio = true;
 
     try {
+        if (opt.list_apps) return cmd_list_apps(opt);
         if (!opt.describe_algo.empty()) return cmd_describe(opt);
         if (opt.command == "serve") {
             if (!positional.empty()) return usage();

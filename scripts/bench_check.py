@@ -16,6 +16,9 @@ Gated metrics per bench:
                         >= 4 cores (a 1-core host cannot scale workers)
     service_throughput  achieved_rps; client_p99_ms is warn-only (latency
                         is noisy on shared CI hosts)
+    sim_eval            rows keyed workload: evals_per_sec; packets and
+                        p99_latency_cycles must match the baseline exactly
+                        (the simulator is deterministic for a fixed seed)
 
 host_cores is printed for both sides; when the fresh host is smaller than
 the baseline host, throughput gates for that bench are skipped with an
@@ -115,10 +118,37 @@ def check_service(base, fresh):
         print("  service_throughput count_match: FAIL")
 
 
+def check_sim(base, fresh):
+    base_rows = {r["workload"]: r for r in base.get("rows", [])}
+    for row in fresh.get("rows", []):
+        workload = row["workload"]
+        baseline = base_rows.get(workload)
+        report("sim_eval", f"{workload} evals_per_sec",
+               baseline and baseline.get("evals_per_sec"),
+               row.get("evals_per_sec"))
+        if baseline is None:
+            continue
+        # Determinism is part of the contract: for a fixed seed and window
+        # the simulated packet count and p99 latency are exact, so any
+        # difference is a behaviour change, not noise.
+        for exact in ("packets", "p99_latency_cycles"):
+            if baseline.get(exact) != row.get(exact):
+                failures.append(
+                    f"sim_eval {workload} {exact}: baseline "
+                    f"{baseline.get(exact)} != fresh {row.get(exact)} "
+                    f"(simulated metrics must be deterministic)")
+                print(f"  sim_eval {workload} {exact}: "
+                      f"{baseline.get(exact)} != {row.get(exact)} FAIL")
+            else:
+                print(f"  sim_eval {workload} {exact}: "
+                      f"{row.get(exact)} exact-match ok")
+
+
 CHECKS = {
     "ablation_mcf": check_mcf,
     "shard_scaling": check_shard,
     "service_throughput": check_service,
+    "sim_eval": check_sim,
 }
 
 

@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Simulator-in-the-loop smoke: drive an `eval=simulated` portfolio over a
+# real application plus a synthetic TGFF-style graph and pin the three
+# evaluation-backend contracts end to end:
+#
+#   1. determinism — the stable JSON document (sim metrics and Pareto
+#      fronts included) is byte-identical at 1 and 4 worker threads;
+#   2. defaults off — an explicit `eval=analytic` spec changes nothing:
+#      its document is byte-identical to a run with no spec at all;
+#   3. structure — the simulated document carries a well-formed "pareto"
+#      section (checked with python3: per-app fronts over measured
+#      scenarios, rank-1 front non-empty) and per-scenario "sim" metrics.
+#
+# Also pins `--list-apps --json`: two invocations are byte-identical and
+# the registry advertises the synth: spec family.
+#
+# Usage: scripts/sim_smoke.sh [path/to/nocmap_cli] [work-dir]
+set -euo pipefail
+
+CLI=${1:-./build/nocmap_cli}
+OUT=${2:-sim-smoke}
+mkdir -p "$OUT"
+
+APPS="pip synth:nodes=10,edges=16,seed=5"
+TOPOLOGIES="mesh,torus:4x4"
+EVAL_OPTS=(--eval-opt eval=simulated --eval-opt sim_cycles=3000 --eval-opt sim_warmup=300)
+
+# shellcheck disable=SC2086 # APPS is a deliberate word list
+"$CLI" portfolio $APPS --topologies "$TOPOLOGIES" "${EVAL_OPTS[@]}" \
+    --threads 1 --json "$OUT/sim-t1.json" --json-stable > "$OUT/sim-t1.log"
+
+# shellcheck disable=SC2086
+"$CLI" portfolio $APPS --topologies "$TOPOLOGIES" "${EVAL_OPTS[@]}" \
+    --threads 4 --json "$OUT/sim-t4.json" --json-stable > "$OUT/sim-t4.log"
+
+# shellcheck disable=SC2086
+"$CLI" portfolio $APPS --topologies "$TOPOLOGIES" \
+    --json "$OUT/analytic-default.json" --json-stable > "$OUT/analytic-default.log"
+
+# shellcheck disable=SC2086
+"$CLI" portfolio $APPS --topologies "$TOPOLOGIES" --eval-opt eval=analytic \
+    --json "$OUT/analytic-explicit.json" --json-stable > "$OUT/analytic-explicit.log"
+
+"$CLI" --list-apps --json > "$OUT/list-apps-1.json"
+"$CLI" --list-apps --json > "$OUT/list-apps-2.json"
+
+failures=0
+
+check_identical() {
+    local label=$1 a=$2 b=$3
+    if cmp -s "$a" "$b"; then
+        echo "$label: byte-identical"
+    else
+        echo "$label: MISMATCH:"
+        diff "$a" "$b" || true
+        failures=1
+    fi
+}
+
+check_identical "simulated portfolio, threads 1 vs 4" \
+    "$OUT/sim-t1.json" "$OUT/sim-t4.json"
+check_identical "analytic default vs explicit eval=analytic" \
+    "$OUT/analytic-default.json" "$OUT/analytic-explicit.json"
+check_identical "list-apps --json, repeated" \
+    "$OUT/list-apps-1.json" "$OUT/list-apps-2.json"
+
+if grep -q '"synth' "$OUT/list-apps-1.json"; then
+    echo "list-apps: synth: spec family advertised"
+else
+    echo "list-apps: synth: spec family MISSING from the registry document"
+    failures=1
+fi
+
+if python3 - "$OUT/sim-t1.json" "$OUT/analytic-default.json" <<'PY'
+import json, sys
+
+sim = json.load(open(sys.argv[1]))
+analytic = json.load(open(sys.argv[2]))
+
+results = sim["scenarios"]
+assert results, "simulated run produced no scenarios"
+for r in results:
+    assert r.get("ok"), f"scenario {r.get('name')} failed: {r.get('error')}"
+    m = r.get("sim")
+    assert m, f"scenario {r.get('name')} carries no sim metrics"
+    assert m["packets"] > 0, f"scenario {r.get('name')} measured no packets"
+    assert m["p99_latency_cycles"] >= m["p50_latency_cycles"] > 0, \
+        f"scenario {r.get('name')} latency order"
+
+pareto = sim.get("pareto")
+assert pareto, "simulated document carries no pareto section"
+apps = {r["app"] for r in results}
+assert {p["app"] for p in pareto} == apps, "pareto apps != result apps"
+for p in pareto:
+    assert p["fronts"] and p["fronts"][0], f"{p['app']}: empty rank-1 front"
+    indices = [i for front in p["fronts"] for i in front]
+    assert len(indices) == len(set(indices)), f"{p['app']}: duplicate indices"
+    for i in indices:
+        assert results[i]["app"] == p["app"], f"{p['app']}: front index {i}"
+
+assert "pareto" not in analytic, "analytic document grew a pareto section"
+assert all("sim" not in r for r in analytic["scenarios"]), \
+    "analytic scenarios grew sim metrics"
+print(f"pareto section OK: {sum(len(p['fronts']) for p in pareto)} front(s) "
+      f"across {len(pareto)} app(s)")
+PY
+then
+    echo "sim document structure: OK"
+else
+    echo "sim document structure: FAIL"
+    failures=1
+fi
+
+exit_with=$failures
+[ "$exit_with" -eq 0 ] && echo "sim smoke OK (artifacts in $OUT/)"
+exit "$exit_with"

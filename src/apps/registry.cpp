@@ -12,7 +12,9 @@
 #include "apps/mwa.hpp"
 #include "apps/mwag.hpp"
 #include "apps/pip.hpp"
+#include "apps/synthetic.hpp"
 #include "apps/vopd.hpp"
+#include "util/json.hpp"
 #include "util/string_util.hpp"
 
 namespace nocmap::apps {
@@ -46,6 +48,7 @@ graph::CoreGraph make_application(std::string_view name) {
 }
 
 graph::CoreGraph load_graph_or_application(const std::string& spec) {
+    if (is_synthetic_spec(spec)) return synthetic(spec);
     std::ifstream file(spec);
     if (file) return graph::read_core_graph(file);
     return make_application(spec);
@@ -56,6 +59,25 @@ std::vector<std::string> application_names() {
     names.reserve(kApps.size());
     for (const AppInfo& app : kApps) names.push_back(app.name);
     return names;
+}
+
+std::string registry_json() {
+    std::string out = "{\"apps\": [";
+    bool first = true;
+    for (const AppInfo& app : kApps) {
+        const graph::CoreGraph g = app.factory();
+        if (!first) out += ", ";
+        first = false;
+        out += "{\"name\": " + util::json::quoted(app.name) +
+               ", \"description\": " + util::json::quoted(app.description) +
+               ", \"cores\": " + std::to_string(g.node_count()) +
+               ", \"edges\": " + std::to_string(g.edge_count()) +
+               ", \"total_bandwidth\": " + util::json::number(g.total_bandwidth()) + "}";
+    }
+    out += "], \"synthetic\": {\"spec\": " +
+           util::json::quoted("synth:nodes=N,edges=E,seed=S[,min_bw=..,max_bw=..,layers=..]") +
+           ", \"keys\": [\"nodes\", \"edges\", \"seed\", \"min_bw\", \"max_bw\", \"layers\"]}}";
+    return out;
 }
 
 } // namespace nocmap::apps

@@ -28,10 +28,18 @@ std::span<const AppInfo> all_applications();
 /// std::invalid_argument listing the known names when unknown.
 graph::CoreGraph make_application(std::string_view name);
 
-/// The target rule the CLI and serve daemon share: `spec` names either a
-/// core-graph text file (read when it opens) or a built-in application.
+/// The target rule the CLI and serve daemon share: `spec` names a synthetic
+/// graph ("synth:..." — see apps/synthetic.hpp), a core-graph text file
+/// (read when it opens), or a built-in application.
 graph::CoreGraph load_graph_or_application(const std::string& spec);
 
 std::vector<std::string> application_names();
+
+/// Deterministic JSON document describing the registry:
+///   {"apps": [{"name", "description", "cores", "edges", "total_bandwidth"},
+///             ...], "synthetic": {"spec", "keys"}}
+/// Shared verbatim by `nocmap_cli --list-apps --json` and the serve
+/// daemon's `list-apps` verb so both surfaces stay byte-identical.
+std::string registry_json();
 
 } // namespace nocmap::apps

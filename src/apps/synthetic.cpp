@@ -1,0 +1,173 @@
+#include "apps/synthetic.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nocmap::apps {
+
+namespace {
+
+constexpr std::string_view kPrefix = "synth:";
+const SyntheticSpec kDefaults{};
+
+std::string format_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return buf;
+}
+
+[[noreturn]] void bad_spec(std::string_view spec, const std::string& why) {
+    throw std::invalid_argument("synthetic spec '" + std::string(spec) + "': " + why);
+}
+
+std::uint64_t parse_uint(std::string_view spec, std::string_view key, const std::string& text) {
+    if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos)
+        bad_spec(spec, std::string(key) + " wants a non-negative integer, got '" + text + "'");
+    try {
+        return std::stoull(text);
+    } catch (const std::exception&) {
+        bad_spec(spec, std::string(key) + " out of range: '" + text + "'");
+    }
+}
+
+double parse_double(std::string_view spec, std::string_view key, const std::string& text) {
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(text, &used);
+        if (used != text.size() || !std::isfinite(v)) throw std::invalid_argument(text);
+        return v;
+    } catch (const std::exception&) {
+        bad_spec(spec, std::string(key) + " wants a finite number, got '" + text + "'");
+    }
+}
+
+} // namespace
+
+std::string SyntheticSpec::canonical_name() const {
+    std::string name = std::string(kPrefix) + "nodes=" + std::to_string(nodes) +
+                       ",edges=" + std::to_string(edges) + ",seed=" + std::to_string(seed);
+    if (min_bw != kDefaults.min_bw) name += ",min_bw=" + format_double(min_bw);
+    if (max_bw != kDefaults.max_bw) name += ",max_bw=" + format_double(max_bw);
+    if (layers != kDefaults.layers) name += ",layers=" + std::to_string(layers);
+    return name;
+}
+
+bool is_synthetic_spec(std::string_view spec) {
+    return spec.substr(0, kPrefix.size()) == kPrefix;
+}
+
+SyntheticSpec parse_synthetic_spec(std::string_view spec) {
+    if (!is_synthetic_spec(spec)) bad_spec(spec, "missing 'synth:' prefix");
+    SyntheticSpec out;
+    std::string_view rest = spec.substr(kPrefix.size());
+    bool saw_edges = false;
+    while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        const std::string_view item =
+            comma == std::string_view::npos ? rest : rest.substr(0, comma);
+        rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+        const std::size_t eq = item.find('=');
+        if (eq == std::string_view::npos || eq == 0)
+            bad_spec(spec, "expected key=value, got '" + std::string(item) + "'");
+        const std::string_view key = item.substr(0, eq);
+        const std::string value(item.substr(eq + 1));
+        if (key == "nodes")
+            out.nodes = static_cast<std::size_t>(parse_uint(spec, key, value));
+        else if (key == "edges") {
+            out.edges = static_cast<std::size_t>(parse_uint(spec, key, value));
+            saw_edges = true;
+        } else if (key == "seed")
+            out.seed = parse_uint(spec, key, value);
+        else if (key == "min_bw")
+            out.min_bw = parse_double(spec, key, value);
+        else if (key == "max_bw")
+            out.max_bw = parse_double(spec, key, value);
+        else if (key == "layers")
+            out.layers = static_cast<std::size_t>(parse_uint(spec, key, value));
+        else
+            bad_spec(spec, "unknown key '" + std::string(key) +
+                               "' (known: nodes, edges, seed, min_bw, max_bw, layers)");
+    }
+    // A spec that sizes the graph but not the edge count gets a sparse
+    // default (~1.5 edges per node) instead of the unrelated struct default.
+    if (!saw_edges) out.edges = out.nodes + out.nodes / 2;
+    validate_spec(out);
+    return out;
+}
+
+void validate_spec(const SyntheticSpec& spec) {
+    const auto fail = [&](const std::string& why) { bad_spec(spec.canonical_name(), why); };
+    if (spec.nodes < 2 || spec.nodes > 4096)
+        fail("nodes must be in [2, 4096]");
+    const std::size_t max_edges = spec.nodes * (spec.nodes - 1) / 2;
+    if (spec.edges < spec.nodes - 1 || spec.edges > max_edges)
+        fail("edges must be in [nodes-1, nodes*(nodes-1)/2] = [" +
+             std::to_string(spec.nodes - 1) + ", " + std::to_string(max_edges) + "]");
+    if (spec.layers < 1) fail("layers must be >= 1");
+    if (!(spec.min_bw > 0.0) || !(spec.max_bw >= spec.min_bw))
+        fail("bandwidth bounds must satisfy 0 < min_bw <= max_bw");
+}
+
+graph::CoreGraph synthetic(const SyntheticSpec& spec) {
+    validate_spec(spec);
+    const std::size_t n = spec.nodes;
+    util::Rng rng(spec.seed);
+    graph::CoreGraph g(spec.canonical_name());
+    for (std::size_t i = 0; i < n; ++i) g.add_node("c" + std::to_string(i));
+
+    // Pipeline stage of each core: contiguous, non-decreasing in the id.
+    const std::size_t layers = spec.layers < n ? spec.layers : n;
+    const auto layer_of = [&](std::size_t i) { return i * layers / n; };
+    const double lo = std::log(spec.min_bw);
+    const double hi = std::log(spec.max_bw);
+    const auto draw_bw = [&] {
+        return spec.min_bw == spec.max_bw ? spec.min_bw : std::exp(rng.next_double_in(lo, hi));
+    };
+    std::unordered_set<std::uint64_t> used;
+    const auto add = [&](std::size_t u, std::size_t v) {
+        used.insert(u * n + v);
+        g.add_edge(static_cast<graph::NodeId>(u), static_cast<graph::NodeId>(v), draw_bw());
+    };
+
+    // Spanning arborescence: every core past the first receives traffic from
+    // a random earlier core, so the undirected view is connected.
+    for (std::size_t v = 1; v < n; ++v) add(rng.next_below(v), v);
+
+    // Extra forward edges, preferring stage-crossing hops (TGFF-ish shape).
+    std::size_t remaining = spec.edges - (n - 1);
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = 32 * spec.edges + 64;
+    while (remaining > 0 && attempts++ < max_attempts) {
+        const std::size_t u = rng.next_below(n - 1);
+        const std::size_t v = u + 1 + rng.next_below(n - 1 - u);
+        if (layer_of(u) == layer_of(v) && layers > 1) continue;
+        if (used.contains(u * n + v)) continue;
+        add(u, v);
+        --remaining;
+    }
+    // Dense or single-layer specs can exhaust the sampler; a deterministic
+    // sweep over all pairs tops the graph up to the requested edge count.
+    for (std::size_t u = 0; remaining > 0 && u + 1 < n; ++u)
+        for (std::size_t v = u + 1; remaining > 0 && v < n; ++v)
+            if (!used.contains(u * n + v)) {
+                add(u, v);
+                --remaining;
+            }
+    return g;
+}
+
+graph::CoreGraph synthetic(SyntheticSpec spec, std::uint64_t seed) {
+    spec.seed = seed;
+    return synthetic(spec);
+}
+
+graph::CoreGraph synthetic(std::string_view spec) {
+    return synthetic(parse_synthetic_spec(spec));
+}
+
+} // namespace nocmap::apps

@@ -1,0 +1,65 @@
+#pragma once
+// TGFF-style synthetic application graphs.
+//
+// The apps registry carries only the paper's six video benchmarks (plus the
+// DSP filter) — a hard ceiling on scenario stress. synthetic() generates
+// layered communication DAGs of any size from a compact text spec,
+//
+//   synth:nodes=N,edges=E,seed=S[,min_bw=..,max_bw=..,layers=..]
+//
+// deterministically: equal specs (seed included) produce byte-identical
+// graphs on every platform, distinct seeds produce distinct graphs. The
+// shape mimics TGFF task graphs: cores are assigned to `layers` pipeline
+// stages, a random spanning arborescence keeps the graph connected, and the
+// remaining edges prefer stage-crossing forward hops. Bandwidths are drawn
+// log-uniformly from [min_bw, max_bw] MB/s, matching the orders-of-magnitude
+// spread of the paper's video graphs.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "graph/core_graph.hpp"
+
+namespace nocmap::apps {
+
+/// Parameters of one synthetic application graph.
+struct SyntheticSpec {
+    std::size_t nodes = 8;
+    std::size_t edges = 12;
+    std::uint64_t seed = 1;
+    double min_bw = 16.0;   ///< MB/s; log-uniform lower bound
+    double max_bw = 512.0;  ///< MB/s; log-uniform upper bound
+    std::size_t layers = 4; ///< pipeline depth of the layered DAG
+
+    /// Canonical "synth:..." text form: nodes/edges/seed always, the
+    /// remaining knobs only when they differ from the defaults. Parsing the
+    /// canonical name reproduces the spec exactly.
+    std::string canonical_name() const;
+
+    friend bool operator==(const SyntheticSpec&, const SyntheticSpec&) = default;
+};
+
+/// True when `spec` names a synthetic graph (starts with "synth:").
+bool is_synthetic_spec(std::string_view spec);
+
+/// Parses "synth:key=value,..." (keys: nodes, edges, seed, min_bw, max_bw,
+/// layers). Throws std::invalid_argument on unknown keys, malformed values,
+/// or out-of-range combinations (see validate_spec).
+SyntheticSpec parse_synthetic_spec(std::string_view spec);
+
+/// Throws std::invalid_argument describing the first violated constraint:
+/// 2 <= nodes <= 4096, nodes-1 <= edges <= nodes*(nodes-1)/2, layers >= 1,
+/// 0 < min_bw <= max_bw. (The generator clamps layers to at most nodes.)
+void validate_spec(const SyntheticSpec& spec);
+
+/// Generates the graph for `spec` (deterministic in every field).
+graph::CoreGraph synthetic(const SyntheticSpec& spec);
+
+/// Convenience: same spec with the seed overridden.
+graph::CoreGraph synthetic(SyntheticSpec spec, std::uint64_t seed);
+
+/// Parse + generate in one step.
+graph::CoreGraph synthetic(std::string_view spec);
+
+} // namespace nocmap::apps

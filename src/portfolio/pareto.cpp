@@ -1,0 +1,84 @@
+#include "portfolio/pareto.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace nocmap::portfolio {
+
+namespace {
+
+struct Point {
+    std::size_t index = 0; ///< grid index
+    double cost = 0.0;
+    double p99 = 0.0;
+    double energy = 0.0;
+};
+
+bool dominates(const Point& a, const Point& b) {
+    if (a.cost > b.cost || a.p99 > b.p99 || a.energy > b.energy) return false;
+    return a.cost < b.cost || a.p99 < b.p99 || a.energy < b.energy;
+}
+
+bool eligible(const ScenarioResult& r) {
+    return r.ok && r.result.feasible && r.sim.measured();
+}
+
+/// Iterative front peeling (O(n²) per front; portfolio grids are small).
+std::vector<std::vector<std::size_t>> peel(std::vector<Point> points) {
+    std::vector<std::vector<std::size_t>> fronts;
+    while (!points.empty()) {
+        std::vector<std::size_t> front;
+        std::vector<Point> rest;
+        for (const Point& p : points) {
+            const bool dominated = std::any_of(
+                points.begin(), points.end(),
+                [&](const Point& q) { return dominates(q, p); });
+            if (dominated)
+                rest.push_back(p);
+            else
+                front.push_back(p.index);
+        }
+        // Every finite point set has a non-dominated member, so the front
+        // is never empty and the loop terminates.
+        fronts.push_back(std::move(front));
+        points = std::move(rest);
+    }
+    return fronts;
+}
+
+} // namespace
+
+bool has_sim_metrics(const std::vector<ScenarioResult>& results) {
+    return std::any_of(results.begin(), results.end(),
+                       [](const ScenarioResult& r) { return r.sim.present; });
+}
+
+std::vector<AppPareto> pareto_fronts(const std::vector<ScenarioResult>& results) {
+    std::map<std::string, std::vector<Point>> by_app;
+    for (const ScenarioResult& r : results) {
+        if (!eligible(r)) continue;
+        by_app[r.app].push_back(
+            {r.index, r.result.comm_cost, r.sim.p99_latency_cycles, r.energy_mw});
+    }
+    std::vector<AppPareto> out;
+    out.reserve(by_app.size());
+    for (auto& [app, points] : by_app) {
+        // Grid order in, ascending indices out of every front.
+        std::sort(points.begin(), points.end(),
+                  [](const Point& a, const Point& b) { return a.index < b.index; });
+        out.push_back({app, peel(std::move(points))});
+    }
+    return out;
+}
+
+std::vector<std::size_t> pareto_ranks(const std::vector<ScenarioResult>& results) {
+    std::vector<std::size_t> ranks(results.size(), 0);
+    for (const AppPareto& app : pareto_fronts(results))
+        for (std::size_t f = 0; f < app.fronts.size(); ++f)
+            for (const std::size_t index : app.fronts[f])
+                for (std::size_t i = 0; i < results.size(); ++i)
+                    if (results[i].index == index) ranks[i] = f + 1;
+    return ranks;
+}
+
+} // namespace nocmap::portfolio

@@ -1,0 +1,48 @@
+#pragma once
+// Pareto-front reporting over simulated portfolio runs.
+//
+// The scalar ranking collapses cost/energy/area into one weighted score;
+// with the simulated evaluation backend a scenario additionally carries a
+// measured p99 packet latency, and collapsing *that* into the scalar would
+// bury exactly the trade-off the simulation was bought to expose. Instead
+// the report keeps the scalar ranking untouched and adds per-application
+// Pareto fronts over (comm_cost, simulated p99 latency, energy): front 1 is
+// the set of non-dominated fabrics for that application, front 2 what
+// remains after removing front 1, and so on (classic non-dominated
+// sorting). A fabric dominates another when it is no worse on all three
+// objectives and strictly better on at least one.
+//
+// Only scenarios with trustworthy sim metrics participate (ok + feasible +
+// SimMetrics::measured()); everything is deterministic — apps iterate in
+// name order, fronts list ascending grid indices — so the JSON form is
+// byte-stable at any thread count.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "portfolio/runner.hpp"
+
+namespace nocmap::portfolio {
+
+/// Non-dominated fronts of one application's scenarios. fronts[0] holds the
+/// grid indices of rank-1 (non-dominated) scenarios in ascending order.
+struct AppPareto {
+    std::string app;
+    std::vector<std::vector<std::size_t>> fronts;
+};
+
+/// True when any result carries simulated metrics — the gate for the
+/// sim/pareto sections of the report.
+bool has_sim_metrics(const std::vector<ScenarioResult>& results);
+
+/// Per-application non-dominated sorting over (comm_cost, sim p99 latency,
+/// energy_mw). Applications with at least one eligible scenario appear in
+/// ascending name order; apps without sim data are omitted.
+std::vector<AppPareto> pareto_fronts(const std::vector<ScenarioResult>& results);
+
+/// Pareto rank of every result (1 = front 1), or 0 for results that did not
+/// participate. Indexed like `results`.
+std::vector<std::size_t> pareto_ranks(const std::vector<ScenarioResult>& results);
+
+} // namespace nocmap::portfolio

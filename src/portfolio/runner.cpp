@@ -29,7 +29,35 @@ PortfolioRunner::PortfolioRunner(PortfolioOptions options)
         m_latency_ = reg.histogram("nocmap_scenario_latency_ms",
                                    "Per-scenario mapping wall time (ms)",
                                    obs::Histogram::default_latency_buckets_ms());
+        m_sim_cycles_ = reg.counter("nocmap_sim_cycles_total",
+                                    "Cycles executed by simulated evaluations");
+        m_sim_packets_ = reg.counter("nocmap_sim_packets_total",
+                                     "Packets measured by simulated evaluations");
+        m_sim_eval_ms_ = reg.histogram("nocmap_sim_eval_ms",
+                                       "Per-evaluation simulated-backend wall time (ms)",
+                                       obs::Histogram::default_latency_buckets_ms());
     }
+}
+
+void apply_eval_spec(ScenarioResult& r, const Scenario& scenario, const noc::EvalContext& ctx,
+                     const std::function<bool()>& cancelled) {
+    if (scenario.eval.empty() || !r.ok || !scenario.graph) return;
+    if (const auto err = eval::validate_spec(scenario.eval)) {
+        r.ok = false;
+        r.error = err->message;
+        r.error_code = std::string(engine::to_string(err->code));
+        return;
+    }
+    const eval::EvalSpec spec = eval::parse_spec(scenario.eval);
+    // An explicit `eval=analytic` with no refinement is the default path.
+    if (!spec.simulated() && !spec.refine_sim) return;
+    const auto start = std::chrono::steady_clock::now();
+    const eval::Evaluation evaluation =
+        eval::apply(*scenario.graph, ctx, r.result, spec, cancelled);
+    r.sim = evaluation.sim;
+    r.sim_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                         start)
+                   .count();
 }
 
 ScenarioResult PortfolioRunner::run_one(const Scenario& scenario, std::size_t index) {
@@ -95,6 +123,20 @@ ScenarioResult PortfolioRunner::run_one(const Scenario& scenario, std::size_t in
             return r;
         }
         r.result = std::move(outcome.result());
+
+        // Evaluation backend (refine=sim may replace the mapping, so it
+        // runs before the energy/hops derivation). Refinement polls the
+        // same deadline hook as the mapper; an expiry during it is the same
+        // typed failure.
+        apply_eval_spec(r, scenario, *ctx, request.cancelled);
+        if (deadline_fired && deadline_fired->load(std::memory_order_relaxed)) {
+            r.ok = false;
+            r.error = deadline_error_message(scenario.deadline_ms);
+            r.error_code =
+                std::string(engine::to_string(engine::MapErrorCode::DeadlineExceeded));
+            return r;
+        }
+        if (!r.ok) return r;
 
         // Energy/hops need a complete placement; infeasible results still
         // carry the best mapping found, failed searches may not.
@@ -193,6 +235,11 @@ void PortfolioRunner::map_grids(const std::vector<const std::vector<Scenario>*>&
                     m_deadline_->inc();
             }
             m_latency_->observe(r.elapsed_ms);
+            if (r.sim.present) {
+                m_sim_cycles_->inc(r.sim.cycles);
+                m_sim_packets_->inc(r.sim.packets);
+                m_sim_eval_ms_->observe(r.sim_ms);
+            }
         }
         out[item.grid][item.index] = std::move(r);
     };

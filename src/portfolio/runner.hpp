@@ -21,7 +21,10 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "engine/mapping_result.hpp"
+#include "eval/backend.hpp"
 #include "noc/energy.hpp"
 #include "portfolio/scenario.hpp"
 #include "portfolio/topology_cache.hpp"
@@ -80,7 +83,25 @@ struct ScenarioResult {
     /// Weighted normalized score; infinity when infeasible or failed.
     double scalar_score = std::numeric_limits<double>::infinity();
     double elapsed_ms = 0.0;
+
+    /// Simulated-evaluation metrics (present only when the scenario's eval
+    /// spec selected the simulated backend); deterministic for a fixed spec.
+    eval::SimMetrics sim;
+    /// Wall time of the simulated evaluation, ms (metrics only — never
+    /// serialized, unlike the deterministic fields above).
+    double sim_ms = 0.0;
 };
+
+/// Applies `scenario.eval` to a finished mapping result: validates the spec
+/// (a bad spec becomes the scenario's typed error), runs sim-guided
+/// refinement when `refine=sim` (mutating r.result), and fills r.sim when
+/// the simulated backend is selected. A no-op — bit for bit — when the
+/// scenario carries no eval params. `cancelled` is the scenario's deadline
+/// hook: refinement polls it between trials, and the caller re-checks its
+/// fired flag afterwards exactly like after the mapper. Shared by the
+/// runner and the shard coordinator so sharded runs stay byte-identical.
+void apply_eval_spec(ScenarioResult& r, const Scenario& scenario, const noc::EvalContext& ctx,
+                     const std::function<bool()>& cancelled = {});
 
 /// Aggregate standing of one fabric across the portfolio's applications.
 struct TopologyRanking {
@@ -149,6 +170,9 @@ private:
     obs::Counter* m_failures_ = nullptr;
     obs::Counter* m_deadline_ = nullptr;
     obs::Histogram* m_latency_ = nullptr;
+    obs::Counter* m_sim_cycles_ = nullptr;
+    obs::Counter* m_sim_packets_ = nullptr;
+    obs::Histogram* m_sim_eval_ms_ = nullptr;
 };
 
 } // namespace nocmap::portfolio

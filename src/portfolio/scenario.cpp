@@ -117,7 +117,8 @@ std::string deadline_error_message(std::uint64_t deadline_ms) {
 std::vector<Scenario> make_grid(
     const std::vector<std::pair<std::string, std::shared_ptr<const graph::CoreGraph>>>& apps,
     const std::vector<TopologySpec>& topologies, const std::string& mapper,
-    const engine::Params& params, std::uint64_t seed, std::uint64_t deadline_ms) {
+    const engine::Params& params, std::uint64_t seed, std::uint64_t deadline_ms,
+    const engine::Params& eval) {
     std::vector<Scenario> grid;
     grid.reserve(apps.size() * topologies.size());
     for (const auto& [app_name, app_graph] : apps) {
@@ -129,6 +130,7 @@ std::vector<Scenario> make_grid(
             s.topology = spec;
             s.mapper = mapper;
             s.params = params;
+            s.eval = eval;
             s.seed = seed;
             s.deadline_ms = deadline_ms;
             grid.push_back(std::move(s));

@@ -69,6 +69,12 @@ struct Scenario {
     /// the scenario runs (unknown key / out-of-range -> per-scenario typed
     /// error, never a silent default). Empty = the mapper's defaults.
     engine::Params params;
+    /// Evaluation-backend spec, validated against eval::param_specs() when
+    /// the scenario runs (`eval=analytic|simulated`, `refine=sim`, sim
+    /// knobs). Deliberately separate from `params`: the mapper owns those
+    /// keys (nmap already publishes its own, unrelated `eval` knob). Empty
+    /// = analytic, byte-identical to the pre-backend behaviour.
+    engine::Params eval;
     /// Seed forwarded as MapRequest::seed (0 = algorithm default).
     std::uint64_t seed = 0;
     /// Wall-clock budget for this scenario's mapping run, in milliseconds
@@ -87,12 +93,12 @@ std::string deadline_error_message(std::uint64_t deadline_ms);
 
 /// Cross product apps × topologies with one mapper — the standard portfolio
 /// grid (scenario order: app-major, matching the apps vector). `params`,
-/// `seed` and `deadline_ms` are replicated into every scenario, so a grid
-/// can sweep algorithm knobs alongside fabrics.
+/// `seed`, `deadline_ms` and `eval` are replicated into every scenario, so
+/// a grid can sweep algorithm knobs alongside fabrics.
 std::vector<Scenario> make_grid(
     const std::vector<std::pair<std::string, std::shared_ptr<const graph::CoreGraph>>>& apps,
     const std::vector<TopologySpec>& topologies, const std::string& mapper = "nmap",
     const engine::Params& params = {}, std::uint64_t seed = 0,
-    std::uint64_t deadline_ms = 0);
+    std::uint64_t deadline_ms = 0, const engine::Params& eval = {});
 
 } // namespace nocmap::portfolio

@@ -31,14 +31,17 @@ double get_number(const Value& request, const char* key, double fallback) {
 
 /// Typed JSON scalars keep their carrier; strings go through the same
 /// inference as CLI --opt text, so every front end means the same request.
-engine::Params parse_params_object(const Value& doc) {
+/// `key` selects which params-shaped object to read ("params" knobs, or the
+/// "eval" evaluation-backend spec).
+engine::Params parse_params_object(const Value& doc, const char* key = "params") {
     engine::Params out;
-    const Value* params = doc.find("params");
+    const Value* params = doc.find(key);
     if (!params || params->is_null()) return out;
-    if (!params->is_object()) throw std::invalid_argument("'params' must be an object");
-    for (const auto& [key, value] : params->as_object()) {
+    if (!params->is_object())
+        throw std::invalid_argument(std::string("'") + key + "' must be an object");
+    for (const auto& [entry_key, value] : params->as_object()) {
         if (value.is_bool())
-            out.set(key, engine::ParamValue::of_bool(value.as_bool()));
+            out.set(entry_key, engine::ParamValue::of_bool(value.as_bool()));
         else if (value.is_number()) {
             // Integral doubles inside the exact range ride the Int carrier
             // (the magnitude guard keeps the cast defined); everything else
@@ -47,13 +50,13 @@ engine::Params parse_params_object(const Value& doc) {
             const bool integral = std::fabs(number) <= 9007199254740992.0 &&
                                   static_cast<double>(static_cast<std::int64_t>(number)) ==
                                       number;
-            out.set(key, integral
-                             ? engine::ParamValue::of_int(static_cast<std::int64_t>(number))
+            out.set(entry_key,
+                    integral ? engine::ParamValue::of_int(static_cast<std::int64_t>(number))
                              : engine::ParamValue::of_double(number));
         } else if (value.is_string())
-            out.set(key, engine::ParamValue::from_text(value.as_string()));
+            out.set(entry_key, engine::ParamValue::from_text(value.as_string()));
         else
-            throw std::invalid_argument("'params' values must be scalars");
+            throw std::invalid_argument(std::string("'") + key + "' values must be scalars");
     }
     return out;
 }
@@ -180,6 +183,7 @@ Request parse_request(const std::string& line) {
             throw std::invalid_argument("'seed' must be a non-negative integer");
         request.map.seed = static_cast<std::uint64_t>(seed);
         request.map.params = parse_params_object(doc);
+        request.map.eval = parse_params_object(doc, "eval");
         request.map.deadline_ms = get_uint(doc, "deadline_ms", 0);
     } else if (method == "describe") {
         request.kind = Request::Kind::Describe;
@@ -188,6 +192,8 @@ Request parse_request(const std::string& line) {
         request.kind = Request::Kind::Stats;
     } else if (method == "metrics") {
         request.kind = Request::Kind::Metrics;
+    } else if (method == "list-apps") {
+        request.kind = Request::Kind::ListApps;
     } else if (method == "ping") {
         request.kind = Request::Kind::Ping;
     } else if (method == "shutdown") {
@@ -239,18 +245,19 @@ Request parse_request(const std::string& line) {
             if (s.bandwidth <= 0.0) throw std::invalid_argument("'bandwidth' must be > 0");
             s.mapper = get_string(entry, "mapper", "nmap");
             s.params = parse_params_object(entry);
+            s.eval = parse_params_object(entry, "eval");
             s.seed = get_uint(entry, "seed", 0);
             s.deadline_ms = get_uint(entry, "deadline_ms", 0);
             request.shard_scenarios.push_back(std::move(s));
         }
     } else if (method.empty()) {
         throw std::invalid_argument(
-            "request needs a 'method' (map|describe|stats|metrics|ping|shutdown|hello|"
-            "shard-rows|shard-map)");
+            "request needs a 'method' (map|describe|stats|metrics|list-apps|ping|shutdown|"
+            "hello|shard-rows|shard-map)");
     } else {
         throw std::invalid_argument("unknown method '" + method +
-                                    "' (expected map|describe|stats|metrics|ping|shutdown|"
-                                    "hello|shard-rows|shard-map)");
+                                    "' (expected map|describe|stats|metrics|list-apps|ping|"
+                                    "shutdown|hello|shard-rows|shard-map)");
     }
     return request;
 }
@@ -297,6 +304,10 @@ std::string ping_response(const std::string& id) {
 
 std::string metrics_response(const std::string& id, const std::string& metrics_json) {
     return response_head(id, "ok") + ", \"metrics\": " + metrics_json + "}";
+}
+
+std::string list_apps_response(const std::string& id, const std::string& registry_json) {
+    return response_head(id, "ok") + ", \"registry\": " + registry_json + "}";
 }
 
 std::string shutdown_response(const std::string& id) {
@@ -346,7 +357,22 @@ std::string shard_map_response(const std::string& id,
                ", \"comm_cost\": " + hex_number(m.comm_cost) +
                ", \"energy_mw\": " + hex_number(m.energy_mw) +
                ", \"area_mm2\": " + hex_number(m.area_mm2) +
-               ", \"avg_hops\": " + hex_number(m.avg_hops) + "}";
+               ", \"avg_hops\": " + hex_number(m.avg_hops);
+        // Simulated-evaluation metrics ride only when present, keeping
+        // analytic replies byte-identical to the pre-backend wire.
+        if (m.sim.present)
+            out += ", \"sim\": {\"p50\": " + hex_number(m.sim.p50_latency_cycles) +
+                   ", \"p95\": " + hex_number(m.sim.p95_latency_cycles) +
+                   ", \"p99\": " + hex_number(m.sim.p99_latency_cycles) +
+                   ", \"avg\": " + hex_number(m.sim.avg_latency_cycles) +
+                   ", \"jitter\": " + hex_number(m.sim.jitter_cycles) +
+                   ", \"packets\": " + std::to_string(m.sim.packets) +
+                   ", \"cycles\": " + std::to_string(m.sim.cycles) +
+                   ", \"stalled\": " + (m.sim.stalled ? "true" : "false") +
+                   ", \"refine_trials\": " + std::to_string(m.sim.refine_trials) +
+                   ", \"refine_accepted\": " + std::to_string(m.sim.refine_accepted) +
+                   ", \"note\": " + (m.sim.note.empty() ? "null" : quoted(m.sim.note)) + "}";
+        out += "}";
     }
     return out + "]}";
 }
@@ -389,8 +415,11 @@ std::string shard_map_request(const std::string& id,
         std::snprintf(bw, sizeof bw, "%.17g", s.bandwidth);
         out += "{\"app\": " + quoted(s.app) + ", \"graph\": " + quoted(s.graph_text) +
                ", \"topology\": " + quoted(s.topology) + ", \"bandwidth\": " + bw +
-               ", \"mapper\": " + quoted(s.mapper) + ", \"params\": " + params_json(s.params) +
-               ", \"seed\": " + std::to_string(s.seed) +
+               ", \"mapper\": " + quoted(s.mapper) + ", \"params\": " + params_json(s.params);
+        // The eval spec rides only when set: requests without one keep
+        // their pre-backend bytes.
+        if (!s.eval.empty()) out += ", \"eval\": " + params_json(s.eval);
+        out += ", \"seed\": " + std::to_string(s.seed) +
                ", \"deadline_ms\": " + std::to_string(s.deadline_ms) + "}";
     }
     return out + "]}";
@@ -453,6 +482,22 @@ std::vector<ShardMapMetrics> parse_shard_map_response(const std::string& line) {
         m.energy_mw = get_hex(entry, "energy_mw");
         m.area_mm2 = get_hex(entry, "area_mm2");
         m.avg_hops = get_hex(entry, "avg_hops");
+        if (const Value* sim = entry.find("sim"); sim && sim->is_object()) {
+            m.sim.present = true;
+            m.sim.p50_latency_cycles = get_hex(*sim, "p50");
+            m.sim.p95_latency_cycles = get_hex(*sim, "p95");
+            m.sim.p99_latency_cycles = get_hex(*sim, "p99");
+            m.sim.avg_latency_cycles = get_hex(*sim, "avg");
+            m.sim.jitter_cycles = get_hex(*sim, "jitter");
+            m.sim.packets = get_uint(*sim, "packets", 0);
+            m.sim.cycles = get_uint(*sim, "cycles", 0);
+            m.sim.stalled = get_bool(*sim, "stalled", false);
+            m.sim.refine_trials =
+                static_cast<std::uint32_t>(get_uint(*sim, "refine_trials", 0));
+            m.sim.refine_accepted =
+                static_cast<std::uint32_t>(get_uint(*sim, "refine_accepted", 0));
+            m.sim.note = get_string(*sim, "note", "");
+        }
         out.push_back(std::move(m));
     }
     return out;

@@ -55,6 +55,7 @@
 #include "engine/mapper.hpp"
 #include "engine/params.hpp"
 #include "engine/sweep.hpp"
+#include "eval/backend.hpp"
 #include "portfolio/topology_cache.hpp"
 
 namespace nocmap::service {
@@ -66,6 +67,11 @@ struct MapRequest {
     std::string mapper;            ///< registry key; empty = server default
     double bandwidth = 0.0;        ///< uniform link MB/s; 0 = server default
     engine::Params params;         ///< algorithm knobs for every scenario
+    /// Evaluation-backend spec for every scenario (optional "eval" JSON
+    /// object: eval=analytic|simulated, refine, sim knobs — validated
+    /// against eval::param_specs() when the scenarios run). Empty =
+    /// analytic, byte-identical to requests predating the field.
+    engine::Params eval;
     std::uint64_t seed = 0;        ///< MapRequest::seed (0 = algorithm default)
     /// Per-scenario wall-clock budget in ms (0 = server default / none).
     /// A scenario still mapping when it expires becomes a typed
@@ -95,6 +101,7 @@ struct ShardMapScenario {
     double bandwidth = 1e9;
     std::string mapper = "nmap";
     engine::Params params;
+    engine::Params eval; ///< evaluation-backend spec (empty = analytic)
     std::uint64_t seed = 0;
     std::uint64_t deadline_ms = 0; ///< wall-clock budget, ms (0 = none)
 };
@@ -113,10 +120,24 @@ struct ShardMapMetrics {
     double energy_mw = 0.0;
     double area_mm2 = 0.0;
     double avg_hops = 0.0;
+    /// Simulated-evaluation metrics; serialized (hex-float transport) only
+    /// when sim.present, so analytic replies keep their exact bytes.
+    eval::SimMetrics sim;
 };
 
 struct Request {
-    enum class Kind { Map, Describe, Stats, Ping, Shutdown, Hello, ShardRows, ShardMap, Metrics };
+    enum class Kind {
+        Map,
+        Describe,
+        Stats,
+        Ping,
+        Shutdown,
+        Hello,
+        ShardRows,
+        ShardMap,
+        Metrics,
+        ListApps,
+    };
     Kind kind = Kind::Ping;
     std::string id;            ///< echoed verbatim in the response ("" when absent)
     MapRequest map;            ///< populated when kind == Kind::Map
@@ -160,6 +181,9 @@ std::string ping_response(const std::string& id);
 /// deterministic JSON), so clients read response["metrics"] structurally
 /// instead of unescaping a string.
 std::string metrics_response(const std::string& id, const std::string& metrics_json);
+/// `registry_json` is apps::registry_json(), embedded raw under "registry"
+/// (already deterministic JSON) — the serve twin of `--list-apps --json`.
+std::string list_apps_response(const std::string& id, const std::string& registry_json);
 std::string shutdown_response(const std::string& id);
 std::string hello_response(const std::string& id, std::size_t cores);
 std::string shard_rows_response(const std::string& id, const engine::RowSliceOutcome& slice);

@@ -136,6 +136,7 @@ const char* verb_name(Request::Kind kind) {
     case Request::Kind::Hello: return "hello";
     case Request::Kind::ShardRows: return "shard-rows";
     case Request::Kind::ShardMap: return "shard-map";
+    case Request::Kind::ListApps: return "list-apps";
     }
     return "invalid";
 }
@@ -145,7 +146,7 @@ const char* verb_name(Request::Kind kind) {
 /// values, never in which series exist.
 const char* const kAllVerbs[] = {"map",  "describe", "stats",      "metrics",
                                  "ping", "shutdown", "hello",      "shard-rows",
-                                 "shard-map", "invalid"};
+                                 "shard-map", "list-apps", "invalid"};
 
 } // namespace
 
@@ -329,8 +330,8 @@ std::vector<std::string> Service::handle_batch(const std::vector<std::string>& l
                     m.deadline_ms != 0 ? m.deadline_ms : options_.default_deadline_ms;
                 p.is_map = true;
                 p.grid = grids.size();
-                grids.push_back(
-                    portfolio::make_grid(apps, specs, mapper, params, seed, deadline_ms));
+                grids.push_back(portfolio::make_grid(apps, specs, mapper, params, seed,
+                                                     deadline_ms, m.eval));
                 break;
             }
             case Request::Kind::Describe: {
@@ -351,6 +352,9 @@ std::vector<std::string> Service::handle_batch(const std::vector<std::string>& l
                 break;
             case Request::Kind::Ping:
                 p.response = ping_response(request.id);
+                break;
+            case Request::Kind::ListApps:
+                p.response = list_apps_response(request.id, apps::registry_json());
                 break;
             case Request::Kind::Shutdown:
                 shutdown_ = true;
@@ -398,6 +402,7 @@ std::vector<std::string> Service::handle_batch(const std::vector<std::string>& l
                     scenario.topology = portfolio::TopologySpec::parse(s.topology, s.bandwidth);
                     scenario.mapper = s.mapper;
                     scenario.params = s.params;
+                    scenario.eval = s.eval;
                     scenario.seed = s.seed;
                     scenario.deadline_ms = s.deadline_ms;
                     grid.push_back(std::move(scenario));
@@ -417,6 +422,7 @@ std::vector<std::string> Service::handle_batch(const std::vector<std::string>& l
                     m.energy_mw = r.energy_mw;
                     m.area_mm2 = r.area_mm2;
                     m.avg_hops = r.avg_hops;
+                    m.sim = r.sim;
                     metrics.push_back(std::move(m));
                 }
                 p.response = shard_map_response(request.id, metrics);

@@ -383,6 +383,25 @@ portfolio::ScenarioResult Coordinator::rows_scenario(const portfolio::Scenario& 
         // mapper finishes with, so cost/feasibility/loads match bit for
         // bit.
         r.result = nmap::scored_result(*scenario.graph, *ctx, std::move(placed), evaluations);
+
+        // Evaluation backend runs coordinator-side (simulation is not
+        // sharded), exactly as PortfolioRunner::run_one: refinement polls
+        // the scenario deadline and an expiry is the same typed failure.
+        bool eval_deadline_fired = false;
+        portfolio::apply_eval_spec(r, scenario, *ctx, [&] {
+            if (!deadline_expired()) return false;
+            eval_deadline_fired = true;
+            return true;
+        });
+        if (eval_deadline_fired) {
+            r.ok = false;
+            r.error = portfolio::deadline_error_message(scenario.deadline_ms);
+            r.error_code =
+                std::string(engine::to_string(engine::MapErrorCode::DeadlineExceeded));
+            return r;
+        }
+        if (!r.ok) return r;
+
         if (r.result.mapping.core_count() == cores && r.result.mapping.is_complete()) {
             const auto commodities =
                 noc::build_commodities(*scenario.graph, r.result.mapping);
@@ -456,6 +475,7 @@ std::vector<portfolio::ScenarioResult> Coordinator::run_scenarios(
             s.bandwidth = scenario.topology.capacity;
             s.mapper = scenario.mapper;
             s.params = scenario.params;
+            s.eval = scenario.eval;
             s.seed = scenario.seed;
             s.deadline_ms = scenario.deadline_ms;
             part.push_back(std::move(s));
@@ -494,6 +514,7 @@ std::vector<portfolio::ScenarioResult> Coordinator::run_scenarios(
             r.energy_mw = m.energy_mw;
             r.area_mm2 = m.area_mm2;
             r.avg_hops = m.avg_hops;
+            r.sim = m.sim;
         }
     }
     return results;

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -324,6 +325,18 @@ void write_packet_trace(std::ostream& os, std::span<const PacketRecord> packets)
             os << ',';
         os << ',' << p.route.size() << '\n';
     }
+    if (!os)
+        throw std::runtime_error("sim: packet trace write failed (stream error)");
+}
+
+void write_packet_trace(const std::string& path, std::span<const PacketRecord> packets) {
+    std::ofstream os(path);
+    if (!os)
+        throw std::runtime_error("sim: cannot open packet trace file '" + path + "'");
+    write_packet_trace(os, packets);
+    os.flush();
+    if (!os)
+        throw std::runtime_error("sim: packet trace write to '" + path + "' failed");
 }
 
 std::vector<FlowSpec> make_split_flows(const noc::Topology& topo,

@@ -132,6 +132,12 @@ std::vector<FlowSpec> make_split_flows(const noc::Topology& topo,
 
 /// Writes a per-packet CSV trace (flow, created, ejected, latency, hops)
 /// for offline analysis/plotting; incomplete packets get empty eject cells.
+/// Throws std::runtime_error when the stream enters a failed state — a
+/// silent partial trace would corrupt downstream analysis.
 void write_packet_trace(std::ostream& os, std::span<const PacketRecord> packets);
+
+/// File convenience: opens `path`, writes, and flushes. Throws
+/// std::runtime_error when the file cannot be opened or the write fails.
+void write_packet_trace(const std::string& path, std::span<const PacketRecord> packets);
 
 } // namespace nocmap::sim

@@ -1,0 +1,166 @@
+#include "portfolio/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "portfolio/report.hpp"
+#include "portfolio/runner.hpp"
+#include "portfolio/scenario.hpp"
+
+namespace nocmap::portfolio {
+namespace {
+
+ScenarioResult sim_point(std::size_t index, const std::string& app, double cost,
+                         double p99, double energy) {
+    ScenarioResult r;
+    r.index = index;
+    r.app = app;
+    r.name = app + "#" + std::to_string(index);
+    r.ok = true;
+    r.result.feasible = true;
+    r.result.comm_cost = cost;
+    r.energy_mw = energy;
+    r.sim.present = true;
+    r.sim.packets = 100;
+    r.sim.p99_latency_cycles = p99;
+    return r;
+}
+
+TEST(Pareto, FrontsPeelByDomination) {
+    std::vector<ScenarioResult> results;
+    results.push_back(sim_point(0, "a", 100, 50, 10)); // dominated by #1
+    results.push_back(sim_point(1, "a", 90, 40, 9));
+    results.push_back(sim_point(2, "a", 80, 60, 12)); // trades cost for p99
+    const auto fronts = pareto_fronts(results);
+    ASSERT_EQ(fronts.size(), 1u);
+    EXPECT_EQ(fronts[0].app, "a");
+    ASSERT_EQ(fronts[0].fronts.size(), 2u);
+    EXPECT_EQ(fronts[0].fronts[0], (std::vector<std::size_t>{1, 2}));
+    EXPECT_EQ(fronts[0].fronts[1], (std::vector<std::size_t>{0}));
+
+    const auto ranks = pareto_ranks(results);
+    EXPECT_EQ(ranks, (std::vector<std::size_t>{2, 1, 1}));
+}
+
+TEST(Pareto, AppsPartitionIndependently) {
+    std::vector<ScenarioResult> results;
+    results.push_back(sim_point(0, "b", 100, 50, 10));
+    results.push_back(sim_point(1, "a", 1, 1, 1));
+    results.push_back(sim_point(2, "b", 90, 40, 9));
+    const auto fronts = pareto_fronts(results);
+    ASSERT_EQ(fronts.size(), 2u); // ascending app-name order
+    EXPECT_EQ(fronts[0].app, "a");
+    EXPECT_EQ(fronts[1].app, "b");
+    EXPECT_EQ(fronts[0].fronts[0], (std::vector<std::size_t>{1}));
+    EXPECT_EQ(fronts[1].fronts[0], (std::vector<std::size_t>{2}));
+}
+
+TEST(Pareto, OnlyMeasuredScenariosParticipate) {
+    std::vector<ScenarioResult> results;
+    results.push_back(sim_point(0, "a", 100, 50, 10));
+    results.push_back(sim_point(1, "a", 90, 40, 9));
+    results[1].sim.note = "mapping infeasible; simulation skipped";
+    ScenarioResult failed = sim_point(2, "a", 1, 1, 1);
+    failed.ok = false;
+    results.push_back(failed);
+    ScenarioResult analytic;
+    analytic.index = 3;
+    analytic.app = "a";
+    analytic.ok = true;
+    analytic.result.feasible = true;
+    results.push_back(analytic);
+
+    EXPECT_TRUE(has_sim_metrics(results));
+    const auto fronts = pareto_fronts(results);
+    ASSERT_EQ(fronts.size(), 1u);
+    ASSERT_EQ(fronts[0].fronts.size(), 1u);
+    EXPECT_EQ(fronts[0].fronts[0], (std::vector<std::size_t>{0}));
+    EXPECT_FALSE(has_sim_metrics({analytic}));
+}
+
+/// The acceptance contract: an eval=simulated portfolio run produces the
+/// same deterministic document — sim metrics and Pareto fronts included —
+/// at any worker thread count.
+TEST(Pareto, SimulatedPortfolioIsThreadCountInvariant) {
+    std::vector<std::pair<std::string, std::shared_ptr<const graph::CoreGraph>>> grid_apps;
+    for (const char* name : {"pip", "synth:nodes=10,edges=16,seed=5"})
+        grid_apps.emplace_back(name, std::make_shared<const graph::CoreGraph>(
+                                         apps::load_graph_or_application(name)));
+    const auto specs = parse_topology_list("mesh,torus:4x4", 1e9);
+    engine::Params eval;
+    eval.set_assignment("eval=simulated");
+    eval.set_assignment("sim_cycles=3000");
+    eval.set_assignment("sim_warmup=300");
+    const auto grid = make_grid(grid_apps, specs, "nmap", {}, 0, 0, eval);
+
+    JsonOptions stable;
+    stable.timings = false;
+    std::string documents[2];
+    const std::size_t threads[2] = {1, 4};
+    for (std::size_t i = 0; i < 2; ++i) {
+        PortfolioOptions options;
+        options.threads = threads[i];
+        PortfolioRunner runner(options);
+        const auto results = runner.run(grid);
+        for (const auto& r : results) {
+            ASSERT_TRUE(r.ok) << r.error;
+            EXPECT_TRUE(r.sim.present);
+        }
+        documents[i] =
+            to_json(results, PortfolioRunner::rank_topologies(results), stable);
+    }
+    EXPECT_EQ(documents[0], documents[1]);
+    EXPECT_NE(documents[0].find("\"pareto\""), std::string::npos);
+    EXPECT_NE(documents[0].find("\"sim\""), std::string::npos);
+}
+
+/// Byte-identity of the default path: an explicit `eval=analytic` spec must
+/// not change a single byte of the report against no eval spec at all.
+TEST(Pareto, AnalyticSpecKeepsTheDocumentByteIdentical) {
+    std::vector<std::pair<std::string, std::shared_ptr<const graph::CoreGraph>>> grid_apps;
+    grid_apps.emplace_back("pip", std::make_shared<const graph::CoreGraph>(
+                                      apps::make_application("pip")));
+    const auto specs = parse_topology_list("mesh,torus", 1e9);
+    engine::Params analytic;
+    analytic.set_assignment("eval=analytic");
+
+    JsonOptions stable;
+    stable.timings = false;
+    std::string documents[2];
+    const engine::Params evals[2] = {{}, analytic};
+    for (std::size_t i = 0; i < 2; ++i) {
+        PortfolioOptions options;
+        PortfolioRunner runner(options);
+        const auto results =
+            runner.run(make_grid(grid_apps, specs, "nmap", {}, 0, 0, evals[i]));
+        documents[i] =
+            to_json(results, PortfolioRunner::rank_topologies(results), stable);
+    }
+    EXPECT_EQ(documents[0], documents[1]);
+    EXPECT_EQ(documents[0].find("\"sim\""), std::string::npos);
+    EXPECT_EQ(documents[0].find("\"pareto\""), std::string::npos);
+}
+
+TEST(Pareto, InvalidEvalSpecIsATypedScenarioError) {
+    std::vector<std::pair<std::string, std::shared_ptr<const graph::CoreGraph>>> grid_apps;
+    grid_apps.emplace_back("pip", std::make_shared<const graph::CoreGraph>(
+                                      apps::make_application("pip")));
+    const auto specs = parse_topology_list("mesh", 1e9);
+    engine::Params eval;
+    eval.set_assignment("sim_cycles=10"); // below the published minimum
+    PortfolioOptions options;
+    PortfolioRunner runner(options);
+    const auto results = runner.run(make_grid(grid_apps, specs, "nmap", {}, 0, 0, eval));
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].ok);
+    EXPECT_FALSE(results[0].error.empty());
+    EXPECT_FALSE(results[0].error_code.empty());
+}
+
+} // namespace
+} // namespace nocmap::portfolio

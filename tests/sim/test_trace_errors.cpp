@@ -1,0 +1,70 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nocmap::sim {
+namespace {
+
+std::vector<PacketRecord> sample_packets() {
+    PacketRecord done;
+    done.flow = 0;
+    done.size_flits = 4;
+    done.created_cycle = 10;
+    done.ejected_cycle = 42;
+    done.completed = true;
+    PacketRecord in_flight;
+    in_flight.flow = 1;
+    in_flight.size_flits = 4;
+    in_flight.created_cycle = 20;
+    return {done, in_flight};
+}
+
+TEST(PacketTrace, StreamWriteSucceedsAndIsDeterministic) {
+    const auto packets = sample_packets();
+    std::ostringstream a, b;
+    write_packet_trace(a, packets);
+    write_packet_trace(b, packets);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_NE(a.str().find("flow,created_cycle,ejected_cycle"), std::string::npos);
+}
+
+TEST(PacketTrace, FailedStreamThrowsInsteadOfTruncating) {
+    const auto packets = sample_packets();
+    std::ostringstream os;
+    os.setstate(std::ios::badbit);
+    EXPECT_THROW(write_packet_trace(os, packets), std::runtime_error);
+}
+
+TEST(PacketTrace, UnopenablePathThrowsWithThePath) {
+    const auto packets = sample_packets();
+    const std::string path = "/nonexistent-dir/trace.csv";
+    try {
+        write_packet_trace(path, packets);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+    }
+}
+
+TEST(PacketTrace, FileOverloadWritesTheSameBytesAsTheStream) {
+    const auto packets = sample_packets();
+    const std::string path = ::testing::TempDir() + "nocmap_trace_test.csv";
+    write_packet_trace(path, packets);
+    std::ifstream in(path);
+    std::stringstream file_bytes;
+    file_bytes << in.rdbuf();
+    std::ostringstream stream_bytes;
+    write_packet_trace(stream_bytes, packets);
+    EXPECT_EQ(file_bytes.str(), stream_bytes.str());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace nocmap::sim
